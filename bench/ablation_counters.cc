@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: RVP confidence-counter design. Sweeps (a) tagged vs
+ * untagged counters (the paper asserts untagged counters slightly
+ * *outperform* tagged ones for RVP thanks to positive interference),
+ * (b) the counter-table size (the hardware-cost knob), and (c) the
+ * confidence threshold (coverage/accuracy trade-off), for dynamic RVP
+ * over all instructions on the 8-wide core.
+ */
+
+#include "common.hh"
+
+using namespace rvp;
+using namespace rvp::bench;
+
+namespace
+{
+
+ExperimentResult
+runDrvp(const std::string &workload, bool tagged, unsigned threshold,
+        unsigned entries)
+{
+    ExperimentConfig config = baseConfig(workload);
+    config.scheme = VpScheme::DynamicRvp;
+    config.loadsOnly = false;
+    config.taggedRvp = tagged;
+    config.tableEntries = entries;
+    config.counterThreshold = threshold;
+    config.core.recovery = RecoveryPolicy::Selective;
+    return runExperiment(config);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation: RVP confidence-counter design "
+                 "(speedup over no prediction)\n\n";
+
+    TextTable table;
+    table.setHeader({"program", "untag-1K-t7", "tag-1K-t7",
+                     "untag-256-t7", "untag-4K-t7", "untag-1K-t3",
+                     "untag-1K-t5"});
+    for (const std::string &workload : benchWorkloads()) {
+        double no_pred = runExperiment(baseConfig(workload)).ipc;
+        auto cell = [&](bool tagged, unsigned thr, unsigned entries) {
+            return TextTable::num(
+                runDrvp(workload, tagged, thr, entries).ipc / no_pred);
+        };
+        table.addRow({workload, cell(false, 7, 1024),
+                      cell(true, 7, 1024), cell(false, 7, 256),
+                      cell(false, 7, 4096), cell(false, 3, 1024),
+                      cell(false, 5, 1024)});
+        std::cerr << "  ran " << workload << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "\npaper shape: untagged counters do not lose to tagged"
+                 " ones for RVP (positive interference); modest tables"
+                 " suffice; threshold 7 is the paper's conservative"
+                 " filter — lower thresholds raise coverage but admit"
+                 " mispredicts.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: the table-interference argument of Section 7.2. A loop
+ * whose static footprint exceeds the prediction table makes a tagged
+ * LVP value file "virtually useless" (every access evicts), while
+ * RVP's untagged counters keep working because two instructions that
+ * share a counter and both exhibit register reuse interfere
+ * *positively*. This binary constructs such loops directly (synthetic
+ * straight-line loop bodies of increasing size, every instruction
+ * value-stable) and reports coverage for both predictors.
+ */
+
+#include <iostream>
+
+#include "sim/tables.hh"
+#include "uarch/core.hh"
+#include "vp/oracle.hh"
+
+using namespace rvp;
+
+namespace
+{
+
+/**
+ * A loop with `body` value-stable ADDQ instructions (each register
+ * re-written with the same value every iteration: r_k = r_k + r31).
+ */
+Program
+bigLoop(unsigned body, std::int32_t iters)
+{
+    Program prog;
+    StaticInst init;
+    init.op = Opcode::LDA;
+    init.rc = 1;
+    init.ra = zeroReg;
+    init.useImm = true;
+    init.imm = iters;
+    prog.insts.push_back(init);
+    for (unsigned i = 0; i < body; ++i) {
+        StaticInst add;
+        add.op = Opcode::ADDQ;
+        add.rc = static_cast<RegIndex>(2 + (i % 24));
+        add.ra = add.rc;
+        add.rb = zeroReg;   // value never changes: perfect reuse
+        prog.insts.push_back(add);
+    }
+    StaticInst dec;
+    dec.op = Opcode::SUBQ;
+    dec.rc = 1;
+    dec.ra = 1;
+    dec.useImm = true;
+    dec.imm = 1;
+    prog.insts.push_back(dec);
+    StaticInst br;
+    br.op = Opcode::BNE;
+    br.ra = 1;
+    br.imm = -static_cast<std::int32_t>(body + 2);
+    prog.insts.push_back(br);
+    StaticInst halt;
+    halt.op = Opcode::HALT;
+    prog.insts.push_back(halt);
+    return prog;
+}
+
+double
+coverage(const Program &prog, VpScheme scheme, unsigned entries)
+{
+    VpConfig vp;
+    vp.scheme = scheme;
+    vp.loadsOnly = false;
+    vp.tableEntries = entries;
+    auto predictor = makePredictor(vp, prog);
+    CoreParams params = CoreParams::table1();
+    params.maxInsts = 200'000;
+    Core core(params, prog, *predictor);
+    CoreResult r = core.run();
+    double eligible = r.stats.get("vp.eligible");
+    return eligible > 0 ? r.stats.get("vp.predictions") / eligible : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation: loop footprint vs a 256-entry prediction "
+                 "table (coverage of eligible instructions)\n\n";
+    TextTable table;
+    table.setHeader({"loop body (insts)", "lvp (tagged values)",
+                     "drvp (untagged counters)"});
+    for (unsigned body : {64u, 128u, 192u, 256u, 384u, 512u, 1024u}) {
+        Program prog = bigLoop(body, 2000);
+        double lvp = coverage(prog, VpScheme::Lvp, 256);
+        double rvp = coverage(prog, VpScheme::DynamicRvp, 256);
+        table.addRow({std::to_string(body), TextTable::percent(lvp),
+                      TextTable::percent(rvp)});
+        std::cerr << "  body " << body << " done\n";
+    }
+    table.print(std::cout);
+    std::cout << "\npaper shape: LVP coverage collapses once the loop"
+                 " exceeds the table (tag conflicts every access); RVP"
+                 " coverage persists — shared counters interfere"
+                 " positively when both instructions exhibit register"
+                 " reuse.\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table benchmark binaries: run
+ * configuration from the environment, per-workload sweeps, speedup
+ * computation, and uniform output.
+ *
+ * Environment knobs:
+ *   RVP_BENCH_INSTS          committed instructions per run (400000)
+ *   RVP_BENCH_PROFILE_INSTS  profiling instructions (300000)
+ *   RVP_BENCH_WORKLOADS      comma-separated workload filter (all)
+ */
+
+#ifndef RVP_BENCH_COMMON_HH
+#define RVP_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/tables.hh"
+#include "workloads/workloads.hh"
+
+namespace rvp::bench
+{
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+inline std::vector<std::string>
+benchWorkloads()
+{
+    std::vector<std::string> names;
+    const char *filter = std::getenv("RVP_BENCH_WORKLOADS");
+    if (!filter) {
+        for (const WorkloadSpec &spec : allWorkloads())
+            names.push_back(spec.name);
+        return names;
+    }
+    std::string s(filter);
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        names.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return names;
+}
+
+/** Base experiment config with the bench-wide budgets applied. */
+inline ExperimentConfig
+baseConfig(const std::string &workload)
+{
+    ExperimentConfig config;
+    config.workload = workload;
+    config.core.maxInsts = envU64("RVP_BENCH_INSTS", 400'000);
+    config.profileInsts = envU64("RVP_BENCH_PROFILE_INSTS", 300'000);
+    return config;
+}
+
+/** A named experiment variant applied on top of the base config. */
+struct Variant
+{
+    std::string name;
+    void (*apply)(ExperimentConfig &);
+};
+
+/**
+ * Run all variants over all workloads; returns result[workload][variant].
+ */
+inline std::map<std::string, std::map<std::string, ExperimentResult>>
+sweep(const std::vector<Variant> &variants,
+      void (*common)(ExperimentConfig &) = nullptr)
+{
+    std::map<std::string, std::map<std::string, ExperimentResult>> out;
+    for (const std::string &workload : benchWorkloads()) {
+        for (const Variant &variant : variants) {
+            ExperimentConfig config = baseConfig(workload);
+            if (common)
+                common(config);
+            variant.apply(config);
+            out[workload][variant.name] = runExperiment(config);
+            std::cerr << "  ran " << workload << " / " << variant.name
+                      << " (ipc " << TextTable::num(
+                             out[workload][variant.name].ipc)
+                      << ")\n";
+        }
+    }
+    return out;
+}
+
+/** Geometric-mean-free average used by the paper's "average" bars. */
+inline double
+mean(const std::vector<double> &values)
+{
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+}
+
+} // namespace rvp::bench
+
+#endif // RVP_BENCH_COMMON_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 3: static register value prediction (selective-reissue
+ * recovery), IPC per workload for: no prediction, dynamic last-value
+ * prediction (1K-entry buffer), and static RVP with increasing
+ * compiler support — same-register only, dead-register correlation,
+ * live-register correlation, and live + last-value. Profile threshold
+ * 80%, profiles taken on the train input.
+ */
+
+#include "common.hh"
+
+using namespace rvp;
+using namespace rvp::bench;
+
+int
+main()
+{
+    std::vector<Variant> variants = {
+        {"no_predict", [](ExperimentConfig &) {}},
+        {"lvp",
+         [](ExperimentConfig &c) {
+             c.scheme = VpScheme::Lvp;
+             c.loadsOnly = true;
+         }},
+        {"srvp_same",
+         [](ExperimentConfig &c) {
+             c.scheme = VpScheme::StaticRvp;
+             c.assist = AssistLevel::Same;
+         }},
+        {"srvp_dead",
+         [](ExperimentConfig &c) {
+             c.scheme = VpScheme::StaticRvp;
+             c.assist = AssistLevel::Dead;
+         }},
+        {"srvp_live",
+         [](ExperimentConfig &c) {
+             c.scheme = VpScheme::StaticRvp;
+             c.assist = AssistLevel::Live;
+         }},
+        {"srvp_live_lv",
+         [](ExperimentConfig &c) {
+             c.scheme = VpScheme::StaticRvp;
+             c.assist = AssistLevel::LiveLv;
+         }},
+    };
+
+    auto results = sweep(variants, [](ExperimentConfig &c) {
+        c.core.recovery = RecoveryPolicy::Selective;
+        c.profileThreshold = 0.8;
+    });
+
+    TextTable table;
+    table.setHeader({"program", "no_predict", "lvp", "srvp_same",
+                     "srvp_dead", "srvp_live", "srvp_live_lv"});
+    for (const auto &[workload, row] : results) {
+        std::vector<std::string> cells{workload};
+        for (const Variant &v : variants)
+            cells.push_back(TextTable::num(row.at(v.name).ipc));
+        table.addRow(cells);
+    }
+
+    std::cout << "Figure 3: static RVP on the 8-wide core (IPC)\n\n";
+    table.print(std::cout);
+    std::cout << "\npaper shape: compiler levels monotonically help;"
+                 " some programs gain >=3% with no compiler support;"
+                 " li/mgrid gain large amounts from the dead-register"
+                 " optimization; srvp_live_lv is the best static"
+                 " configuration (up to ~22% over baseline).\n";
+    return 0;
+}

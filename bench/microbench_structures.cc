@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot data
+ * structures: the confidence table, the LVP table, the cache, the
+ * functional emulator, and a full timed core step. These guard the
+ * simulator's own performance (the harness runs ~200 full experiments
+ * per figure sweep).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "emu/emulator.hh"
+#include "mem/hierarchy.hh"
+#include "uarch/core.hh"
+#include "vp/oracle.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace rvp;
+
+void
+BM_ConfidenceTable(benchmark::State &state)
+{
+    ConfidenceConfig cfg;
+    cfg.tagged = state.range(0) != 0;
+    ConfidenceTable table(cfg);
+    std::uint64_t pc = 0x1000;
+    bool outcome = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.confident(pc));
+        table.update(pc, outcome);
+        pc += 4;
+        outcome = !outcome;
+    }
+}
+BENCHMARK(BM_ConfidenceTable)->Arg(0)->Arg(1);
+
+void
+BM_LvpTable(benchmark::State &state)
+{
+    LastValuePredictor lvp;
+    DynInst di;
+    di.op = Opcode::LDQ;
+    di.dest = 3;
+    for (auto _ : state) {
+        di.pc += 4;
+        di.newValue = di.pc & 0xff;
+        benchmark::DoNotOptimize(lvp.onInst(di, {}));
+    }
+}
+BENCHMARK(BM_LvpTable);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemoryHierarchy mem;
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.loadLatency(addr));
+        addr = (addr + 64) % (1 << state.range(0));
+    }
+}
+BENCHMARK(BM_CacheAccess)->Arg(14)->Arg(22);   // L1-resident vs thrash
+
+void
+BM_EmulatorStep(benchmark::State &state)
+{
+    BuiltWorkload wl = buildWorkload("go", InputSet::Ref);
+    AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+    LowerResult low = lower(wl.func, alloc);
+    low.program.dataImage = wl.data;
+    auto emu = std::make_unique<Emulator>(low.program);
+    DynInst di;
+    for (auto _ : state) {
+        if (!emu->step(di)) {
+            state.PauseTiming();
+            emu = std::make_unique<Emulator>(low.program);
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(di);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmulatorStep);
+
+void
+BM_CoreCycle(benchmark::State &state)
+{
+    BuiltWorkload wl = buildWorkload("ijpeg", InputSet::Ref);
+    AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+    LowerResult low = lower(wl.func, alloc);
+    low.program.dataImage = wl.data;
+    for (auto _ : state) {
+        VpConfig vp;
+        vp.scheme = VpScheme::DynamicRvp;
+        vp.loadsOnly = false;
+        auto predictor = makePredictor(vp, low.program);
+        CoreParams params = CoreParams::table1();
+        params.maxInsts = 20'000;
+        Core core(params, low.program, *predictor);
+        CoreResult r = core.run();
+        benchmark::DoNotOptimize(r);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(r.committed));
+    }
+}
+BENCHMARK(BM_CoreCycle)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end use of the library. Builds a
+ * tiny program in the IR, compiles it (graph-colouring register
+ * allocation + lowering to SRISC), runs it through the out-of-order
+ * core with and without dynamic register value prediction, and prints
+ * the disassembly and the headline numbers.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <iostream>
+
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "isa/disasm.hh"
+#include "sim/tables.hh"
+#include "uarch/core.hh"
+#include "vp/oracle.hh"
+
+using namespace rvp;
+
+int
+main()
+{
+    // ---- 1. Write a program against the IR ----
+    // A pointer chase through a one-element cycle: the loaded value
+    // never changes, so every load exhibits register-value reuse.
+    IRFunction func;
+    IRBuilder b(func);
+    VReg iters = func.newIntVReg();
+    VReg ptr = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(ptr, Program::dataBase);
+    b.loadAddr(iters, 30'000);
+    BlockId loop = b.startBlock();
+    b.load(ptr, ptr, 0);              // ptr = mem[ptr]  (self-pointer)
+    b.opImm(Opcode::SUBQ, iters, iters, 1);
+    b.branch(Opcode::BNE, iters, loop);
+    b.startBlock();
+    b.halt();
+    func.numberInsts();
+
+    // ---- 2. Compile: allocate registers, lower to machine code ----
+    AllocResult alloc = allocateRegisters(func, AllocConfig{});
+    LowerResult low = lower(func, alloc);
+    low.program.dataImage.push_back(
+        {Program::dataBase, Program::dataBase});   // the self-pointer
+
+    std::cout << "compiled program:\n"
+              << disassemble(low.program) << "\n";
+
+    // ---- 3. Run the timing model, without and with prediction ----
+    auto run = [&](VpScheme scheme) {
+        VpConfig vp;
+        vp.scheme = scheme;
+        vp.loadsOnly = true;
+        auto predictor = makePredictor(vp, low.program);
+        Core core(CoreParams::table1(), low.program, *predictor);
+        return core.run();
+    };
+    CoreResult base = run(VpScheme::None);
+    CoreResult rvp = run(VpScheme::DynamicRvp);
+
+    TextTable table;
+    table.setHeader({"config", "cycles", "IPC", "predicted", "correct"});
+    table.addRow({"no prediction", std::to_string(base.cycles),
+                  TextTable::num(base.ipc), "0", "-"});
+    table.addRow({"dynamic RVP", std::to_string(rvp.cycles),
+                  TextTable::num(rvp.ipc),
+                  TextTable::num(rvp.stats.get("vp.predictions"), 0),
+                  TextTable::percent(rvp.stats.ratio("vp.correct",
+                                                     "vp.predictions"))});
+    table.print(std::cout);
+
+    std::cout << "\nThe pointer chase serializes on the load; register "
+                 "value prediction\nbreaks the dependence using the value "
+                 "already in the destination register\n(no value storage "
+                 "at all) and the loop collapses to ~1 iteration/cycle.\n";
+    return 0;
+}

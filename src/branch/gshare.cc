@@ -1,0 +1,123 @@
+#include "branch/gshare.hh"
+
+#include "common/bits.hh"
+
+namespace rvp
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config_(config),
+      pht_(config.phtEntries, SaturatingCounter(2, 1)),
+      btb_(config.btbEntries),
+      ras_(config.rasEntries, 0)
+{
+}
+
+unsigned
+BranchPredictor::phtIndex(std::uint64_t pc) const
+{
+    std::uint64_t hashed = (pc >> 2) ^ (history_ & mask(config_.historyBits));
+    return static_cast<unsigned>(hashed % config_.phtEntries);
+}
+
+unsigned
+BranchPredictor::btbIndex(std::uint64_t pc) const
+{
+    return static_cast<unsigned>((pc >> 2) % config_.btbEntries);
+}
+
+BranchPrediction
+BranchPredictor::predict(std::uint64_t pc, const StaticInst &inst)
+{
+    ++lookups_;
+    const OpcodeInfo &info = inst.info();
+    BranchPrediction pred;
+
+    if (info.isCondBranch) {
+        pred.taken = pht_[phtIndex(pc)].isSet();
+        // Speculative history update; repaired on mispredict.
+        history_ = (history_ << 1) | (pred.taken ? 1 : 0);
+    } else {
+        pred.taken = true;
+    }
+
+    if (inst.op == Opcode::RET) {
+        // Pop the RAS.
+        rasTop_ = (rasTop_ + ras_.size() - 1) % ras_.size();
+        pred.target = ras_[rasTop_];
+        pred.targetKnown = pred.target != 0;
+        if (!pred.targetKnown)
+            ++btbMisses_;
+        return pred;
+    }
+
+    if (inst.op == Opcode::JSR) {
+        // Push the return address.
+        ras_[rasTop_] = pc + 4;
+        rasTop_ = (rasTop_ + 1) % ras_.size();
+    }
+
+    if (pred.taken) {
+        const BtbEntry &entry = btb_[btbIndex(pc)];
+        if (entry.valid && entry.tag == pc) {
+            pred.target = entry.target;
+            pred.targetKnown = true;
+        } else {
+            ++btbMisses_;
+        }
+    } else {
+        pred.target = pc + 4;
+        pred.targetKnown = true;
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(std::uint64_t pc, const StaticInst &inst, bool taken,
+                        std::uint64_t target, bool direction_mispredicted)
+{
+    const OpcodeInfo &info = inst.info();
+    if (info.isCondBranch) {
+        // The speculatively-shifted history bit must be corrected
+        // before training so the PHT index stream stays consistent.
+        if (direction_mispredicted)
+            history_ ^= 1;
+        unsigned idx = static_cast<unsigned>(
+            ((pc >> 2) ^ ((history_ >> 1) & mask(config_.historyBits))) %
+            config_.phtEntries);
+        if (taken)
+            pht_[idx].increment();
+        else
+            pht_[idx].decrement();
+    }
+    if (taken && inst.op != Opcode::RET) {
+        BtbEntry &entry = btb_[btbIndex(pc)];
+        entry.valid = true;
+        entry.tag = pc;
+        entry.target = target;
+    }
+}
+
+void
+BranchPredictor::reset()
+{
+    for (auto &counter : pht_)
+        counter = SaturatingCounter(2, 1);
+    for (auto &entry : btb_)
+        entry = BtbEntry{};
+    for (auto &slot : ras_)
+        slot = 0;
+    rasTop_ = 0;
+    history_ = 0;
+    lookups_ = 0;
+    btbMisses_ = 0;
+}
+
+void
+BranchPredictor::exportStats(StatSet &stats) const
+{
+    stats.set("bp.lookups", static_cast<double>(lookups_));
+    stats.set("bp.btb_misses", static_cast<double>(btbMisses_));
+}
+
+} // namespace rvp

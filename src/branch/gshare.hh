@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Branch prediction per Table 1 of the paper: gshare with a 2K-entry
+ * 2-bit PHT, a 256-entry BTB, and a return-address stack. The paper's
+ * processor predicts conditional direction with gshare, targets with
+ * the BTB, and returns with the RAS.
+ */
+
+#ifndef RVP_BRANCH_GSHARE_HH
+#define RVP_BRANCH_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/counters.hh"
+#include "common/stats.hh"
+#include "isa/inst.hh"
+
+namespace rvp
+{
+
+/** Branch predictor configuration (defaults = Table 1). */
+struct BranchPredictorConfig
+{
+    unsigned phtEntries = 2048;   ///< 2-bit counters
+    unsigned btbEntries = 256;    ///< direct-mapped, tagged
+    unsigned rasEntries = 16;
+    unsigned historyBits = 11;    ///< log2(phtEntries)
+};
+
+/** Outcome of one prediction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    bool targetKnown = false;     ///< BTB/RAS produced a target
+    std::uint64_t target = 0;
+};
+
+/**
+ * gshare + BTB + RAS. The caller predicts at fetch and updates at
+ * branch resolution with the actual direction and target.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config = {});
+
+    /**
+     * Predict the instruction at pc. Unconditional branches predict
+     * taken; conditionals consult the PHT; JSR pushes the RAS; RET
+     * pops it.
+     */
+    BranchPrediction predict(std::uint64_t pc, const StaticInst &inst);
+
+    /**
+     * Train on the resolved branch and repair the speculative history
+     * if the direction was mispredicted.
+     */
+    void update(std::uint64_t pc, const StaticInst &inst, bool taken,
+                std::uint64_t target, bool direction_mispredicted);
+
+    void reset();
+    void exportStats(StatSet &stats) const;
+
+  private:
+    struct BtbEntry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+    };
+
+    unsigned phtIndex(std::uint64_t pc) const;
+    unsigned btbIndex(std::uint64_t pc) const;
+
+    BranchPredictorConfig config_;
+    std::vector<SaturatingCounter> pht_;
+    std::vector<BtbEntry> btb_;
+    std::vector<std::uint64_t> ras_;
+    std::size_t rasTop_ = 0;
+    std::uint64_t history_ = 0;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t btbMisses_ = 0;
+};
+
+} // namespace rvp
+
+#endif // RVP_BRANCH_GSHARE_HH

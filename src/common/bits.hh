@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ISA encoder and the cache and
+ * predictor indexing logic.
+ */
+
+#ifndef RVP_COMMON_BITS_HH
+#define RVP_COMMON_BITS_HH
+
+#include <cstdint>
+
+namespace rvp
+{
+
+/** A mask of n low bits (n in [0, 64]). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~0ull : (1ull << n) - 1;
+}
+
+/** Extract bits [first, last] (inclusive, first <= last) of value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned last, unsigned first)
+{
+    return (value >> first) & mask(last - first + 1);
+}
+
+/** Insert the low (last-first+1) bits of field at [first, last] of value. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned last, unsigned first,
+           std::uint64_t field)
+{
+    std::uint64_t m = mask(last - first + 1);
+    return (value & ~(m << first)) | ((field & m) << first);
+}
+
+/** Sign-extend the low n bits of value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned n)
+{
+    std::uint64_t m = 1ull << (n - 1);
+    value &= mask(n);
+    return static_cast<std::int64_t>((value ^ m) - m);
+}
+
+/** True iff value is a power of two (zero excluded). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)) for nonzero value. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+} // namespace rvp
+
+#endif // RVP_COMMON_BITS_HH

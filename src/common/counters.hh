@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small saturating and resetting counters used throughout the branch and
+ * value predictors. The paper's confidence counters are 3-bit *resetting*
+ * counters with a threshold of 7: a correct outcome increments (saturating
+ * at 7), an incorrect outcome resets to zero, and a prediction is made
+ * only when the counter has reached the threshold.
+ */
+
+#ifndef RVP_COMMON_COUNTERS_HH
+#define RVP_COMMON_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+/** Classic n-bit saturating up/down counter (branch-predictor style). */
+class SaturatingCounter
+{
+  public:
+    explicit SaturatingCounter(unsigned bits = 2, unsigned initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        RVP_ASSERT(bits >= 1 && bits <= 16);
+        RVP_ASSERT(initial <= max_);
+    }
+
+    /** Move the counter one step toward its maximum. */
+    void increment() { if (value_ < max_) ++value_; }
+    /** Move the counter one step toward zero. */
+    void decrement() { if (value_ > 0) --value_; }
+
+    unsigned value() const { return value_; }
+    unsigned max() const { return max_; }
+    /** True when the counter is in its upper half (predict-taken). */
+    bool isSet() const { return value_ > max_ / 2; }
+
+  private:
+    unsigned max_;
+    unsigned value_;
+};
+
+/**
+ * n-bit resetting confidence counter. Correct outcomes saturate upward;
+ * a single incorrect outcome resets to zero. This is the filter the
+ * paper uses for both LVP and dynamic RVP (3 bits, threshold 7), i.e.
+ * predict only after seven consecutive correct outcomes.
+ */
+class ResettingCounter
+{
+  public:
+    explicit ResettingCounter(unsigned bits = 3, unsigned threshold = 7)
+        : max_((1u << bits) - 1), threshold_(threshold), value_(0)
+    {
+        RVP_ASSERT(threshold_ <= max_);
+    }
+
+    /** Record a correct outcome. */
+    void recordCorrect() { if (value_ < max_) ++value_; }
+    /** Record an incorrect outcome: full reset. */
+    void recordIncorrect() { value_ = 0; }
+
+    /** True when the counter authorizes a prediction. */
+    bool confident() const { return value_ >= threshold_; }
+
+    unsigned value() const { return value_; }
+    unsigned threshold() const { return threshold_; }
+    void reset() { value_ = 0; }
+
+  private:
+    unsigned max_;
+    unsigned threshold_;
+    unsigned value_;
+};
+
+} // namespace rvp
+
+#endif // RVP_COMMON_COUNTERS_HH

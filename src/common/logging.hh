@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition: panic() for internal
+ * invariant violations (aborts), fatal() for user/configuration errors
+ * (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef RVP_COMMON_LOGGING_HH
+#define RVP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <string>
+
+namespace rvp
+{
+
+/** Print a formatted message and abort; use for simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr; simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like helper that survives NDEBUG builds. Use for invariants
+ * whose failure means the simulator (not the simulated program) is
+ * broken.
+ */
+#define RVP_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rvp::panic("assertion failed at %s:%d: %s", __FILE__,         \
+                         __LINE__, #cond);                                  \
+        }                                                                   \
+    } while (0)
+
+} // namespace rvp
+
+#endif // RVP_COMMON_LOGGING_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic xorshift64* pseudo-random number generator. The
+ * workload generators and property tests need reproducible streams
+ * independent of the host libstdc++, so we carry our own.
+ */
+
+#ifndef RVP_COMMON_RNG_HH
+#define RVP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace rvp
+{
+
+/** xorshift64* generator (Vigna); full 64-bit period, tiny state. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return nextBelow(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace rvp
+
+#endif // RVP_COMMON_RNG_HH

@@ -1,0 +1,56 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace rvp
+{
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+double
+StatSet::ratio(const std::string &numer, const std::string &denom) const
+{
+    double d = get(denom);
+    return d == 0.0 ? 0.0 : get(numer) / d;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.values_)
+        values_[name] += value;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : values_) {
+        os << std::left << std::setw(40) << name << " "
+           << std::setprecision(6) << value << "\n";
+    }
+}
+
+} // namespace rvp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal named-statistics registry. Modules register scalar counters
+ * and formulas; the simulation driver dumps them in a stable order.
+ * This is deliberately much smaller than gem5's stats package — just
+ * enough to make every experiment's raw numbers inspectable.
+ */
+
+#ifndef RVP_COMMON_STATS_HH
+#define RVP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace rvp
+{
+
+/** A flat, ordered collection of named scalar statistics. */
+class StatSet
+{
+  public:
+    /** Add delta to the named counter (creating it at zero). */
+    void add(const std::string &name, double delta = 1.0);
+
+    /** Overwrite the named value. */
+    void set(const std::string &name, double value);
+
+    /** Read a value; returns 0 for unknown names. */
+    double get(const std::string &name) const;
+
+    /** True if the stat has ever been touched. */
+    bool has(const std::string &name) const;
+
+    /** Ratio helper: numer/denom, 0 when the denominator is zero. */
+    double ratio(const std::string &numer, const std::string &denom) const;
+
+    /** Merge another set into this one (summing counters). */
+    void merge(const StatSet &other);
+
+    /** Dump "name value" lines in lexicographic order. */
+    void dump(std::ostream &os) const;
+
+    const std::map<std::string, double> &values() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace rvp
+
+#endif // RVP_COMMON_STATS_HH

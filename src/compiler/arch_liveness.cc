@@ -1,0 +1,32 @@
+#include "compiler/arch_liveness.hh"
+
+#include "common/logging.hh"
+#include "ir/liveness.hh"
+
+namespace rvp
+{
+
+std::vector<std::uint64_t>
+archLiveBefore(const IRFunction &func, const AllocResult &alloc,
+               const LowerResult &low)
+{
+    // func must already be numbered consistently with low.
+    Cfg cfg(func);
+    Liveness liveness(func, cfg);
+
+    std::vector<std::uint64_t> result(low.program.size(), 0);
+    for (std::uint32_t s = 0; s < low.program.size(); ++s) {
+        std::uint32_t ir_id = low.irIdOfStatic[s];
+        VRegSet live = liveness.liveBefore(ir_id);
+        std::uint64_t bits = 0;
+        live.forEach([&](VReg v) {
+            RegIndex r = alloc.colorOf[v];
+            if (r != regNone)
+                bits |= 1ull << r;
+        });
+        result[s] = bits;
+    }
+    return result;
+}
+
+} // namespace rvp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Post-allocation architectural-register liveness: for every static
+ * instruction of a lowered program, which architectural registers hold
+ * live values just before it executes. The reuse profiler uses this to
+ * classify other-register value matches as "dead register" (free to
+ * re-allocate) versus "live register" (needs a move), per Section 5 of
+ * the paper.
+ */
+
+#ifndef RVP_COMPILER_ARCH_LIVENESS_HH
+#define RVP_COMPILER_ARCH_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/lower.hh"
+
+namespace rvp
+{
+
+/**
+ * Bitmask per static instruction: bit r set means architectural
+ * register r is live immediately before the instruction. An arch
+ * register is live iff some virtual register coloured onto it is live.
+ */
+std::vector<std::uint64_t>
+archLiveBefore(const IRFunction &func, const AllocResult &alloc,
+               const LowerResult &low);
+
+} // namespace rvp
+
+#endif // RVP_COMPILER_ARCH_LIVENESS_HH

@@ -1,0 +1,57 @@
+#include "compiler/interference.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+InterferenceGraph::InterferenceGraph(std::uint32_t num_vregs)
+    : adj_(num_vregs, VRegSet(num_vregs))
+{
+}
+
+void
+InterferenceGraph::addEdge(VReg a, VReg b)
+{
+    if (a == b)
+        return;
+    adj_[a].insert(b);
+    adj_[b].insert(a);
+}
+
+bool
+InterferenceGraph::interferes(VReg a, VReg b) const
+{
+    return a != b && adj_[a].contains(b);
+}
+
+InterferenceGraph
+buildInterference(const IRFunction &func, const Cfg &cfg,
+                  const Liveness &liveness,
+                  const std::vector<VReg> *alias_of)
+{
+    auto rep = [&](VReg v) { return alias_of ? (*alias_of)[v] : v; };
+
+    InterferenceGraph graph(func.numVRegs());
+    for (BlockId b = 0; b < func.numBlocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        const BasicBlock &block = func.blocks()[b];
+        VRegSet live = liveness.liveOut(b);
+        for (std::size_t i = block.insts.size(); i-- > 0;) {
+            const IRInst &inst = block.insts[i];
+            UseDef ud = useDef(inst);
+            if (ud.def != noVReg) {
+                VReg d = rep(ud.def);
+                live.forEach([&](VReg l) { graph.addEdge(d, rep(l)); });
+                live.erase(ud.def);
+            }
+            for (VReg u : ud.uses)
+                if (u != noVReg)
+                    live.insert(u);
+        }
+    }
+    return graph;
+}
+
+} // namespace rvp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Register-interference graph construction ("register allocation via
+ * coloring", Chaitin et al.), with support for alias (coalescing)
+ * classes: the RVP reallocation pass combines the live ranges of a
+ * value's producer and its correlated consumer by mapping both virtual
+ * registers to one representative node before edges are added.
+ */
+
+#ifndef RVP_COMPILER_INTERFERENCE_HH
+#define RVP_COMPILER_INTERFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/liveness.hh"
+
+namespace rvp
+{
+
+/** Undirected interference graph over (representative) vregs. */
+class InterferenceGraph
+{
+  public:
+    explicit InterferenceGraph(std::uint32_t num_vregs);
+
+    void addEdge(VReg a, VReg b);
+    bool interferes(VReg a, VReg b) const;
+
+    /** Degree counting only neighbors that satisfy filter. */
+    template <typename Fn>
+    unsigned
+    degree(VReg v, Fn &&filter) const
+    {
+        unsigned d = 0;
+        adj_[v].forEach([&](VReg n) { d += filter(n) ? 1 : 0; });
+        return d;
+    }
+
+    template <typename Fn>
+    void
+    forEachNeighbor(VReg v, Fn &&fn) const
+    {
+        adj_[v].forEach(fn);
+    }
+
+    std::uint32_t numNodes() const
+    {
+        return static_cast<std::uint32_t>(adj_.size());
+    }
+
+  private:
+    std::vector<VRegSet> adj_;
+};
+
+/**
+ * Build the interference graph of func. alias_of maps each vreg to its
+ * representative (identity when null); edges connect representatives.
+ * The standard rule applies: at each definition d, d interferes with
+ * everything live after the instruction.
+ */
+InterferenceGraph
+buildInterference(const IRFunction &func, const Cfg &cfg,
+                  const Liveness &liveness,
+                  const std::vector<VReg> *alias_of = nullptr);
+
+} // namespace rvp
+
+#endif // RVP_COMPILER_INTERFERENCE_HH

@@ -1,0 +1,123 @@
+#include "compiler/lower.hh"
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+/** Map a vreg through the allocation; noVReg on memory ops means SP. */
+RegIndex
+regOf(const AllocResult &alloc, VReg v, RegIndex fallback)
+{
+    if (v == noVReg)
+        return fallback;
+    RegIndex r = alloc.colorOf[v];
+    RVP_ASSERT(r != regNone);
+    return r;
+}
+
+} // namespace
+
+LowerResult
+lower(const IRFunction &func, const AllocResult &alloc,
+      const std::unordered_set<std::uint32_t> *rvp_marked)
+{
+    LowerResult result;
+    RVP_ASSERT(alloc.success);
+
+    // First pass: static index of the first instruction of each block,
+    // in layout (emission) order.
+    std::vector<std::uint32_t> block_start(func.numBlocks(), UINT32_MAX);
+    std::uint32_t count = 0;
+    for (BlockId b : func.layout()) {
+        block_start[b] = count;
+        count += static_cast<std::uint32_t>(func.blocks()[b].insts.size());
+    }
+
+    result.irIdOfStatic.reserve(count);
+    result.staticOfIrId.assign(count, UINT32_MAX);
+
+    std::uint32_t ir_id = 0;
+    for (BlockId b : func.layout()) {
+        for (const IRInst &ir : func.blocks()[b].insts) {
+            const OpcodeInfo &info = ir.info();
+            StaticInst si;
+            si.op = ir.op;
+            std::uint32_t my_index =
+                static_cast<std::uint32_t>(result.program.insts.size());
+
+            if (info.isLoad || info.isStore) {
+                si.ra = regOf(alloc, ir.srcA, spReg);   // base (SP = spill)
+                si.imm = ir.imm;
+                if (info.isStore)
+                    si.rb = regOf(alloc, ir.srcB, regNone);
+                else
+                    si.rc = regOf(alloc, ir.dst, regNone);
+                if (info.isLoad && rvp_marked && rvp_marked->count(ir_id)) {
+                    si.op = (si.op == Opcode::LDQ) ? Opcode::RVP_LDQ
+                                                   : Opcode::RVP_LDT;
+                }
+            } else if (info.isCondBranch || ir.op == Opcode::BR) {
+                if (info.isCondBranch)
+                    si.ra = regOf(alloc, ir.srcA, regNone);
+                RVP_ASSERT(ir.target != noBlock &&
+                           block_start[ir.target] != UINT32_MAX);
+                std::int64_t disp =
+                    static_cast<std::int64_t>(block_start[ir.target]) -
+                    (static_cast<std::int64_t>(my_index) + 1);
+                si.imm = static_cast<std::int32_t>(disp);
+            } else if (ir.op == Opcode::JSR) {
+                si.ra = regOf(alloc, ir.srcA, regNone);
+                si.rc = regOf(alloc, ir.dst, regNone);
+            } else if (ir.op == Opcode::RET) {
+                si.ra = regOf(alloc, ir.srcA, regNone);
+            } else if (ir.op == Opcode::LDA) {
+                si.rc = regOf(alloc, ir.dst, regNone);
+                si.ra = ir.srcA == noVReg ? zeroReg
+                                          : regOf(alloc, ir.srcA, regNone);
+                si.useImm = true;
+                if (ir.target != noBlock) {
+                    // labelAddr pseudo: materialize the block's pc.
+                    RVP_ASSERT(block_start[ir.target] != UINT32_MAX);
+                    si.imm = static_cast<std::int32_t>(
+                        Program::pcOf(block_start[ir.target]));
+                } else {
+                    si.imm = ir.imm;
+                }
+            } else if (ir.op == Opcode::NOP || ir.op == Opcode::HALT) {
+                // no operands
+            } else {
+                // Generic operate.
+                si.rc = regOf(alloc, ir.dst, regNone);
+                si.ra = ir.srcA == noVReg
+                            ? (info.raIsFp ? fpZeroReg : zeroReg)
+                            : regOf(alloc, ir.srcA, regNone);
+                if (ir.useImm) {
+                    si.useImm = true;
+                    si.imm = ir.imm;
+                } else {
+                    si.rb = ir.srcB == noVReg
+                                ? (info.rbIsFp ? fpZeroReg : zeroReg)
+                                : regOf(alloc, ir.srcB, regNone);
+                }
+            }
+
+            if (!encodable(si)) {
+                panic("unencodable instruction during lowering: %s",
+                      disassemble(si).c_str());
+            }
+            result.program.insts.push_back(si);
+            result.irIdOfStatic.push_back(ir_id);
+            result.staticOfIrId[ir_id] = my_index;
+            ++ir_id;
+        }
+    }
+    return result;
+}
+
+} // namespace rvp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Lowering: IR + register allocation -> SRISC Program. Resolves block
+ * targets to pc-relative displacements, patches labelAddr pseudo-ops,
+ * maps spill-slot memory operations onto the stack pointer, and
+ * applies static-RVP load marking (LDQ -> RVP_LDQ) for the instruction
+ * set the profiler selected.
+ */
+
+#ifndef RVP_COMPILER_LOWER_HH
+#define RVP_COMPILER_LOWER_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "compiler/regalloc.hh"
+#include "isa/inst.hh"
+
+namespace rvp
+{
+
+/** Result of lowering: the binary plus IR<->static index maps. */
+struct LowerResult
+{
+    Program program;
+    /** Global IR inst id of each static instruction. */
+    std::vector<std::uint32_t> irIdOfStatic;
+    /** Static index of each global IR inst id. */
+    std::vector<std::uint32_t> staticOfIrId;
+};
+
+/**
+ * Lower func to machine code using the given allocation. rvp_marked,
+ * if non-null, lists global IR instruction ids of loads to emit as
+ * rvp_* opcodes (static register value prediction).
+ */
+LowerResult
+lower(const IRFunction &func, const AllocResult &alloc,
+      const std::unordered_set<std::uint32_t> *rvp_marked = nullptr);
+
+} // namespace rvp
+
+#endif // RVP_COMPILER_LOWER_HH

@@ -1,0 +1,290 @@
+#include "compiler/regalloc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "ir/dominators.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+/** Spill-cost estimate: uses+defs weighted by 10^loop-depth. */
+std::vector<double>
+spillCosts(const IRFunction &func, const Cfg &cfg, const LoopInfo &loops)
+{
+    std::vector<double> cost(func.numVRegs(), 0.0);
+    for (BlockId b = 0; b < func.numBlocks(); ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        double weight = std::pow(10.0, loops.depth(b));
+        for (const IRInst &inst : func.blocks()[b].insts) {
+            UseDef ud = useDef(inst);
+            for (VReg u : ud.uses)
+                if (u != noVReg)
+                    cost[u] += weight;
+            if (ud.def != noVReg)
+                cost[ud.def] += weight;
+        }
+    }
+    return cost;
+}
+
+/**
+ * One simplify/select round over representatives. Returns colours per
+ * representative; nodes that could not be coloured are reported in
+ * spilled.
+ */
+bool
+colorOnce(const IRFunction &func, const InterferenceGraph &graph,
+          const AllocConfig &cfg, const std::vector<VReg> &rep_of,
+          const std::vector<double> &cost,
+          const std::vector<bool> &no_spill,
+          std::vector<RegIndex> &color_of_rep, std::vector<VReg> &spilled)
+{
+    std::uint32_t n = func.numVRegs();
+
+    // Collect live representatives (those that appear in the code).
+    std::vector<bool> is_rep(n, false);
+    std::vector<bool> used(n, false);
+    for (BlockId b = 0; b < func.numBlocks(); ++b) {
+        for (const IRInst &inst : func.blocks()[b].insts) {
+            UseDef ud = useDef(inst);
+            for (VReg u : ud.uses)
+                if (u != noVReg)
+                    used[rep_of[u]] = true;
+            if (ud.def != noVReg)
+                used[rep_of[ud.def]] = true;
+        }
+    }
+    for (VReg v = 0; v < n; ++v)
+        if (used[v] && rep_of[v] == v)
+            is_rep[v] = true;
+
+    auto sameBank = [&](VReg a) {
+        return func.vregIsFp(a);
+    };
+    auto kOf = [&](VReg v) {
+        return sameBank(v) ? cfg.numFpColors : cfg.numIntColors;
+    };
+
+    // Simplify: push nodes with same-bank degree < K; when stuck, push
+    // the cheapest spill candidate optimistically (Briggs).
+    std::vector<VReg> stack;
+    std::vector<bool> removed(n, true);
+    std::vector<unsigned> degree(n, 0);
+    std::vector<VReg> work;
+    for (VReg v = 0; v < n; ++v) {
+        if (is_rep[v]) {
+            removed[v] = false;
+            work.push_back(v);
+        }
+    }
+    for (VReg v : work) {
+        degree[v] = graph.degree(v, [&](VReg m) {
+            return !removed[m] && sameBank(m) == sameBank(v);
+        });
+    }
+
+    std::size_t remaining = work.size();
+    while (remaining > 0) {
+        // Find a trivially-colourable node.
+        VReg pick = noVReg;
+        for (VReg v : work) {
+            if (!removed[v] && degree[v] < kOf(v)) {
+                pick = v;
+                break;
+            }
+        }
+        if (pick == noVReg) {
+            // Potential spill: cheapest cost/degree among spillable.
+            double best = 0.0;
+            for (VReg v : work) {
+                if (removed[v] || no_spill[v])
+                    continue;
+                double metric = cost[v] / (degree[v] + 1.0);
+                if (pick == noVReg || metric < best) {
+                    pick = v;
+                    best = metric;
+                }
+            }
+            if (pick == noVReg) {
+                // Only unspillable nodes left; push any (will likely
+                // fail in select, reported to caller).
+                for (VReg v : work) {
+                    if (!removed[v]) {
+                        pick = v;
+                        break;
+                    }
+                }
+            }
+        }
+        removed[pick] = true;
+        stack.push_back(pick);
+        --remaining;
+        graph.forEachNeighbor(pick, [&](VReg m) {
+            if (!removed[m] && sameBank(m) == sameBank(pick) && degree[m])
+                --degree[m];
+        });
+    }
+
+    // Select: colour in reverse simplification order.
+    color_of_rep.assign(n, regNone);
+    spilled.clear();
+    for (std::size_t i = stack.size(); i-- > 0;) {
+        VReg v = stack[i];
+        std::uint64_t used_colors = 0;
+        graph.forEachNeighbor(v, [&](VReg m) {
+            if (sameBank(m) == sameBank(v) && color_of_rep[m] != regNone) {
+                unsigned c = sameBank(v) ? color_of_rep[m] - fpBase
+                                         : color_of_rep[m];
+                used_colors |= 1ull << c;
+            }
+        });
+        unsigned k = kOf(v);
+        unsigned chosen = k;
+        for (unsigned c = 0; c < k; ++c) {
+            if (!(used_colors & (1ull << c))) {
+                chosen = c;
+                break;
+            }
+        }
+        if (chosen == k) {
+            spilled.push_back(v);
+        } else {
+            color_of_rep[v] = static_cast<RegIndex>(
+                sameBank(v) ? chosen + fpBase : chosen);
+        }
+    }
+    return spilled.empty();
+}
+
+/** Rewrite func to spill vreg v to a stack slot. */
+void
+insertSpillCode(IRFunction &func, VReg v, std::int32_t slot_offset,
+                std::vector<bool> &no_spill)
+{
+    bool is_fp = func.vregIsFp(v);
+    for (BlockId b = 0; b < func.numBlocks(); ++b) {
+        auto &insts = func.blocks()[b].insts;
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            IRInst &inst = insts[i];
+            UseDef ud = useDef(inst);
+            bool uses_v = (ud.uses[0] == v || ud.uses[1] == v);
+            bool defs_v = (ud.def == v);
+            if (!uses_v && !defs_v)
+                continue;
+
+            if (uses_v) {
+                // Reload into a fresh unspillable temp before the use.
+                VReg tmp = func.newVReg(is_fp);
+                no_spill.push_back(true);
+                IRInst reload;
+                reload.op = is_fp ? Opcode::LDT : Opcode::LDQ;
+                reload.dst = tmp;
+                reload.srcA = noVReg;   // patched below: base = SP
+                reload.imm = slot_offset;
+                reload.useImm = false;
+                reload.target = noBlock;
+                // The lowering pass maps srcA == noVReg on memory ops
+                // to the stack pointer; mark via a dedicated flag-free
+                // convention (see lower.cc).
+                if (inst.srcA == v)
+                    inst.srcA = tmp;
+                if (inst.srcB == v)
+                    inst.srcB = tmp;
+                insts.insert(insts.begin() + i, reload);
+                ++i;   // now pointing back at the original instruction
+            }
+            if (defs_v) {
+                IRInst &def_inst = insts[i];
+                VReg tmp = func.newVReg(is_fp);
+                no_spill.push_back(true);
+                def_inst.dst = tmp;
+                IRInst save;
+                save.op = is_fp ? Opcode::STT : Opcode::STQ;
+                save.srcA = noVReg;     // base = SP (lowering convention)
+                save.srcB = tmp;
+                save.imm = slot_offset;
+                insts.insert(insts.begin() + i + 1, save);
+                ++i;   // skip the inserted store
+            }
+        }
+    }
+}
+
+} // namespace
+
+AllocResult
+allocateRegisters(IRFunction &func, const AllocConfig &cfg,
+                  const std::vector<VReg> *alias_of,
+                  const std::vector<std::pair<VReg, VReg>> *extra_edges)
+{
+    AllocResult result;
+    std::vector<bool> no_spill(func.numVRegs(), false);
+    unsigned next_slot = 0;
+
+    for (unsigned round = 0; round < 32; ++round) {
+        func.numberInsts();
+        Cfg cfg_graph(func);
+        Liveness liveness(func, cfg_graph);
+        Dominators doms(cfg_graph);
+        LoopInfo loops(cfg_graph, doms);
+
+        std::vector<VReg> rep_of(func.numVRegs());
+        for (VReg v = 0; v < func.numVRegs(); ++v)
+            rep_of[v] = alias_of && v < alias_of->size() ? (*alias_of)[v]
+                                                          : v;
+
+        InterferenceGraph graph =
+            buildInterference(func, cfg_graph, liveness, &rep_of);
+        if (extra_edges) {
+            for (auto [a, b] : *extra_edges)
+                graph.addEdge(rep_of[a], rep_of[b]);
+        }
+
+        std::vector<double> cost = spillCosts(func, cfg_graph, loops);
+        // Aggregate cost onto representatives.
+        for (VReg v = 0; v < func.numVRegs(); ++v) {
+            if (rep_of[v] != v) {
+                cost[rep_of[v]] += cost[v];
+                if (no_spill[v])
+                    no_spill[rep_of[v]] = true;
+            }
+        }
+
+        std::vector<RegIndex> color_of_rep;
+        std::vector<VReg> spilled;
+        bool ok = colorOnce(func, graph, cfg, rep_of, cost, no_spill,
+                            color_of_rep, spilled);
+        if (ok) {
+            result.success = true;
+            result.colorOf.assign(func.numVRegs(), regNone);
+            for (VReg v = 0; v < func.numVRegs(); ++v)
+                result.colorOf[v] = color_of_rep[rep_of[v]];
+            result.spillSlots = next_slot;
+            return result;
+        }
+
+        if (!cfg.allowSpill)
+            return result;   // success == false
+
+        // Spill every failed node and retry.
+        for (VReg v : spilled) {
+            RVP_ASSERT(!no_spill[v]);
+            // Spilling a representative with aliases is not supported
+            // (alias mode never allows spilling).
+            insertSpillCode(func, v,
+                            static_cast<std::int32_t>(next_slot * 8),
+                            no_spill);
+            ++next_slot;
+            ++result.spilledVRegs;
+        }
+    }
+    panic("register allocation did not converge");
+}
+
+} // namespace rvp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Chaitin–Briggs graph-colouring register allocator. Colours virtual
+ * registers onto the SRISC architectural register file: integer vregs
+ * get r0..r29 (r30 is the stack pointer, r31 reads zero), fp vregs get
+ * f0..f30 (f31 reads zero). When colouring fails and spilling is
+ * allowed, spill code (stack loads/stores off r30) is inserted and the
+ * allocation retried.
+ *
+ * The allocator optionally honours an alias map (vreg -> representative)
+ * so the RVP reallocation pass can force producer/consumer pairs into
+ * the same architectural register, which is how the paper turns
+ * dead-register value reuse into same-register reuse.
+ */
+
+#ifndef RVP_COMPILER_REGALLOC_HH
+#define RVP_COMPILER_REGALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/interference.hh"
+#include "isa/inst.hh"
+#include "ir/loops.hh"
+
+namespace rvp
+{
+
+/** Allocator parameters. */
+struct AllocConfig
+{
+    unsigned numIntColors = 30;   ///< r0..r29 allocatable
+    unsigned numFpColors = 31;    ///< f0..f30 allocatable
+    bool allowSpill = true;
+};
+
+/** Allocation outcome. */
+struct AllocResult
+{
+    bool success = false;
+    /** Architectural register of each vreg (regNone for never-used). */
+    std::vector<RegIndex> colorOf;
+    unsigned spilledVRegs = 0;
+    unsigned spillSlots = 0;
+};
+
+/**
+ * Allocate registers for func. May mutate func by inserting spill
+ * code (when cfg.allowSpill). alias_of, if given, forces vregs with
+ * the same representative to share a colour; it must be
+ * interference-free (the caller checks) and is only used with
+ * allowSpill == false.
+ *
+ * extra_edges lets the caller add interference edges beyond liveness
+ * (the LVR loop-exclusivity constraint), expressed as vreg pairs.
+ */
+AllocResult
+allocateRegisters(IRFunction &func, const AllocConfig &cfg,
+                  const std::vector<VReg> *alias_of = nullptr,
+                  const std::vector<std::pair<VReg, VReg>> *extra_edges =
+                      nullptr);
+
+} // namespace rvp
+
+#endif // RVP_COMPILER_REGALLOC_HH

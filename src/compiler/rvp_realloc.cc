@@ -1,0 +1,249 @@
+#include "compiler/rvp_realloc.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "ir/dominators.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+/** Union-find with class member lists (for pairwise legality checks). */
+class AliasClasses
+{
+  public:
+    explicit AliasClasses(std::uint32_t n)
+        : parent_(n), members_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+        for (VReg v = 0; v < n; ++v)
+            members_[v] = {v};
+    }
+
+    VReg
+    find(VReg v) const
+    {
+        while (parent_[v] != v)
+            v = parent_[v];
+        return v;
+    }
+
+    void
+    merge(VReg a, VReg b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        parent_[b] = a;
+        members_[a].insert(members_[a].end(), members_[b].begin(),
+                           members_[b].end());
+        members_[b].clear();
+    }
+
+    const std::vector<VReg> &membersOf(VReg v) const
+    {
+        return members_[find(v)];
+    }
+
+    std::vector<VReg>
+    toAliasMap() const
+    {
+        std::vector<VReg> map(parent_.size());
+        for (VReg v = 0; v < parent_.size(); ++v)
+            map[v] = find(v);
+        return map;
+    }
+
+  private:
+    std::vector<VReg> parent_;
+    std::vector<std::vector<VReg>> members_;
+};
+
+/** Do any members of the two classes interfere in the base graph? */
+bool
+classesInterfere(const InterferenceGraph &base, const AliasClasses &alias,
+                 VReg a, VReg b)
+{
+    for (VReg x : alias.membersOf(a))
+        for (VReg y : alias.membersOf(b))
+            if (base.interferes(x, y))
+                return true;
+    return false;
+}
+
+} // namespace
+
+ReallocResult
+reallocForReuse(IRFunction &func, const AllocConfig &cfg,
+                const std::vector<ReuseCandidate> &candidates)
+{
+    ReallocResult result;
+    result.honored.assign(candidates.size(), false);
+
+    func.numberInsts();
+    Cfg cfg_graph(func);
+    Liveness liveness(func, cfg_graph);
+    Dominators doms(cfg_graph);
+    LoopInfo loops(cfg_graph, doms);
+    InterferenceGraph base = buildInterference(func, cfg_graph, liveness);
+
+    // Destination vreg of an IR instruction, or noVReg.
+    auto destOf = [&](std::uint32_t ir_id) {
+        const IRInst &inst = func.instAt(ir_id);
+        return inst.info().writesRc ? inst.dst : noVReg;
+    };
+
+    // ---- Phase 1: legality filtering, in descending priority. ----
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return candidates[x].priority > candidates[y].priority;
+    });
+
+    AliasClasses alias(func.numVRegs());
+    // Per-candidate LVR edge lists (consumer dst vs each loop def).
+    std::vector<std::vector<std::pair<VReg, VReg>>> lvr_edges(
+        candidates.size());
+    std::vector<bool> accepted(candidates.size(), false);
+    std::vector<unsigned> lvr_depth(candidates.size(), 0);
+
+    for (std::size_t idx : order) {
+        const ReuseCandidate &cand = candidates[idx];
+        VReg cdst = destOf(cand.consumerIr);
+        if (cdst == noVReg) {
+            ++result.droppedForLegality;
+            continue;
+        }
+        if (cand.isLvr) {
+            // The instruction must sit in a loop; give its destination
+            // an interference edge against every other definition in
+            // the innermost loop so the register stays exclusive.
+            BlockId cb = func.blockOf(cand.consumerIr);
+            LoopId loop = loops.innermost(cb);
+            if (loop == noLoop) {
+                ++result.droppedForLegality;
+                continue;
+            }
+            lvr_depth[idx] = loops.loops()[loop].depth;
+            bool legal = true;
+            std::vector<std::pair<VReg, VReg>> edges;
+            for (BlockId lb : loops.loops()[loop].blocks) {
+                for (const IRInst &other : func.blocks()[lb].insts) {
+                    VReg odst =
+                        other.info().writesRc ? other.dst : noVReg;
+                    if (odst == noVReg || odst == cdst)
+                        continue;
+                    if (alias.find(odst) == alias.find(cdst)) {
+                        // Already forced to share a register with
+                        // another loop definition: unusable.
+                        legal = false;
+                        break;
+                    }
+                    edges.emplace_back(cdst, odst);
+                }
+                if (!legal)
+                    break;
+            }
+            if (!legal) {
+                ++result.droppedForLegality;
+                continue;
+            }
+            lvr_edges[idx] = std::move(edges);
+            accepted[idx] = true;
+        } else {
+            // Dead-register reuse: combine the consumer's live range
+            // with the primary producer's (same colour => same
+            // architectural register => same-register reuse).
+            if (cand.producerIr == UINT32_MAX) {
+                ++result.droppedForLegality;
+                continue;
+            }
+            VReg pdst = destOf(cand.producerIr);
+            if (pdst == noVReg || pdst == cdst ||
+                func.vregIsFp(pdst) != func.vregIsFp(cdst)) {
+                if (pdst == cdst && pdst != noVReg) {
+                    // Same vreg already: trivially honoured.
+                    accepted[idx] = true;
+                } else {
+                    ++result.droppedForLegality;
+                }
+                continue;
+            }
+            if (classesInterfere(base, alias, cdst, pdst)) {
+                ++result.droppedForLegality;
+                continue;
+            }
+            alias.merge(cdst, pdst);
+            accepted[idx] = true;
+        }
+    }
+
+    // ---- Phase 2: colour; prune until the graph is K-colourable. ----
+    // Drop order per the paper's heuristics: LVR before register
+    // reuse; among LVRs, outer (shallower) loops first; then lowest
+    // critical-path priority first.
+    auto dropOrder = [&]() {
+        std::vector<std::size_t> drops;
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            if (accepted[i])
+                drops.push_back(i);
+        std::sort(drops.begin(), drops.end(),
+                  [&](std::size_t x, std::size_t y) {
+                      if (candidates[x].isLvr != candidates[y].isLvr)
+                          return candidates[x].isLvr; // LVR drops first
+                      if (candidates[x].isLvr && lvr_depth[x] != lvr_depth[y])
+                          return lvr_depth[x] < lvr_depth[y];
+                      return candidates[x].priority < candidates[y].priority;
+                  });
+        return drops;
+    };
+
+    AllocConfig no_spill_cfg = cfg;
+    no_spill_cfg.allowSpill = false;
+
+    while (true) {
+        // Rebuild alias map from currently-accepted dead merges.
+        AliasClasses cur(func.numVRegs());
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (accepted[i] && !candidates[i].isLvr &&
+                candidates[i].producerIr != UINT32_MAX) {
+                VReg cdst = destOf(candidates[i].consumerIr);
+                VReg pdst = destOf(candidates[i].producerIr);
+                if (cdst != noVReg && pdst != noVReg)
+                    cur.merge(cdst, pdst);
+            }
+        }
+        std::vector<std::pair<VReg, VReg>> edges;
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+            if (accepted[i] && candidates[i].isLvr)
+                edges.insert(edges.end(), lvr_edges[i].begin(),
+                             lvr_edges[i].end());
+
+        std::vector<VReg> alias_map = cur.toAliasMap();
+        AllocResult attempt = allocateRegisters(func, no_spill_cfg,
+                                                &alias_map, &edges);
+        if (attempt.success) {
+            result.success = true;
+            result.alloc = std::move(attempt);
+            for (std::size_t i = 0; i < candidates.size(); ++i)
+                result.honored[i] = accepted[i];
+            return result;
+        }
+
+        std::vector<std::size_t> drops = dropOrder();
+        if (drops.empty()) {
+            // Even the bare graph failed without spilling; report
+            // failure so the caller keeps the original allocation.
+            return result;
+        }
+        accepted[drops.front()] = false;
+        ++result.droppedForColoring;
+    }
+}
+
+} // namespace rvp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's register-reallocation algorithm (Section 7.3): given
+ * profile-identified reuse candidates, rebuild the register allocation
+ * so that dead-register value reuse becomes same-register reuse
+ * (live-range combining) and last-value reuse gets a register that no
+ * other instruction in the innermost loop defines (loop-exclusive
+ * interference edges). When the supplemented graph cannot be coloured,
+ * candidates are abandoned using the paper's heuristics: LVR before
+ * register reuse, outer loops before inner, and low critical-path
+ * importance first.
+ */
+
+#ifndef RVP_COMPILER_RVP_REALLOC_HH
+#define RVP_COMPILER_RVP_REALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+
+namespace rvp
+{
+
+/** One profile-identified reuse a recompilation should try to honour. */
+struct ReuseCandidate
+{
+    std::uint32_t consumerIr = 0;   ///< IR id of the reusing instruction
+    /** IR id of the primary producer of the reused value (dead-reg). */
+    std::uint32_t producerIr = UINT32_MAX;
+    bool isLvr = false;             ///< last-value-reuse candidate
+    /** Critical-path importance (higher = keep longer). */
+    double priority = 0.0;
+};
+
+/** Outcome of the reallocation. */
+struct ReallocResult
+{
+    bool success = false;
+    AllocResult alloc;
+    /** Per input candidate: did the final allocation honour it? */
+    std::vector<bool> honored;
+    unsigned droppedForLegality = 0; ///< live ranges already conflicted
+    unsigned droppedForColoring = 0; ///< pruned to make the graph K-colourable
+};
+
+/**
+ * Re-colour func's registers to honour as many candidates as possible.
+ * Does not mutate func (no spill code is ever inserted; if even the
+ * bare graph cannot be coloured the result reports failure and the
+ * caller keeps the original allocation).
+ */
+ReallocResult
+reallocForReuse(IRFunction &func, const AllocConfig &cfg,
+                const std::vector<ReuseCandidate> &candidates);
+
+} // namespace rvp
+
+#endif // RVP_COMPILER_RVP_REALLOC_HH

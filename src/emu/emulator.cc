@@ -1,0 +1,183 @@
+#include "emu/emulator.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+double
+asDouble(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+std::uint64_t
+asBits(double value)
+{
+    return std::bit_cast<std::uint64_t>(value);
+}
+
+/** Normalize a source register: zero regs create no dependences. */
+RegIndex
+normalizeSrc(RegIndex r)
+{
+    return (r == regNone || isZeroReg(r)) ? regNone : r;
+}
+
+} // namespace
+
+Emulator::Emulator(const Program &prog)
+    : prog_(prog), pc_(Program::textBase)
+{
+    for (const auto &[addr, value] : prog.dataImage)
+        mem_.write64(addr, value);
+    state_.write(spReg, Program::stackTop);
+}
+
+bool
+Emulator::step(DynInst &out)
+{
+    if (halted_)
+        return false;
+
+    std::size_t index = Program::indexOf(pc_);
+    RVP_ASSERT(index < prog_.size());
+    const StaticInst &si = prog_.insts[index];
+    const OpcodeInfo &info = si.info();
+
+    out = DynInst{};
+    out.seq = instCount_;
+    out.staticIndex = static_cast<std::uint32_t>(index);
+    out.pc = pc_;
+    out.op = si.op;
+    out.nextPc = pc_ + 4;
+
+    std::uint64_t a = state_.read(si.ra);
+    std::uint64_t b = si.useImm ? static_cast<std::uint64_t>(
+                                      static_cast<std::int64_t>(si.imm))
+                                : state_.read(si.rb);
+    std::int64_t sa = static_cast<std::int64_t>(a);
+    std::int64_t sb = static_cast<std::int64_t>(b);
+    double fa = asDouble(a);
+    double fb = asDouble(b);
+
+    std::uint64_t result = 0;
+    bool writes = info.writesRc;
+
+    switch (si.op) {
+      case Opcode::ADDQ: result = a + b; break;
+      case Opcode::SUBQ: result = a - b; break;
+      case Opcode::MULQ: result = a * b; break;
+      case Opcode::AND:  result = a & b; break;
+      case Opcode::BIS:  result = a | b; break;
+      case Opcode::XOR:  result = a ^ b; break;
+      case Opcode::SLL:  result = a << (b & 63); break;
+      case Opcode::SRL:  result = a >> (b & 63); break;
+      case Opcode::SRA:  result = static_cast<std::uint64_t>(sa >> (b & 63));
+                         break;
+      case Opcode::CMPEQ:  result = a == b; break;
+      case Opcode::CMPLT:  result = sa < sb; break;
+      case Opcode::CMPLE:  result = sa <= sb; break;
+      case Opcode::CMPULT: result = a < b; break;
+      case Opcode::LDA:
+        result = a + static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(si.imm));
+        break;
+
+      case Opcode::LDQ:
+      case Opcode::LDT:
+      case Opcode::RVP_LDQ:
+      case Opcode::RVP_LDT:
+        out.effAddr = a + static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(si.imm));
+        result = mem_.read64(out.effAddr);
+        break;
+
+      case Opcode::STQ:
+      case Opcode::STT:
+        out.effAddr = a + static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(si.imm));
+        out.newValue = state_.read(si.rb);
+        mem_.write64(out.effAddr, out.newValue);
+        break;
+
+      case Opcode::BEQ: out.isTaken = (a == 0); break;
+      case Opcode::BNE: out.isTaken = (a != 0); break;
+      case Opcode::BLT: out.isTaken = (sa < 0); break;
+      case Opcode::BLE: out.isTaken = (sa <= 0); break;
+      case Opcode::BGT: out.isTaken = (sa > 0); break;
+      case Opcode::BGE: out.isTaken = (sa >= 0); break;
+      case Opcode::FBEQ: out.isTaken = (fa == 0.0); break;
+      case Opcode::FBNE: out.isTaken = (fa != 0.0); break;
+      case Opcode::BR:  out.isTaken = true; break;
+      case Opcode::JSR:
+        out.isTaken = true;
+        result = pc_ + 4;          // return address
+        out.nextPc = a;
+        break;
+      case Opcode::RET:
+        out.isTaken = true;
+        out.nextPc = a;
+        break;
+
+      case Opcode::ADDT: result = asBits(fa + fb); break;
+      case Opcode::SUBT: result = asBits(fa - fb); break;
+      case Opcode::MULT: result = asBits(fa * fb); break;
+      case Opcode::DIVT: result = asBits(fa / fb); break;
+      case Opcode::CMPTEQ: result = asBits(fa == fb ? 1.0 : 0.0); break;
+      case Opcode::CMPTLT: result = asBits(fa < fb ? 1.0 : 0.0); break;
+      case Opcode::CMPTLE: result = asBits(fa <= fb ? 1.0 : 0.0); break;
+      case Opcode::CVTQT: result = asBits(static_cast<double>(sa)); break;
+      case Opcode::CVTTQ:
+        result = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(std::trunc(fa)));
+        break;
+
+      case Opcode::CPYS:
+      case Opcode::ITOF:
+      case Opcode::FTOI:
+        result = a;
+        break;
+
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        halted_ = true;
+        break;
+
+      case Opcode::NumOpcodes:
+        panic("invalid opcode");
+    }
+
+    // Branch target resolution for pc-relative forms.
+    if (info.isCondBranch || si.op == Opcode::BR) {
+        if (out.isTaken)
+            out.nextPc = pc_ + 4 + 4 * static_cast<std::int64_t>(si.imm);
+    }
+
+    // Record sources (normalized) and destination effects.
+    out.srcA = normalizeSrc(si.ra);
+    if (!si.useImm && !info.isLoad && si.op != Opcode::LDA)
+        out.srcB = normalizeSrc(si.rb);
+
+    if (writes) {
+        out.dest = si.rc;
+        out.oldDestValue = state_.read(si.rc);
+        out.newValue = result;
+        state_.write(si.rc, result);
+        if (isZeroReg(si.rc))
+            out.dest = regNone;   // writes to zero regs are discarded
+    }
+
+    pc_ = out.nextPc;
+    ++instCount_;
+    return true;
+}
+
+} // namespace rvp

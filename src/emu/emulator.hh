@@ -1,0 +1,116 @@
+/**
+ * @file
+ * In-order functional emulator for SRISC. The emulator executes the
+ * committed path and produces one DynInst record per instruction; the
+ * out-of-order timing model and the value-prediction oracles consume
+ * that stream (execution-driven methodology, as in the paper — the
+ * wrong path is modelled as redirect penalty, see DESIGN.md).
+ */
+
+#ifndef RVP_EMU_EMULATOR_HH
+#define RVP_EMU_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "emu/memory.hh"
+#include "isa/inst.hh"
+
+namespace rvp
+{
+
+/** Architectural register state: flat int+fp banks, zero regs pinned. */
+struct ArchState
+{
+    std::array<std::uint64_t, numArchRegs> regs{};
+
+    std::uint64_t
+    read(RegIndex r) const
+    {
+        return isZeroReg(r) || r == regNone ? 0 : regs[r];
+    }
+
+    void
+    write(RegIndex r, std::uint64_t value)
+    {
+        if (r != regNone && !isZeroReg(r))
+            regs[r] = value;
+    }
+};
+
+/**
+ * One executed (committed-path) dynamic instruction. Register source
+ * fields are normalized: reads of the hardwired zero registers are
+ * reported as regNone so the timing model never creates dependence
+ * edges on them.
+ */
+struct DynInst
+{
+    std::uint64_t seq = 0;         ///< dynamic sequence number (from 0)
+    std::uint32_t staticIndex = 0; ///< index into the Program
+    std::uint64_t pc = 0;
+    Opcode op = Opcode::NOP;
+
+    RegIndex srcA = regNone;       ///< first register source (or none)
+    RegIndex srcB = regNone;       ///< second register source (or none)
+    RegIndex dest = regNone;       ///< destination register (or none)
+
+    std::uint64_t effAddr = 0;     ///< loads/stores: effective address
+    bool isTaken = false;          ///< control: actually taken?
+    std::uint64_t nextPc = 0;      ///< actual successor pc
+
+    std::uint64_t oldDestValue = 0;///< dest register value before write
+    std::uint64_t newValue = 0;    ///< value produced (stores: data)
+
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isControl() const
+    {
+        return info().isCondBranch || info().isUncondBranch;
+    }
+};
+
+/**
+ * The functional emulator. Strictly forward: callers that need replay
+ * (the timing model's refetch recovery) buffer DynInsts themselves.
+ */
+class Emulator
+{
+  public:
+    explicit Emulator(const Program &prog);
+
+    /** True once HALT has executed (no further steps possible). */
+    bool halted() const { return halted_; }
+
+    /** Current (pre-step) architectural state; read-only. */
+    const ArchState &state() const { return state_; }
+
+    /** Current program counter. */
+    std::uint64_t pc() const { return pc_; }
+
+    /** Committed-instruction count so far. */
+    std::uint64_t instCount() const { return instCount_; }
+
+    /**
+     * Execute one instruction and fill out. Returns false (and leaves
+     * out untouched) once the program has halted.
+     */
+    bool step(DynInst &out);
+
+    /** Direct access to data memory (tests and workload setup). */
+    SparseMemory &memory() { return mem_; }
+    const SparseMemory &memory() const { return mem_; }
+
+  private:
+    const Program &prog_;
+    SparseMemory mem_;
+    ArchState state_;
+    std::uint64_t pc_;
+    std::uint64_t instCount_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace rvp
+
+#endif // RVP_EMU_EMULATOR_HH

@@ -1,0 +1,60 @@
+#include "emu/memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+SparseMemory::Page *
+SparseMemory::pageFor(std::uint64_t addr)
+{
+    std::uint64_t page_id = addr / pageBytes;
+    auto [it, inserted] = pages_.try_emplace(page_id);
+    if (inserted)
+        it->second.assign(pageBytes, 0);
+    return &it->second;
+}
+
+const SparseMemory::Page *
+SparseMemory::pageForConst(std::uint64_t addr) const
+{
+    auto it = pages_.find(addr / pageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+SparseMemory::read64(std::uint64_t addr) const
+{
+    RVP_ASSERT((addr & 7) == 0);
+    const Page *page = pageForConst(addr);
+    if (!page)
+        return 0;
+    std::uint64_t value;
+    std::memcpy(&value, page->data() + (addr % pageBytes), 8);
+    return value;
+}
+
+void
+SparseMemory::write64(std::uint64_t addr, std::uint64_t value)
+{
+    RVP_ASSERT((addr & 7) == 0);
+    Page *page = pageFor(addr);
+    std::memcpy(page->data() + (addr % pageBytes), &value, 8);
+}
+
+std::uint8_t
+SparseMemory::read8(std::uint64_t addr) const
+{
+    const Page *page = pageForConst(addr);
+    return page ? (*page)[addr % pageBytes] : 0;
+}
+
+void
+SparseMemory::write8(std::uint64_t addr, std::uint8_t value)
+{
+    (*pageFor(addr))[addr % pageBytes] = value;
+}
+
+} // namespace rvp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sparse byte-addressable memory backing the functional emulator. Pages
+ * are allocated on first touch and zero-filled, which matches the
+ * "bss + heap" behaviour the synthetic workloads rely on.
+ */
+
+#ifndef RVP_EMU_MEMORY_HH
+#define RVP_EMU_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace rvp
+{
+
+/** Sparse paged memory with 64-bit loads and stores. */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint64_t pageBytes = 4096;
+
+    /** Read an aligned 64-bit value; untouched memory reads zero. */
+    std::uint64_t read64(std::uint64_t addr) const;
+
+    /** Write an aligned 64-bit value, allocating the page if needed. */
+    void write64(std::uint64_t addr, std::uint64_t value);
+
+    /** Read one byte. */
+    std::uint8_t read8(std::uint64_t addr) const;
+
+    /** Write one byte. */
+    void write8(std::uint64_t addr, std::uint8_t value);
+
+    /** Number of resident pages (for tests). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    Page *pageFor(std::uint64_t addr);
+    const Page *pageForConst(std::uint64_t addr) const;
+
+    std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+} // namespace rvp
+
+#endif // RVP_EMU_MEMORY_HH

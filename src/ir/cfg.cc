@@ -1,0 +1,95 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+Cfg::Cfg(const IRFunction &func)
+{
+    std::uint32_t n = func.numBlocks();
+    succs_.resize(n);
+    preds_.resize(n);
+    rpoIndex_.assign(n, UINT32_MAX);
+
+    // Call continuations: a JSR ends its block and control eventually
+    // returns to the following block via some RET. We model RET blocks
+    // as branching to *every* call continuation — a conservative
+    // over-approximation that is safe for liveness and interference.
+    std::vector<BlockId> continuations;
+    for (BlockId b = 0; b < n; ++b) {
+        const BasicBlock &block = func.blocks()[b];
+        if (!block.insts.empty() &&
+            block.insts.back().op == Opcode::JSR &&
+            func.nextInLayout(b) != noBlock) {
+            continuations.push_back(func.nextInLayout(b));
+        }
+    }
+
+    for (BlockId b = 0; b < n; ++b) {
+        const BasicBlock &block = func.blocks()[b];
+        bool falls_through = true;
+        if (!block.insts.empty()) {
+            const IRInst &last = block.insts.back();
+            const OpcodeInfo &info = last.info();
+            if (info.isCondBranch) {
+                succs_[b].push_back(last.target);
+                // fallthrough added below
+            } else if (last.op == Opcode::BR) {
+                succs_[b].push_back(last.target);
+                falls_through = false;
+            } else if (last.op == Opcode::JSR) {
+                // The builder records the callee entry block as target.
+                RVP_ASSERT(last.target != noBlock);
+                succs_[b].push_back(last.target);
+                falls_through = false;
+            } else if (last.op == Opcode::RET) {
+                succs_[b] = continuations;
+                falls_through = false;
+            } else if (last.op == Opcode::HALT) {
+                falls_through = false;
+            }
+        }
+        if (falls_through && func.nextInLayout(b) != noBlock)
+            succs_[b].push_back(func.nextInLayout(b));
+        // Deduplicate (a branch may target the fallthrough block).
+        std::sort(succs_[b].begin(), succs_[b].end());
+        succs_[b].erase(std::unique(succs_[b].begin(), succs_[b].end()),
+                        succs_[b].end());
+    }
+
+    for (BlockId b = 0; b < n; ++b)
+        for (BlockId s : succs_[b])
+            preds_[s].push_back(b);
+
+    // Iterative postorder DFS from the entry block (first in layout).
+    if (n == 0 || func.layout().empty())
+        return;
+    BlockId entry = func.layout().front();
+    std::vector<std::uint8_t> state(n, 0);   // 0=unseen 1=open 2=done
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    std::vector<BlockId> postorder;
+    stack.emplace_back(entry, 0);
+    state[entry] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < succs_[b].size()) {
+            BlockId s = succs_[b][next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[b] = 2;
+            postorder.push_back(b);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (std::uint32_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+}
+
+} // namespace rvp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Control-flow graph over an IRFunction's basic blocks: successor and
+ * predecessor edges plus a reverse-postorder numbering used by the
+ * dataflow passes.
+ */
+
+#ifndef RVP_IR_CFG_HH
+#define RVP_IR_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace rvp
+{
+
+/** Immutable CFG snapshot of a function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const IRFunction &func);
+
+    const std::vector<BlockId> &succs(BlockId b) const { return succs_[b]; }
+    const std::vector<BlockId> &preds(BlockId b) const { return preds_[b]; }
+
+    /** Blocks in reverse postorder from the entry block. */
+    const std::vector<BlockId> &rpo() const { return rpo_; }
+
+    /** Position of block b in the RPO (or UINT32_MAX if unreachable). */
+    std::uint32_t rpoIndex(BlockId b) const { return rpoIndex_[b]; }
+
+    bool reachable(BlockId b) const
+    {
+        return rpoIndex_[b] != UINT32_MAX;
+    }
+
+    std::uint32_t numBlocks() const
+    {
+        return static_cast<std::uint32_t>(succs_.size());
+    }
+
+  private:
+    std::vector<std::vector<BlockId>> succs_;
+    std::vector<std::vector<BlockId>> preds_;
+    std::vector<BlockId> rpo_;
+    std::vector<std::uint32_t> rpoIndex_;
+};
+
+} // namespace rvp
+
+#endif // RVP_IR_CFG_HH

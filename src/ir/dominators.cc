@@ -1,0 +1,65 @@
+#include "ir/dominators.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+Dominators::Dominators(const Cfg &cfg)
+    : cfg_(cfg), idom_(cfg.numBlocks(), noBlock)
+{
+    if (cfg.numBlocks() == 0)
+        return;
+
+    const std::vector<BlockId> &rpo = cfg.rpo();
+    BlockId entry = rpo.empty() ? 0 : rpo.front();
+    idom_[entry] = entry;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (cfg_.rpoIndex(a) > cfg_.rpoIndex(b))
+                a = idom_[a];
+            while (cfg_.rpoIndex(b) > cfg_.rpoIndex(a))
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == entry)
+                continue;
+            BlockId new_idom = noBlock;
+            for (BlockId p : cfg_.preds(b)) {
+                if (!cfg_.reachable(p) || idom_[p] == noBlock)
+                    continue;
+                new_idom = (new_idom == noBlock) ? p
+                                                 : intersect(p, new_idom);
+            }
+            if (new_idom != noBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(BlockId a, BlockId b) const
+{
+    if (!cfg_.reachable(b) || idom_[b] == noBlock)
+        return false;
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        BlockId up = idom_[cur];
+        if (up == cur)
+            return false;   // reached entry
+        cur = up;
+    }
+}
+
+} // namespace rvp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Dominator-tree computation (Cooper–Harvey–Kennedy iterative
+ * algorithm) over a Cfg. Used by the natural-loop finder, which in
+ * turn drives the paper's last-value-reuse register reallocation.
+ */
+
+#ifndef RVP_IR_DOMINATORS_HH
+#define RVP_IR_DOMINATORS_HH
+
+#include <vector>
+
+#include "ir/cfg.hh"
+
+namespace rvp
+{
+
+/** Immediate-dominator relation for every reachable block. */
+class Dominators
+{
+  public:
+    explicit Dominators(const Cfg &cfg);
+
+    /** Immediate dominator of b (the entry block dominates itself). */
+    BlockId idom(BlockId b) const { return idom_[b]; }
+
+    /** True iff a dominates b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+  private:
+    const Cfg &cfg_;
+    std::vector<BlockId> idom_;
+};
+
+} // namespace rvp
+
+#endif // RVP_IR_DOMINATORS_HH

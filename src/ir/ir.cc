@@ -1,0 +1,53 @@
+#include "ir/ir.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+BlockId
+IRFunction::nextInLayout(BlockId b) const
+{
+    for (std::size_t i = 0; i + 1 < layout_.size(); ++i)
+        if (layout_[i] == b)
+            return layout_[i + 1];
+    return noBlock;
+}
+
+void
+IRFunction::numberInsts()
+{
+    blockStart_.assign(blocks_.size(), 0);
+    instBlock_.clear();
+    std::uint32_t count = 0;
+    for (BlockId b : layout_) {
+        blockStart_[b] = count;
+        for (std::size_t i = 0; i < blocks_[b].insts.size(); ++i)
+            instBlock_.push_back(b);
+        count += static_cast<std::uint32_t>(blocks_[b].insts.size());
+    }
+    numInsts_ = count;
+}
+
+const IRInst &
+IRFunction::instAt(std::uint32_t id) const
+{
+    return const_cast<IRFunction *>(this)->instAt(id);
+}
+
+IRInst &
+IRFunction::instAt(std::uint32_t id)
+{
+    RVP_ASSERT(id < numInsts_);
+    BlockId b = instBlock_[id];
+    return blocks_[b].insts[id - blockStart_[b]];
+}
+
+void
+IRBuilder::append(const IRInst &inst)
+{
+    RVP_ASSERT(current_ != noBlock);
+    func_.blocks()[current_].insts.push_back(inst);
+}
+
+} // namespace rvp

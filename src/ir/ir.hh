@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Virtual-register intermediate representation. Workloads are written
+ * against this IR; the compiler (liveness, interference, colouring,
+ * and the paper's RVP register-reallocation pass) runs on it and then
+ * lowers it to SRISC machine code.
+ *
+ * An IRFunction is a list of basic blocks over an unbounded set of
+ * virtual registers, each belonging to the integer or floating-point
+ * bank. Control flow is expressed with block-id branch targets; the
+ * lowering pass resolves them to pc-relative displacements.
+ */
+
+#ifndef RVP_IR_IR_HH
+#define RVP_IR_IR_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.hh"
+
+namespace rvp
+{
+
+/** Virtual register id. The bank is a property kept by the function. */
+using VReg = std::uint32_t;
+constexpr VReg noVReg = std::numeric_limits<VReg>::max();
+
+/** Basic-block id within a function. */
+using BlockId = std::uint32_t;
+constexpr BlockId noBlock = std::numeric_limits<BlockId>::max();
+
+/**
+ * One IR instruction. Field roles mirror StaticInst:
+ *  - operate: dst <- srcA OP (useImm ? imm : srcB)
+ *  - load:    dst <- mem[srcA + imm]
+ *  - store:   mem[srcA + imm] <- srcB
+ *  - cond branch: test srcA; target = block id
+ *  - BR: target block id
+ *  - JSR: dst <- link; jump to srcA;  RET: jump to srcA
+ */
+struct IRInst
+{
+    Opcode op = Opcode::NOP;
+    VReg dst = noVReg;
+    VReg srcA = noVReg;
+    VReg srcB = noVReg;
+    std::int32_t imm = 0;
+    bool useImm = false;
+    BlockId target = noBlock;   ///< branch target block
+
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+};
+
+/** A basic block: straight-line instructions, fallthrough to next. */
+struct BasicBlock
+{
+    std::vector<IRInst> insts;
+};
+
+/**
+ * A function in SSA-free, mutable-vreg form. Blocks are laid out in
+ * emission order; block i falls through to block i+1 unless its last
+ * instruction transfers control unconditionally.
+ */
+class IRFunction
+{
+  public:
+    /** Create a fresh virtual register in the given bank. */
+    VReg
+    newVReg(bool is_fp)
+    {
+        vregIsFp_.push_back(is_fp);
+        return static_cast<VReg>(vregIsFp_.size() - 1);
+    }
+
+    VReg newIntVReg() { return newVReg(false); }
+    VReg newFpVReg() { return newVReg(true); }
+
+    bool vregIsFp(VReg v) const { return vregIsFp_[v]; }
+    std::uint32_t numVRegs() const
+    {
+        return static_cast<std::uint32_t>(vregIsFp_.size());
+    }
+
+    /**
+     * Allocate an empty block id. The block has no position in the
+     * emitted code until place() is called (so forward-branch labels
+     * can be created before the code they name).
+     */
+    BlockId
+    newBlock()
+    {
+        blocks_.emplace_back();
+        return static_cast<BlockId>(blocks_.size() - 1);
+    }
+
+    /** Fix block b's position: it is emitted after all placed blocks. */
+    void
+    place(BlockId b)
+    {
+        layout_.push_back(b);
+    }
+
+    /** Emission order of placed blocks. */
+    const std::vector<BlockId> &layout() const { return layout_; }
+
+    /** Block following b in emission order, or noBlock. */
+    BlockId nextInLayout(BlockId b) const;
+
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    std::uint32_t numBlocks() const
+    {
+        return static_cast<std::uint32_t>(blocks_.size());
+    }
+
+    /**
+     * Global instruction id of instruction inst_idx in block b, under
+     * layout-order numbering. Valid after numberInsts().
+     */
+    std::uint32_t
+    instId(BlockId b, std::uint32_t inst_idx) const
+    {
+        return blockStart_[b] + inst_idx;
+    }
+
+    /** (Re)compute the layout-order instruction numbering. */
+    void numberInsts();
+
+    /** Total instruction count (valid after numberInsts()). */
+    std::uint32_t numInsts() const { return numInsts_; }
+
+    /** Locate an instruction by global id (valid after numberInsts). */
+    const IRInst &instAt(std::uint32_t id) const;
+    IRInst &instAt(std::uint32_t id);
+
+    /** Block containing global instruction id. */
+    BlockId blockOf(std::uint32_t id) const { return instBlock_[id]; }
+
+  private:
+    std::vector<bool> vregIsFp_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<BlockId> layout_;
+    std::vector<std::uint32_t> blockStart_;
+    std::vector<BlockId> instBlock_;
+    std::uint32_t numInsts_ = 0;
+};
+
+/**
+ * Convenience builder used by the workload generators. Tracks the
+ * current block; helpers create common instruction shapes.
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(IRFunction &func) : func_(func) {}
+
+    /** Allocate a forward label (an unplaced block id). */
+    BlockId label() { return func_.newBlock(); }
+
+    /** Place label b here and start appending to it. */
+    void
+    place(BlockId b)
+    {
+        func_.place(b);
+        current_ = b;
+    }
+
+    BlockId currentBlock() const { return current_; }
+
+    /** Create, place, and switch to a fresh block. */
+    BlockId
+    startBlock()
+    {
+        BlockId b = func_.newBlock();
+        place(b);
+        return b;
+    }
+
+    VReg newInt() { return func_.newIntVReg(); }
+    VReg newFp() { return func_.newFpVReg(); }
+
+    /** dst <- srcA OP srcB */
+    void
+    op3(Opcode op, VReg dst, VReg a, VReg b)
+    {
+        IRInst inst;
+        inst.op = op;
+        inst.dst = dst;
+        inst.srcA = a;
+        inst.srcB = b;
+        append(inst);
+    }
+
+    /** dst <- srcA OP imm */
+    void
+    opImm(Opcode op, VReg dst, VReg a, std::int32_t imm)
+    {
+        IRInst inst;
+        inst.op = op;
+        inst.dst = dst;
+        inst.srcA = a;
+        inst.useImm = true;
+        inst.imm = imm;
+        append(inst);
+    }
+
+    /** dst <- imm (LDA off the zero register). */
+    void
+    loadImm(VReg dst, std::int32_t imm)
+    {
+        IRInst inst;
+        inst.op = Opcode::LDA;
+        inst.dst = dst;
+        inst.useImm = true;
+        inst.imm = imm;
+        append(inst);
+    }
+
+    /** dst <- base + imm */
+    void
+    lea(VReg dst, VReg base, std::int32_t imm)
+    {
+        IRInst inst;
+        inst.op = Opcode::LDA;
+        inst.dst = dst;
+        inst.srcA = base;
+        inst.useImm = true;
+        inst.imm = imm;
+        append(inst);
+    }
+
+    /** dst <- mem[base + imm] (LDQ or LDT by dst bank). */
+    void
+    load(VReg dst, VReg base, std::int32_t imm)
+    {
+        IRInst inst;
+        inst.op = func_.vregIsFp(dst) ? Opcode::LDT : Opcode::LDQ;
+        inst.dst = dst;
+        inst.srcA = base;
+        inst.imm = imm;
+        append(inst);
+    }
+
+    /** mem[base + imm] <- value (STQ or STT by value bank). */
+    void
+    store(VReg value, VReg base, std::int32_t imm)
+    {
+        IRInst inst;
+        inst.op = func_.vregIsFp(value) ? Opcode::STT : Opcode::STQ;
+        inst.srcA = base;
+        inst.srcB = value;
+        inst.imm = imm;
+        append(inst);
+    }
+
+    /** dst <- src (integer BIS-with-zero or fp CPYS move). */
+    void
+    move(VReg dst, VReg src)
+    {
+        if (func_.vregIsFp(dst))
+            op3(Opcode::CPYS, dst, src, noVReg);
+        else
+            opImm(Opcode::BIS, dst, src, 0);
+    }
+
+    /** Conditional branch testing src against zero. */
+    void
+    branch(Opcode op, VReg src, BlockId target)
+    {
+        IRInst inst;
+        inst.op = op;
+        inst.srcA = src;
+        inst.target = target;
+        append(inst);
+    }
+
+    /** Unconditional branch. */
+    void
+    jump(BlockId target)
+    {
+        IRInst inst;
+        inst.op = Opcode::BR;
+        inst.target = target;
+        append(inst);
+    }
+
+    /**
+     * dst <- address of the first instruction of block (patched during
+     * lowering). Used to build call targets and jump tables.
+     */
+    void
+    labelAddr(VReg dst, BlockId block)
+    {
+        IRInst inst;
+        inst.op = Opcode::LDA;
+        inst.dst = dst;
+        inst.useImm = true;
+        inst.target = block;   // lowering replaces imm with the block pc
+        append(inst);
+    }
+
+    /**
+     * dst <- an arbitrary 64-bit address constant (expands to an
+     * LDA/SLL/LDA sequence; addr must be below 2^28).
+     */
+    void
+    loadAddr(VReg dst, std::uint64_t addr)
+    {
+        loadImm(dst, static_cast<std::int32_t>(addr >> 13));
+        opImm(Opcode::SLL, dst, dst, 13);
+        lea(dst, dst, static_cast<std::int32_t>(addr & 0x1fff));
+    }
+
+    /**
+     * Call through a register, linking into link_dst. The callee's
+     * entry block is recorded for the CFG; a JSR must be the last
+     * instruction of its block (start a new block for the return
+     * continuation).
+     */
+    void
+    call(VReg link_dst, VReg target_addr, BlockId callee)
+    {
+        IRInst inst;
+        inst.op = Opcode::JSR;
+        inst.dst = link_dst;
+        inst.srcA = target_addr;
+        inst.target = callee;
+        append(inst);
+    }
+
+    /** Return through a register. */
+    void
+    ret(VReg target)
+    {
+        IRInst inst;
+        inst.op = Opcode::RET;
+        inst.srcA = target;
+        append(inst);
+    }
+
+    void
+    halt()
+    {
+        IRInst inst;
+        inst.op = Opcode::HALT;
+        append(inst);
+    }
+
+    void append(const IRInst &inst);
+
+  private:
+    IRFunction &func_;
+    BlockId current_ = noBlock;
+};
+
+} // namespace rvp
+
+#endif // RVP_IR_IR_HH

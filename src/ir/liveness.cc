@@ -1,0 +1,100 @@
+#include "ir/liveness.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+UseDef
+useDef(const IRInst &inst)
+{
+    UseDef ud;
+    const OpcodeInfo &info = inst.info();
+    unsigned n = 0;
+    if (inst.srcA != noVReg)
+        ud.uses[n++] = inst.srcA;
+    if (inst.srcB != noVReg && !inst.useImm)
+        ud.uses[n++] = inst.srcB;
+    if (info.writesRc && inst.dst != noVReg)
+        ud.def = inst.dst;
+    return ud;
+}
+
+Liveness::Liveness(const IRFunction &func, const Cfg &cfg)
+    : func_(func), cfg_(cfg)
+{
+    std::uint32_t n = func.numBlocks();
+    std::uint32_t v = func.numVRegs();
+    liveIn_.assign(n, VRegSet(v));
+    liveOut_.assign(n, VRegSet(v));
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<VRegSet> gen(n, VRegSet(v));
+    std::vector<VRegSet> kill(n, VRegSet(v));
+    for (BlockId b = 0; b < n; ++b) {
+        for (const IRInst &inst : func.blocks()[b].insts) {
+            UseDef ud = useDef(inst);
+            for (VReg u : ud.uses) {
+                if (u != noVReg && !kill[b].contains(u))
+                    gen[b].insert(u);
+            }
+            if (ud.def != noVReg)
+                kill[b].insert(ud.def);
+        }
+    }
+
+    // Backward iteration to fixpoint (postorder would converge faster;
+    // simple round-robin is fine at our function sizes).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t i = n; i-- > 0;) {
+            BlockId b = i;
+            for (BlockId s : cfg.succs(b))
+                changed |= liveOut_[b].unionWith(liveIn_[s]);
+            // liveIn = gen | (liveOut - kill)
+            VRegSet in = gen[b];
+            liveOut_[b].forEach([&](VReg r) {
+                if (!kill[b].contains(r))
+                    in.insert(r);
+            });
+            changed |= liveIn_[b].unionWith(in);
+        }
+    }
+}
+
+VRegSet
+Liveness::liveBefore(std::uint32_t inst_id) const
+{
+    VRegSet live = liveAfter(inst_id);
+    UseDef ud = useDef(func_.instAt(inst_id));
+    if (ud.def != noVReg)
+        live.erase(ud.def);
+    for (VReg u : ud.uses)
+        if (u != noVReg)
+            live.insert(u);
+    return live;
+}
+
+VRegSet
+Liveness::liveAfter(std::uint32_t inst_id) const
+{
+    BlockId b = func_.blockOf(inst_id);
+    const BasicBlock &block = func_.blocks()[b];
+    std::uint32_t local = inst_id - func_.instId(b, 0);
+
+    VRegSet live = liveOut_[b];
+    // Walk backward from the block end to just after inst_id.
+    for (std::uint32_t i = static_cast<std::uint32_t>(block.insts.size());
+         i-- > local + 1;) {
+        UseDef ud = useDef(block.insts[i]);
+        if (ud.def != noVReg)
+            live.erase(ud.def);
+        for (VReg u : ud.uses)
+            if (u != noVReg)
+                live.insert(u);
+    }
+    return live;
+}
+
+} // namespace rvp

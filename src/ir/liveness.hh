@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Virtual-register liveness via backward dataflow over the CFG, plus
+ * per-instruction live sets. The interference graph, the register
+ * allocator, the reuse profiler's dead-register classification, and
+ * the paper's reallocation pass all consume this analysis.
+ */
+
+#ifndef RVP_IR_LIVENESS_HH
+#define RVP_IR_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg.hh"
+
+namespace rvp
+{
+
+/** A dense bitset over virtual registers. */
+class VRegSet
+{
+  public:
+    explicit VRegSet(std::uint32_t num_vregs = 0)
+        : bits_((num_vregs + 63) / 64, 0), size_(num_vregs)
+    {}
+
+    bool
+    contains(VReg v) const
+    {
+        return (bits_[v / 64] >> (v % 64)) & 1;
+    }
+
+    void insert(VReg v) { bits_[v / 64] |= 1ull << (v % 64); }
+    void erase(VReg v) { bits_[v / 64] &= ~(1ull << (v % 64)); }
+
+    /** this |= other; returns true if anything changed. */
+    bool
+    unionWith(const VRegSet &other)
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < bits_.size(); ++i) {
+            std::uint64_t merged = bits_[i] | other.bits_[i];
+            changed |= merged != bits_[i];
+            bits_[i] = merged;
+        }
+        return changed;
+    }
+
+    /** Iterate set members (ascending). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t word = 0; word < bits_.size(); ++word) {
+            std::uint64_t w = bits_[word];
+            while (w) {
+                unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+                fn(static_cast<VReg>(word * 64 + bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+    std::uint32_t universe() const { return size_; }
+
+  private:
+    std::vector<std::uint64_t> bits_;
+    std::uint32_t size_;
+};
+
+/** Uses and definition of one IR instruction. */
+struct UseDef
+{
+    VReg uses[2] = {noVReg, noVReg};
+    VReg def = noVReg;
+};
+
+/** Extract the use/def sets of an instruction. */
+UseDef useDef(const IRInst &inst);
+
+/** Block-level live-in/out plus per-instruction queries. */
+class Liveness
+{
+  public:
+    Liveness(const IRFunction &func, const Cfg &cfg);
+
+    const VRegSet &liveIn(BlockId b) const { return liveIn_[b]; }
+    const VRegSet &liveOut(BlockId b) const { return liveOut_[b]; }
+
+    /**
+     * Live set just *before* global instruction id executes (its own
+     * uses are live; its def is not, unless also live across).
+     */
+    VRegSet liveBefore(std::uint32_t inst_id) const;
+
+    /** Live set just after global instruction id executes. */
+    VRegSet liveAfter(std::uint32_t inst_id) const;
+
+  private:
+    const IRFunction &func_;
+    const Cfg &cfg_;
+    std::vector<VRegSet> liveIn_;
+    std::vector<VRegSet> liveOut_;
+};
+
+} // namespace rvp
+
+#endif // RVP_IR_LIVENESS_HH

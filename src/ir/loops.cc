@@ -1,0 +1,100 @@
+#include "ir/loops.hh"
+
+#include <algorithm>
+
+namespace rvp
+{
+
+LoopInfo::LoopInfo(const Cfg &cfg, const Dominators &doms)
+{
+    std::uint32_t n = cfg.numBlocks();
+    innermost_.assign(n, noLoop);
+
+    // Find back edges and collect each loop's body with the classic
+    // backward walk from the latch to the header.
+    for (BlockId t = 0; t < n; ++t) {
+        if (!cfg.reachable(t))
+            continue;
+        for (BlockId h : cfg.succs(t)) {
+            if (!doms.dominates(h, t))
+                continue;
+            // Merge multiple back edges to the same header into one loop.
+            LoopId existing = noLoop;
+            for (LoopId l = 0; l < loops_.size(); ++l) {
+                if (loops_[l].header == h) {
+                    existing = l;
+                    break;
+                }
+            }
+            if (existing == noLoop) {
+                loops_.push_back(Loop{h, {h}, noLoop, 1});
+                existing = static_cast<LoopId>(loops_.size() - 1);
+            }
+            Loop &loop = loops_[existing];
+            std::vector<BlockId> worklist{t};
+            while (!worklist.empty()) {
+                BlockId b = worklist.back();
+                worklist.pop_back();
+                if (std::find(loop.blocks.begin(), loop.blocks.end(), b) !=
+                    loop.blocks.end()) {
+                    continue;
+                }
+                loop.blocks.push_back(b);
+                for (BlockId p : cfg.preds(b))
+                    if (cfg.reachable(p))
+                        worklist.push_back(p);
+            }
+        }
+    }
+
+    // Parent links: loop A is the parent of B if A contains B's header
+    // and A is the smallest such loop.
+    for (LoopId inner = 0; inner < loops_.size(); ++inner) {
+        LoopId best = noLoop;
+        for (LoopId outer = 0; outer < loops_.size(); ++outer) {
+            if (outer == inner)
+                continue;
+            const Loop &o = loops_[outer];
+            bool contains_header =
+                std::find(o.blocks.begin(), o.blocks.end(),
+                          loops_[inner].header) != o.blocks.end();
+            if (contains_header &&
+                (best == noLoop ||
+                 o.blocks.size() < loops_[best].blocks.size())) {
+                best = outer;
+            }
+        }
+        loops_[inner].parent = best;
+    }
+
+    // Depths via parent chains.
+    for (LoopId l = 0; l < loops_.size(); ++l) {
+        unsigned d = 1;
+        LoopId p = loops_[l].parent;
+        while (p != noLoop) {
+            ++d;
+            p = loops_[p].parent;
+        }
+        loops_[l].depth = d;
+    }
+
+    // Innermost loop per block = deepest loop containing it.
+    for (LoopId l = 0; l < loops_.size(); ++l) {
+        for (BlockId b : loops_[l].blocks) {
+            if (innermost_[b] == noLoop ||
+                loops_[innermost_[b]].depth < loops_[l].depth) {
+                innermost_[b] = l;
+            }
+        }
+    }
+}
+
+bool
+LoopInfo::contains(LoopId l, BlockId b) const
+{
+    const Loop &loop = loops_[l];
+    return std::find(loop.blocks.begin(), loop.blocks.end(), b) !=
+           loop.blocks.end();
+}
+
+} // namespace rvp

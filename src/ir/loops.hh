@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Natural-loop detection from back edges (an edge t->h where h
+ * dominates t). Produces loop bodies, nesting depth, and the innermost
+ * loop of every block — inputs to the paper's last-value-reuse
+ * reallocation, which must give an LVR instruction a register that is
+ * exclusive within its innermost loop.
+ */
+
+#ifndef RVP_IR_LOOPS_HH
+#define RVP_IR_LOOPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+
+namespace rvp
+{
+
+/** Id of a natural loop. */
+using LoopId = std::uint32_t;
+constexpr LoopId noLoop = UINT32_MAX;
+
+/** One natural loop: header plus member blocks. */
+struct Loop
+{
+    BlockId header = noBlock;
+    std::vector<BlockId> blocks;   ///< includes the header
+    LoopId parent = noLoop;        ///< immediately-enclosing loop
+    unsigned depth = 1;            ///< 1 = outermost
+};
+
+/** The loop forest of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Cfg &cfg, const Dominators &doms);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Innermost loop containing block b, or noLoop. */
+    LoopId innermost(BlockId b) const { return innermost_[b]; }
+
+    /** Nesting depth of block b (0 = not in any loop). */
+    unsigned depth(BlockId b) const
+    {
+        return innermost_[b] == noLoop ? 0 : loops_[innermost_[b]].depth;
+    }
+
+    /** True iff block b belongs to loop l (directly or nested). */
+    bool contains(LoopId l, BlockId b) const;
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<LoopId> innermost_;
+};
+
+} // namespace rvp
+
+#endif // RVP_IR_LOOPS_HH

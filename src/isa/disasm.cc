@@ -1,0 +1,75 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace rvp
+{
+
+std::string
+regName(RegIndex r)
+{
+    if (r == regNone)
+        return "-";
+    std::ostringstream os;
+    if (isFpReg(r))
+        os << "f" << (r - fpBase);
+    else
+        os << "r" << static_cast<unsigned>(r);
+    return os.str();
+}
+
+std::string
+disassemble(const StaticInst &inst)
+{
+    const OpcodeInfo &info = inst.info();
+    std::ostringstream os;
+    os << info.mnemonic;
+
+    if (inst.op == Opcode::NOP || inst.op == Opcode::HALT)
+        return os.str();
+
+    os << " ";
+    if (inst.op == Opcode::LDA) {
+        os << regName(inst.rc) << ", " << inst.imm
+           << "(" << regName(inst.ra) << ")";
+    } else if (info.isLoad) {
+        os << regName(inst.rc) << ", " << inst.imm
+           << "(" << regName(inst.ra) << ")";
+    } else if (info.isStore) {
+        os << regName(inst.rb) << ", " << inst.imm
+           << "(" << regName(inst.ra) << ")";
+    } else if (info.isCondBranch) {
+        os << regName(inst.ra) << ", " << (inst.imm >= 0 ? "+" : "")
+           << inst.imm;
+    } else if (inst.op == Opcode::BR) {
+        os << (inst.imm >= 0 ? "+" : "") << inst.imm;
+    } else if (inst.op == Opcode::JSR) {
+        os << regName(inst.rc) << ", (" << regName(inst.ra) << ")";
+    } else if (inst.op == Opcode::RET) {
+        os << "(" << regName(inst.ra) << ")";
+    } else if (inst.op == Opcode::ITOF || inst.op == Opcode::FTOI ||
+               inst.op == Opcode::CVTQT || inst.op == Opcode::CVTTQ ||
+               inst.op == Opcode::CPYS) {
+        os << regName(inst.rc) << ", " << regName(inst.ra);
+    } else {
+        // generic operate
+        os << regName(inst.rc) << ", " << regName(inst.ra) << ", ";
+        if (inst.useImm)
+            os << "#" << inst.imm;
+        else
+            os << regName(inst.rb);
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        os << i << ":\t" << disassemble(prog.insts[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rvp

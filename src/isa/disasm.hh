@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SRISC disassembler: renders instructions in an Alpha-style assembly
+ * syntax for debugging and for the example programs' output.
+ */
+
+#ifndef RVP_ISA_DISASM_HH
+#define RVP_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace rvp
+{
+
+/** Disassemble one instruction ("addq r1, r2, r3"; "ldq r4, 16(r5)"). */
+std::string disassemble(const StaticInst &inst);
+
+/** Disassemble a whole program, one instruction per line with indices. */
+std::string disassemble(const Program &prog);
+
+} // namespace rvp
+
+#endif // RVP_ISA_DISASM_HH

@@ -1,0 +1,171 @@
+#include "isa/encoding.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+enum class Format { Operate, Lda, Memory, CondBranch, Br, JsrRet, Bare };
+
+Format
+formatOf(Opcode op)
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    if (op == Opcode::LDA)
+        return Format::Lda;
+    if (info.isLoad || info.isStore)
+        return Format::Memory;
+    if (info.isCondBranch)
+        return Format::CondBranch;
+    if (op == Opcode::BR)
+        return Format::Br;
+    if (op == Opcode::JSR || op == Opcode::RET)
+        return Format::JsrRet;
+    if (op == Opcode::NOP || op == Opcode::HALT)
+        return Format::Bare;
+    return Format::Operate;
+}
+
+/** Strip the bank from a flat register index: 5-bit field value. */
+std::uint32_t
+field(RegIndex r)
+{
+    return r == regNone ? 31u : (r & 31u);
+}
+
+/** Rebuild a flat register index from a 5-bit field and a bank flag. */
+RegIndex
+expand(std::uint32_t f, bool is_fp)
+{
+    return static_cast<RegIndex>(is_fp ? f + fpBase : f);
+}
+
+bool
+fitsSigned(std::int64_t value, unsigned bits_wide)
+{
+    std::int64_t lo = -(1ll << (bits_wide - 1));
+    std::int64_t hi = (1ll << (bits_wide - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+} // namespace
+
+bool
+encodable(const StaticInst &inst)
+{
+    switch (formatOf(inst.op)) {
+      case Format::Operate:
+        return !inst.useImm || fitsSigned(inst.imm, 10);
+      case Format::Lda:
+      case Format::Memory:
+        return fitsSigned(inst.imm, 16);
+      case Format::CondBranch:
+      case Format::Br:
+        return fitsSigned(inst.imm, 21);
+      case Format::JsrRet:
+      case Format::Bare:
+        return true;
+    }
+    return false;
+}
+
+std::uint32_t
+encodeInst(const StaticInst &inst)
+{
+    RVP_ASSERT(encodable(inst));
+    std::uint32_t word = 0;
+    word = insertBits(word, 31, 26, static_cast<std::uint32_t>(inst.op));
+
+    switch (formatOf(inst.op)) {
+      case Format::Operate:
+        word = insertBits(word, 25, 21, field(inst.ra));
+        word = insertBits(word, 20, 16, field(inst.rb));
+        word = insertBits(word, 15, 11, field(inst.rc));
+        word = insertBits(word, 10, 10, inst.useImm ? 1 : 0);
+        if (inst.useImm)
+            word = insertBits(word, 9, 0, static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::Lda:
+        word = insertBits(word, 25, 21, field(inst.ra));
+        word = insertBits(word, 20, 16, field(inst.rc));
+        word = insertBits(word, 15, 0, static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::Memory:
+        word = insertBits(word, 25, 21, field(inst.ra));
+        word = insertBits(word, 20, 16,
+                          field(inst.info().isStore ? inst.rb : inst.rc));
+        word = insertBits(word, 15, 0, static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::CondBranch:
+      case Format::Br:
+        word = insertBits(word, 25, 21, field(inst.ra));
+        word = insertBits(word, 20, 0, static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::JsrRet:
+        word = insertBits(word, 25, 21, field(inst.ra));
+        word = insertBits(word, 20, 16, field(inst.rc));
+        break;
+      case Format::Bare:
+        break;
+    }
+    return word;
+}
+
+StaticInst
+decodeInst(std::uint32_t word)
+{
+    StaticInst inst;
+    unsigned op_field = static_cast<unsigned>(bits(word, 31, 26));
+    RVP_ASSERT(op_field < numOpcodes);
+    inst.op = static_cast<Opcode>(op_field);
+    const OpcodeInfo &info = inst.info();
+
+    switch (formatOf(inst.op)) {
+      case Format::Operate:
+        inst.ra = expand(bits(word, 25, 21), info.raIsFp);
+        inst.rc = expand(bits(word, 15, 11), info.rcIsFp);
+        inst.useImm = bits(word, 10, 10) != 0;
+        if (inst.useImm) {
+            inst.imm = static_cast<std::int32_t>(signExtend(word, 10));
+            inst.rb = regNone;
+        } else {
+            inst.rb = expand(bits(word, 20, 16), info.rbIsFp);
+        }
+        break;
+      case Format::Lda:
+        inst.ra = expand(bits(word, 25, 21), false);
+        inst.rc = expand(bits(word, 20, 16), false);
+        inst.imm = static_cast<std::int32_t>(signExtend(word, 16));
+        inst.useImm = true;
+        break;
+      case Format::Memory:
+        inst.ra = expand(bits(word, 25, 21), false);
+        if (info.isStore)
+            inst.rb = expand(bits(word, 20, 16), info.rbIsFp);
+        else
+            inst.rc = expand(bits(word, 20, 16), info.rcIsFp);
+        inst.imm = static_cast<std::int32_t>(signExtend(word, 16));
+        break;
+      case Format::CondBranch:
+        inst.ra = expand(bits(word, 25, 21), info.raIsFp);
+        inst.imm = static_cast<std::int32_t>(signExtend(word, 21));
+        break;
+      case Format::Br:
+        inst.imm = static_cast<std::int32_t>(signExtend(word, 21));
+        break;
+      case Format::JsrRet:
+        inst.ra = expand(bits(word, 25, 21), false);
+        if (inst.op == Opcode::JSR)
+            inst.rc = expand(bits(word, 20, 16), false);
+        break;
+      case Format::Bare:
+        break;
+    }
+    return inst;
+}
+
+} // namespace rvp

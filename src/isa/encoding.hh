@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Binary encoding of SRISC instructions into 32-bit words. The encoding
+ * exists so the instruction memory is a real byte-addressable image
+ * (the I-cache indexes it) and so tests can check full round-tripping.
+ *
+ * Word layouts (bit ranges inclusive):
+ *  - operate: [31:26] opcode, [25:21] ra, [20:16] rb, [15:11] rc,
+ *             [10] useImm, [9:0] imm10 (signed; used when useImm)
+ *  - LDA:     [31:26] opcode, [25:21] ra, [20:16] rc, [15:0] imm16
+ *  - memory:  [31:26] opcode, [25:21] ra (base), [20:16] rb/rc
+ *             (store data / load dest), [15:0] imm16 (signed)
+ *  - branch:  [31:26] opcode, [25:21] ra, [20:0] disp21 (signed)
+ *  - JSR/RET: [31:26] opcode, [25:21] ra, [20:16] rc
+ *
+ * Register fields hold the 5-bit within-bank index; the bank for each
+ * operand is a static property of the opcode.
+ */
+
+#ifndef RVP_ISA_ENCODING_HH
+#define RVP_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace rvp
+{
+
+/** Encode inst into a 32-bit word. Fails (panic) if a field overflows. */
+std::uint32_t encodeInst(const StaticInst &inst);
+
+/** Decode a 32-bit word back into a StaticInst. */
+StaticInst decodeInst(std::uint32_t word);
+
+/**
+ * True if inst is representable in the binary encoding (immediates in
+ * range etc.). The compiler checks this when emitting code.
+ */
+bool encodable(const StaticInst &inst);
+
+} // namespace rvp
+
+#endif // RVP_ISA_ENCODING_HH

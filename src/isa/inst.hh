@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SRISC static instruction representation, register-index conventions,
+ * and the Program container (the "binary" the simulator executes).
+ *
+ * Register indices are flat across both banks: 0..31 are the integer
+ * registers (R31 reads as zero), 32..63 are the floating-point
+ * registers (F31, i.e. index 63, reads as zero). The compiler reserves
+ * R30 as the stack pointer and R26 as the return-address register.
+ */
+
+#ifndef RVP_ISA_INST_HH
+#define RVP_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcodes.hh"
+
+namespace rvp
+{
+
+/** Flat register index across the int (0..31) and fp (32..63) banks. */
+using RegIndex = std::uint8_t;
+
+constexpr RegIndex numIntRegs = 32;
+constexpr RegIndex numFpRegs = 32;
+constexpr RegIndex numArchRegs = numIntRegs + numFpRegs;
+
+constexpr RegIndex zeroReg = 31;        ///< R31 reads as zero
+constexpr RegIndex fpBase = 32;         ///< first fp register index
+constexpr RegIndex fpZeroReg = 63;      ///< F31 reads as zero
+constexpr RegIndex spReg = 30;          ///< stack pointer (by convention)
+constexpr RegIndex raReg = 26;          ///< return address (by convention)
+constexpr RegIndex regNone = 255;       ///< "no register" marker
+
+/** True if r names a floating-point register. */
+inline bool
+isFpReg(RegIndex r)
+{
+    return r >= fpBase && r < numArchRegs;
+}
+
+/** True if r is one of the hardwired zero registers. */
+inline bool
+isZeroReg(RegIndex r)
+{
+    return r == zeroReg || r == fpZeroReg;
+}
+
+/** Render a register name ("r5", "f12"). */
+std::string regName(RegIndex r);
+
+/**
+ * One static SRISC instruction.
+ *
+ * Field conventions by format:
+ *  - operate:  rc <- ra OP (useImm ? imm : rb)
+ *  - load:     rc <- mem[ra + imm]
+ *  - store:    mem[ra + imm] <- rb
+ *  - cond br:  test ra against zero; imm = instruction-count displacement
+ *              relative to the *next* instruction
+ *  - BR:       imm displacement as above
+ *  - JSR:      rc <- return address; target in ra
+ *  - RET:      target in ra
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::NOP;
+    RegIndex ra = regNone;
+    RegIndex rb = regNone;
+    RegIndex rc = regNone;
+    std::int32_t imm = 0;
+    bool useImm = false;
+
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+
+    /** Destination register, or regNone. */
+    RegIndex
+    dest() const
+    {
+        return info().writesRc ? rc : regNone;
+    }
+
+    /** True if this instruction is marked for static RVP. */
+    bool isRvpMarked() const { return info().isRvpMarked; }
+
+    bool operator==(const StaticInst &) const = default;
+};
+
+/**
+ * A compiled SRISC program: a flat instruction array plus the initial
+ * data image and entry state. PCs are byte addresses; each instruction
+ * occupies 4 bytes starting at textBase.
+ */
+struct Program
+{
+    static constexpr std::uint64_t textBase = 0x1000;
+    static constexpr std::uint64_t dataBase = 0x100000;
+    static constexpr std::uint64_t stackTop = 0x7ff0000;
+
+    std::vector<StaticInst> insts;
+
+    /** Initial data image: (address, 64-bit value) pairs. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> dataImage;
+
+    /** PC of the i-th instruction. */
+    static std::uint64_t
+    pcOf(std::size_t index)
+    {
+        return textBase + 4 * index;
+    }
+
+    /** Index of the instruction at pc. */
+    static std::size_t
+    indexOf(std::uint64_t pc)
+    {
+        return (pc - textBase) / 4;
+    }
+
+    std::size_t size() const { return insts.size(); }
+    const StaticInst &at(std::size_t index) const { return insts[index]; }
+};
+
+} // namespace rvp
+
+#endif // RVP_ISA_INST_HH

@@ -1,0 +1,99 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+// Latencies (cycles): integer ALU 1, integer multiply 3, FP add/compare
+// 4, FP multiply 4, FP divide 16, cross-file moves 3. Loads take 1
+// cycle of address generation plus the data-cache access time modelled
+// by the memory hierarchy.
+constexpr unsigned intLat = 1;
+constexpr unsigned mulLat = 3;
+constexpr unsigned fpAddLat = 4;
+constexpr unsigned fpMulLat = 4;
+constexpr unsigned fpDivLat = 16;
+constexpr unsigned crossLat = 3;
+
+struct Entry
+{
+    Opcode op;
+    OpcodeInfo info;
+};
+
+// clang-format off
+constexpr std::array<Entry, numOpcodes> table{{
+    //                      mnemonic    fuClass          lat      ld     st     cbr    ubr    ind    wrc    raF    rbF    rcF    rvp
+    {Opcode::ADDQ,   {"addq",    FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::SUBQ,   {"subq",    FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::MULQ,   {"mulq",    FuClass::IntMul, mulLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::AND,    {"and",     FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::BIS,    {"bis",     FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::XOR,    {"xor",     FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::SLL,    {"sll",     FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::SRL,    {"srl",     FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::SRA,    {"sra",     FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::CMPEQ,  {"cmpeq",   FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::CMPLT,  {"cmplt",   FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::CMPLE,  {"cmple",   FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::CMPULT, {"cmpult",  FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+    {Opcode::LDA,    {"lda",     FuClass::IntAlu, intLat,   false, false, false, false, false, true,  false, false, false, false}},
+
+    {Opcode::LDQ,    {"ldq",     FuClass::Load,   1,        true,  false, false, false, false, true,  false, false, false, false}},
+    {Opcode::STQ,    {"stq",     FuClass::Store,  1,        false, true,  false, false, false, false, false, false, false, false}},
+    {Opcode::LDT,    {"ldt",     FuClass::Load,   1,        true,  false, false, false, false, true,  false, false, true,  false}},
+    {Opcode::STT,    {"stt",     FuClass::Store,  1,        false, true,  false, false, false, false, false, true,  false, false}},
+    {Opcode::RVP_LDQ,{"rvp_ldq", FuClass::Load,   1,        true,  false, false, false, false, true,  false, false, false, true}},
+    {Opcode::RVP_LDT,{"rvp_ldt", FuClass::Load,   1,        true,  false, false, false, false, true,  false, false, true,  true}},
+
+    {Opcode::BEQ,    {"beq",     FuClass::Branch, 1,        false, false, true,  false, false, false, false, false, false, false}},
+    {Opcode::BNE,    {"bne",     FuClass::Branch, 1,        false, false, true,  false, false, false, false, false, false, false}},
+    {Opcode::BLT,    {"blt",     FuClass::Branch, 1,        false, false, true,  false, false, false, false, false, false, false}},
+    {Opcode::BLE,    {"ble",     FuClass::Branch, 1,        false, false, true,  false, false, false, false, false, false, false}},
+    {Opcode::BGT,    {"bgt",     FuClass::Branch, 1,        false, false, true,  false, false, false, false, false, false, false}},
+    {Opcode::BGE,    {"bge",     FuClass::Branch, 1,        false, false, true,  false, false, false, false, false, false, false}},
+    {Opcode::FBEQ,   {"fbeq",    FuClass::Branch, 1,        false, false, true,  false, false, false, true,  false, false, false}},
+    {Opcode::FBNE,   {"fbne",    FuClass::Branch, 1,        false, false, true,  false, false, false, true,  false, false, false}},
+    {Opcode::BR,     {"br",      FuClass::Branch, 1,        false, false, false, true,  false, false, false, false, false, false}},
+    {Opcode::JSR,    {"jsr",     FuClass::Branch, 1,        false, false, false, true,  true,  true,  false, false, false, false}},
+    {Opcode::RET,    {"ret",     FuClass::Branch, 1,        false, false, false, true,  true,  false, false, false, false, false}},
+
+    {Opcode::ADDT,   {"addt",    FuClass::FpAdd,  fpAddLat, false, false, false, false, false, true,  true,  true,  true,  false}},
+    {Opcode::SUBT,   {"subt",    FuClass::FpAdd,  fpAddLat, false, false, false, false, false, true,  true,  true,  true,  false}},
+    {Opcode::MULT,   {"mult",    FuClass::FpMul,  fpMulLat, false, false, false, false, false, true,  true,  true,  true,  false}},
+    {Opcode::DIVT,   {"divt",    FuClass::FpDiv,  fpDivLat, false, false, false, false, false, true,  true,  true,  true,  false}},
+    {Opcode::CMPTEQ, {"cmpteq",  FuClass::FpAdd,  fpAddLat, false, false, false, false, false, true,  true,  true,  true,  false}},
+    {Opcode::CMPTLT, {"cmptlt",  FuClass::FpAdd,  fpAddLat, false, false, false, false, false, true,  true,  true,  true,  false}},
+    {Opcode::CMPTLE, {"cmptle",  FuClass::FpAdd,  fpAddLat, false, false, false, false, false, true,  true,  true,  true,  false}},
+    {Opcode::CVTQT,  {"cvtqt",   FuClass::FpAdd,  fpAddLat, false, false, false, false, false, true,  true,  false, true,  false}},
+    {Opcode::CVTTQ,  {"cvttq",   FuClass::FpAdd,  fpAddLat, false, false, false, false, false, true,  true,  false, true,  false}},
+
+    {Opcode::CPYS,   {"cpys",    FuClass::FpAdd,  1,        false, false, false, false, false, true,  true,  false, true,  false}},
+
+    {Opcode::ITOF,   {"itof",    FuClass::IntAlu, crossLat, false, false, false, false, false, true,  false, false, true,  false}},
+    {Opcode::FTOI,   {"ftoi",    FuClass::IntAlu, crossLat, false, false, false, false, false, true,  true,  false, false, false}},
+
+    {Opcode::NOP,    {"nop",     FuClass::None,   1,        false, false, false, false, false, false, false, false, false, false}},
+    {Opcode::HALT,   {"halt",    FuClass::None,   1,        false, false, false, false, false, false, false, false, false, false}},
+}};
+// clang-format on
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    unsigned idx = static_cast<unsigned>(op);
+    RVP_ASSERT(idx < numOpcodes);
+    const Entry &entry = table[idx];
+    RVP_ASSERT(entry.op == op); // table order must match enum order
+    return entry.info;
+}
+
+} // namespace rvp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SRISC opcode definitions. SRISC is the Alpha-flavoured 64-bit RISC
+ * ISA the simulator executes: 32 integer registers (R31 hardwired to
+ * zero), 32 floating-point registers (F31 hardwired to zero), and a
+ * small load/store instruction set. Static register value prediction
+ * is expressed as rvp_* variants of the load opcodes, exactly as the
+ * paper proposes ("load R3, 800(R5)" becomes "rvp_load R3, 800(R5)").
+ */
+
+#ifndef RVP_ISA_OPCODES_HH
+#define RVP_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace rvp
+{
+
+/** Functional-unit class an instruction executes on. */
+enum class FuClass : std::uint8_t
+{
+    None,    ///< NOP / HALT: consumes no functional unit
+    IntAlu,  ///< single-cycle integer ALU
+    IntMul,  ///< pipelined integer multiplier
+    FpAdd,   ///< floating-point add/compare/convert
+    FpMul,   ///< floating-point multiply
+    FpDiv,   ///< unpipelined floating-point divide
+    Load,    ///< address generation + data-cache access
+    Store,   ///< address generation; data written at commit
+    Branch,  ///< conditional and unconditional control transfer
+};
+
+/** Every SRISC opcode. The order is frozen: it is the encoding. */
+enum class Opcode : std::uint8_t
+{
+    // Integer operate (rc <- ra OP rb/imm)
+    ADDQ, SUBQ, MULQ, AND, BIS, XOR, SLL, SRL, SRA,
+    CMPEQ, CMPLT, CMPLE, CMPULT,
+    LDA,            ///< rc <- ra + imm (also immediate-move with ra=R31)
+
+    // Memory
+    LDQ,            ///< rc <- mem64[ra + imm]
+    STQ,            ///< mem64[ra + imm] <- rb
+    LDT,            ///< fp rc <- mem64[ra + imm]
+    STT,            ///< mem64[ra + imm] <- fp rb
+    RVP_LDQ,        ///< LDQ marked for static register value prediction
+    RVP_LDT,        ///< LDT marked for static register value prediction
+
+    // Control
+    BEQ, BNE, BLT, BLE, BGT, BGE,   ///< branch on ra <cond> 0
+    FBEQ, FBNE,                      ///< branch on fp ra <cond> 0.0
+    BR,             ///< unconditional pc-relative branch
+    JSR,            ///< rc <- return address; jump to ra
+    RET,            ///< jump to ra
+
+    // Floating point operate (fp rc <- fp ra OP fp rb)
+    ADDT, SUBT, MULT, DIVT,
+    CMPTEQ, CMPTLT, CMPTLE,
+    CVTQT,          ///< fp rc <- (double) bits-as-int64(fp ra)
+    CVTTQ,          ///< fp rc <- int64 bits of trunc(fp ra)
+
+    CPYS,           ///< fp rc <- fp ra (sign-copy move)
+
+    // Cross-file moves
+    ITOF,           ///< fp rc <- bits of int ra
+    FTOI,           ///< int rc <- bits of fp ra
+
+    NOP,
+    HALT,           ///< terminate the simulated program
+
+    NumOpcodes
+};
+
+/** Static properties of one opcode. */
+struct OpcodeInfo
+{
+    std::string_view mnemonic;
+    FuClass fuClass;
+    /** Execution latency in cycles (loads: address generation only). */
+    unsigned latency;
+    bool isLoad;
+    bool isStore;
+    bool isCondBranch;
+    bool isUncondBranch;   ///< BR / JSR / RET
+    bool isIndirect;       ///< JSR / RET (target comes from a register)
+    bool writesRc;
+    /** Operand register banks: true = floating point. */
+    bool raIsFp, rbIsFp, rcIsFp;
+    bool isRvpMarked;      ///< static-RVP opcode variant
+};
+
+/** Look up the static properties of op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Total opcode count (for table sizing). */
+constexpr unsigned numOpcodes =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Any control-transfer instruction. */
+inline bool
+isControl(Opcode op)
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    return info.isCondBranch || info.isUncondBranch;
+}
+
+} // namespace rvp
+
+#endif // RVP_ISA_OPCODES_HH

@@ -1,0 +1,109 @@
+#include "mem/cache.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    RVP_ASSERT(isPowerOf2(config_.lineBytes));
+    RVP_ASSERT(isPowerOf2(config_.numSets()));
+    RVP_ASSERT(config_.assoc >= 1);
+    setShift_ = floorLog2(config_.lineBytes);
+    setMask_ = config_.numSets() - 1;
+    lines_.resize(static_cast<std::size_t>(config_.numSets()) *
+                  config_.assoc);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return addr >> setShift_;
+}
+
+unsigned
+Cache::setOf(std::uint64_t addr) const
+{
+    return static_cast<unsigned>((addr >> setShift_) & setMask_);
+}
+
+CacheAccessResult
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    CacheAccessResult result;
+    unsigned set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++stamp_;
+            line.dirty |= is_write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: fill into the first invalid way, else the LRU way.
+    ++misses_;
+    Line *victim = nullptr;
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = base[way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        result.writeback = victim->tag << setShift_;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = ++stamp_;
+    return result;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    unsigned set = setOf(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[static_cast<std::size_t>(set) *
+                               config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    stamp_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+void
+Cache::exportStats(StatSet &stats) const
+{
+    stats.set(config_.name + ".hits", static_cast<double>(hits_));
+    stats.set(config_.name + ".misses", static_cast<double>(misses_));
+    stats.set(config_.name + ".writebacks",
+              static_cast<double>(writebacks_));
+}
+
+} // namespace rvp

@@ -1,0 +1,63 @@
+#include "mem/hierarchy.hh"
+
+namespace rvp
+{
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+{
+}
+
+unsigned
+MemoryHierarchy::accessThrough(Cache &l1, std::uint64_t addr, bool is_write)
+{
+    CacheAccessResult l1_result = l1.access(addr, is_write);
+    if (l1_result.hit)
+        return 0;
+
+    unsigned added = config_.l1MissPenalty;
+    // The L1 fill reads the line from L2; a dirty L1 victim is written
+    // back into L2 (it cannot miss the write buffer in this model).
+    if (l1_result.writeback)
+        l2_.access(*l1_result.writeback, true);
+    CacheAccessResult l2_result = l2_.access(addr, false);
+    if (!l2_result.hit)
+        added += config_.l2MissPenalty;
+    return added;
+}
+
+unsigned
+MemoryHierarchy::fetchLatency(std::uint64_t pc)
+{
+    return config_.l1HitLatency + accessThrough(l1i_, pc, false);
+}
+
+unsigned
+MemoryHierarchy::loadLatency(std::uint64_t addr)
+{
+    return config_.l1HitLatency + accessThrough(l1d_, addr, false);
+}
+
+unsigned
+MemoryHierarchy::storeAccess(std::uint64_t addr)
+{
+    return config_.l1HitLatency + accessThrough(l1d_, addr, true);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+}
+
+void
+MemoryHierarchy::exportStats(StatSet &stats) const
+{
+    l1i_.exportStats(stats);
+    l1d_.exportStats(stats);
+    l2_.exportStats(stats);
+}
+
+} // namespace rvp

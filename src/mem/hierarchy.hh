@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Two-level memory hierarchy per Table 1 of the paper: split 32KB
+ * 4-way L1 I/D caches with a 20-cycle miss penalty and a unified 512KB
+ * 2-way off-chip L2 with an 80-cycle miss penalty. All lines are 64
+ * bytes. The hierarchy returns access *latencies*; data always comes
+ * from the functional emulator.
+ */
+
+#ifndef RVP_MEM_HIERARCHY_HH
+#define RVP_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+
+namespace rvp
+{
+
+/** Latency parameters for the hierarchy (cycles). */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 4, 64};
+    CacheConfig l1d{"l1d", 32 * 1024, 4, 64};
+    CacheConfig l2{"l2", 512 * 1024, 2, 64};
+    unsigned l1HitLatency = 1;     ///< load-use latency on an L1 hit
+    unsigned l1MissPenalty = 20;   ///< added when L1 misses (L2 hit)
+    unsigned l2MissPenalty = 80;   ///< added when L2 also misses
+};
+
+/** Split L1 + unified L2, returning per-access latencies. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config = {});
+
+    /** Latency (cycles) to fetch the instruction line at pc. */
+    unsigned fetchLatency(std::uint64_t pc);
+
+    /** Latency (cycles) for a data load at addr. */
+    unsigned loadLatency(std::uint64_t addr);
+
+    /**
+     * Perform a committed store: updates cache state (write-allocate,
+     * write-back). Stores retire into a write buffer, so they add no
+     * instruction latency; the returned latency is informational.
+     */
+    unsigned storeAccess(std::uint64_t addr);
+
+    void reset();
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+
+    void exportStats(StatSet &stats) const;
+
+  private:
+    /** Common L1->L2 path: returns total added latency beyond L1 hit. */
+    unsigned accessThrough(Cache &l1, std::uint64_t addr, bool is_write);
+
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace rvp
+
+#endif // RVP_MEM_HIERARCHY_HH

@@ -1,0 +1,37 @@
+#include "profile/critical_path.hh"
+
+namespace rvp
+{
+
+CriticalPathProfiler::CriticalPathProfiler(std::size_t num_static)
+    : scores_(num_static, 0.0)
+{
+}
+
+void
+CriticalPathProfiler::observe(const DynInst &inst)
+{
+    const OpcodeInfo &info = inst.info();
+    std::uint64_t in_height = 0;
+    if (inst.srcA != regNone)
+        in_height = height_[inst.srcA];
+    if (inst.srcB != regNone && height_[inst.srcB] > in_height)
+        in_height = height_[inst.srcB];
+
+    // Loads carry the cache-access latency on the chain; everything
+    // else its functional-unit latency.
+    std::uint64_t latency = info.latency + (info.isLoad ? 2 : 0);
+    std::uint64_t out_height = in_height + latency;
+
+    if (inst.dest != regNone)
+        height_[inst.dest] = out_height;
+
+    // Score instructions that push the global height frontier: they
+    // sit on (a prefix of) the program's critical dependence chain.
+    if (out_height >= frontier_) {
+        frontier_ = out_height;
+        scores_[inst.staticIndex] += 1.0;
+    }
+}
+
+} // namespace rvp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Critical-path profiling in the spirit of Tullsen & Calder's
+ * "Computing Along the Critical Path" (the paper's reference [15]):
+ * each static instruction is scored by how often its result extends
+ * the longest data-dependence chain observed so far. The RVP
+ * reallocation pass uses the scores to decide which reuse candidates
+ * to protect when the interference graph must be pruned.
+ */
+
+#ifndef RVP_PROFILE_CRITICAL_PATH_HH
+#define RVP_PROFILE_CRITICAL_PATH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "emu/emulator.hh"
+
+namespace rvp
+{
+
+/** Streaming approximation of per-instruction critical-path weight. */
+class CriticalPathProfiler
+{
+  public:
+    explicit CriticalPathProfiler(std::size_t num_static);
+
+    /** Observe one executed instruction. */
+    void observe(const DynInst &inst);
+
+    /** Per-static score: times the instruction led the height frontier. */
+    const std::vector<double> &scores() const { return scores_; }
+
+  private:
+    std::vector<double> scores_;
+    /** Dataflow height of each architectural register's current value. */
+    std::array<std::uint64_t, numArchRegs> height_{};
+    std::uint64_t frontier_ = 0;
+};
+
+} // namespace rvp
+
+#endif // RVP_PROFILE_CRITICAL_PATH_HH

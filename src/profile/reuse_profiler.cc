@@ -1,0 +1,235 @@
+#include "profile/reuse_profiler.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+/** Votes key: (static, reg, producer). */
+std::uint64_t
+voteKey(std::uint32_t static_idx, RegIndex reg, std::uint32_t producer)
+{
+    return (static_cast<std::uint64_t>(static_idx) << 40) |
+           (static_cast<std::uint64_t>(reg) << 32) | producer;
+}
+
+/** Hit rate of one spec against one instruction's counters. */
+double
+rateOf(const InstReuseCounts &c, const StaticPredSpec &spec)
+{
+    if (c.execs == 0)
+        return 0.0;
+    std::uint64_t hits = 0;
+    switch (spec.source) {
+      case PredSource::SameReg:
+        hits = c.sameRegHits;
+        break;
+      case PredSource::OtherReg:
+        hits = c.regHits[spec.reg];
+        break;
+      case PredSource::LastValue:
+        hits = c.lastValueHits;
+        break;
+      case PredSource::Stride:
+        hits = c.strideHits;
+        break;
+    }
+    return static_cast<double>(hits) / static_cast<double>(c.execs);
+}
+
+} // namespace
+
+ReuseProfiler::ReuseProfiler(const Program &prog,
+                             std::vector<std::uint64_t> live_before)
+    : prog_(prog)
+{
+    RVP_ASSERT(live_before.size() == prog.size());
+    profile_.prog_ = &prog;
+    profile_.counts.resize(prog.size());
+    profile_.liveBefore = std::move(live_before);
+    lastValue_.assign(prog.size(), 0);
+    lastValueValid_.assign(prog.size(), false);
+    strideCandidate_.assign(prog.size(), 0);
+    strideVotes_.assign(prog.size(), 0);
+    lastWriter_.fill(UINT32_MAX);
+}
+
+void
+ReuseProfiler::observe(const DynInst &inst, const ArchState &pre_state)
+{
+    // Only register-writing instructions can be value-predicted.
+    if (inst.dest == regNone)
+        return;
+
+    std::uint32_t s = inst.staticIndex;
+    InstReuseCounts &counts = profile_.counts[s];
+    ++counts.execs;
+
+    std::uint64_t value = inst.newValue;
+    bool same_hit = inst.oldDestValue == value;
+    counts.sameRegHits += same_hit;
+
+    bool lv_hit = lastValueValid_[s] && lastValue_[s] == value;
+    counts.lastValueHits += lv_hit;
+    if (lastValueValid_[s]) {
+        // Stride profiling: majority-vote the per-instance delta, and
+        // count hits against the current candidate (nonzero only —
+        // stride 0 is last-value reuse).
+        std::int64_t delta = static_cast<std::int64_t>(
+            value - lastValue_[s]);
+        if (delta == strideCandidate_[s]) {
+            ++strideVotes_[s];
+        } else if (--strideVotes_[s] < 0) {
+            strideCandidate_[s] = delta;
+            strideVotes_[s] = 1;
+        }
+        if (delta != 0 && delta == strideCandidate_[s])
+            ++counts.strideHits;
+        counts.strideValue = strideCandidate_[s];
+    }
+    lastValue_[s] = value;
+    lastValueValid_[s] = true;
+
+    bool any_hit = same_hit;
+    bool dead_hit = false;
+    std::uint64_t live_mask = profile_.liveBefore[s];
+    for (RegIndex r = 0; r < numArchRegs; ++r) {
+        if (r == inst.dest)
+            continue;   // counted as same-register above
+        std::uint64_t reg_value = isZeroReg(r) ? 0 : pre_state.read(r);
+        if (reg_value != value)
+            continue;
+        any_hit = true;
+        if (isZeroReg(r))
+            continue;   // cannot combine live ranges with r31/f31
+        counts.regHits[r] += 1;
+        if (!((live_mask >> r) & 1)) {
+            dead_hit = true;
+            // Vote for this register's current producer.
+            if (lastWriter_[r] != UINT32_MAX)
+                ++producerVotes_[voteKey(s, r, lastWriter_[r])];
+        }
+    }
+
+    if (prog_.at(s).info().isLoad) {
+        ++profile_.loadExecs;
+        profile_.loadSameReg += same_hit;
+        profile_.loadDeadReg += same_hit || dead_hit;
+        profile_.loadAnyReg += any_hit;
+        profile_.loadRegOrLv += any_hit || lv_hit;
+    }
+
+    lastWriter_[inst.dest] = s;
+}
+
+ReuseProfile
+ReuseProfiler::finish()
+{
+    // Resolve primary producers: majority vote per (static, reg).
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::uint32_t, std::uint64_t>> best;
+    for (const auto &[key, votes] : producerVotes_) {
+        std::uint64_t sr = key >> 32;   // (static << 8) | reg
+        std::uint32_t producer = static_cast<std::uint32_t>(key);
+        auto &slot = best[sr];
+        if (votes > slot.second) {
+            slot.first = producer;
+            slot.second = votes;
+        }
+    }
+    for (const auto &[sr, winner] : best)
+        profile_.primaryProducer[sr] = winner.first;
+    return std::move(profile_);
+}
+
+StaticPredSpec
+ReuseProfile::bestSpec(std::uint32_t s, AssistLevel level) const
+{
+    const InstReuseCounts &c = counts[s];
+    StaticPredSpec spec;   // SameReg default
+    if (c.execs == 0)
+        return spec;
+
+    std::uint64_t best_hits = c.sameRegHits;
+
+    bool allow_dead = level != AssistLevel::Same;
+    bool allow_live =
+        level == AssistLevel::Live || level == AssistLevel::LiveLv;
+    bool allow_lv = level == AssistLevel::DeadLv ||
+                    level == AssistLevel::LiveLv ||
+                    level == AssistLevel::DeadLvStride;
+    bool allow_stride = level == AssistLevel::DeadLvStride;
+
+    if (allow_dead || allow_live) {
+        std::uint64_t live_mask = liveBefore[s];
+        for (RegIndex r = 0; r < numArchRegs; ++r) {
+            if (isZeroReg(r) || c.regHits[r] <= best_hits)
+                continue;
+            bool live = (live_mask >> r) & 1;
+            if (live ? allow_live : allow_dead) {
+                best_hits = c.regHits[r];
+                spec.source = PredSource::OtherReg;
+                spec.reg = r;
+            }
+        }
+    }
+    // Prefer LastValue on ties: when an instruction is equally
+    // predictable from its own previous result, the compiler's
+    // loop-exclusive register gives the prediction the best possible
+    // timing (the previous instance has long completed), whereas the
+    // destination's old mapping may still be in flight.
+    if (allow_lv && c.lastValueHits >= best_hits && c.lastValueHits > 0) {
+        best_hits = c.lastValueHits;
+        spec.source = PredSource::LastValue;
+        spec.reg = regNone;
+    }
+    if (allow_stride && c.strideValue != 0 &&
+        c.strideHits > best_hits) {
+        best_hits = c.strideHits;
+        spec.source = PredSource::Stride;
+        spec.reg = regNone;
+        spec.stride = c.strideValue;
+    }
+    return spec;
+}
+
+double
+ReuseProfile::bestRate(std::uint32_t s, AssistLevel level) const
+{
+    return rateOf(counts[s], bestSpec(s, level));
+}
+
+std::vector<StaticPredSpec>
+ReuseProfile::buildSpecs(AssistLevel level, double threshold) const
+{
+    std::vector<StaticPredSpec> specs(counts.size());
+    for (std::uint32_t s = 0; s < counts.size(); ++s) {
+        StaticPredSpec best = bestSpec(s, level);
+        if (best.source != PredSource::SameReg &&
+            rateOf(counts[s], best) >= threshold) {
+            specs[s] = best;
+        }
+        // else: keep the SameReg default (unlisted instructions only
+        // track same-register reuse, per Section 5).
+    }
+    return specs;
+}
+
+std::vector<std::uint32_t>
+ReuseProfile::selectStaticLoads(AssistLevel level, double threshold) const
+{
+    std::vector<std::uint32_t> marked;
+    for (std::uint32_t s = 0; s < counts.size(); ++s) {
+        if (!prog_->at(s).info().isLoad)
+            continue;
+        StaticPredSpec best = bestSpec(s, level);
+        if (rateOf(counts[s], best) >= threshold)
+            marked.push_back(s);
+    }
+    return marked;
+}
+
+} // namespace rvp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Register-reuse profiling (Section 5 of the paper). A profiling run
+ * observes the functional execution of a compiled workload and
+ * produces, per static instruction:
+ *
+ *  1. same-register value reuse  (result == old destination value)
+ *  2. correlation with a value in a *dead* register
+ *  3. correlation with a value in a *live* register
+ *  4. last-value predictability
+ *
+ * plus the "primary producer" of each correlated register's value and
+ * the dynamic aggregates behind Figure 1 (the fraction of loads whose
+ * value is already in the same register / a dead register / any
+ * register / a register-or-last-value).
+ *
+ * Profiles are taken on the train input and applied to the ref input,
+ * exactly as in the paper.
+ */
+
+#ifndef RVP_PROFILE_REUSE_PROFILER_HH
+#define RVP_PROFILE_REUSE_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "emu/emulator.hh"
+
+namespace rvp
+{
+
+/** Where a prediction for a static instruction should come from. */
+enum class PredSource : std::uint8_t
+{
+    SameReg,    ///< previous value of the destination register
+    OtherReg,   ///< value currently in another register (compiler
+                ///< re-allocation turns this into same-register reuse)
+    LastValue,  ///< instruction's own previous result (compiler gives
+                ///< it a loop-exclusive register)
+    Stride,     ///< previous result plus a compile-time stride (the
+                ///< paper's Section-3 "Et Cetera": the compiler
+                ///< inserts an add to keep the prediction current)
+};
+
+/** Per-static-instruction prediction-source specification. */
+struct StaticPredSpec
+{
+    PredSource source = PredSource::SameReg;
+    RegIndex reg = regNone;       ///< for OtherReg: which register
+    std::int64_t stride = 0;      ///< for Stride: the constant delta
+};
+
+/** Compiler-assistance levels, matching the paper's configurations. */
+enum class AssistLevel
+{
+    Same,     ///< no compiler support (srvp_same / drvp)
+    Dead,     ///< + dead-register correlation (srvp_dead / drvp_dead)
+    Live,     ///< + live-register correlation via moves (srvp_live)
+    DeadLv,   ///< dead + last-value reallocation (drvp_dead_lv)
+    LiveLv,   ///< live + last-value (srvp_live_lv)
+    DeadLvStride, ///< dead + lv + stride-by-inserted-add (an extension
+                  ///< the paper sketches in Section 3 but does not
+                  ///< evaluate)
+};
+
+/** Raw per-static-instruction profile counters. */
+struct InstReuseCounts
+{
+    std::uint64_t execs = 0;
+    std::uint64_t sameRegHits = 0;
+    std::uint64_t lastValueHits = 0;
+    /** Hits for value == previous value + candidate stride. */
+    std::uint64_t strideHits = 0;
+    /** The (majority-vote) candidate stride; 0 disables. */
+    std::int64_t strideValue = 0;
+    /** Hits per architectural register (value already in reg r). */
+    std::array<std::uint64_t, numArchRegs> regHits{};
+};
+
+/** The finished profile. */
+class ReuseProfile
+{
+  public:
+    /** Per-static counters (indexed by static instruction index). */
+    std::vector<InstReuseCounts> counts;
+
+    /** Live-before mask per static instruction (from the compiler). */
+    std::vector<std::uint64_t> liveBefore;
+
+    /** Figure-1 dynamic aggregates over load instructions. */
+    std::uint64_t loadExecs = 0;
+    std::uint64_t loadSameReg = 0;
+    std::uint64_t loadDeadReg = 0;    ///< same or any dead register
+    std::uint64_t loadAnyReg = 0;     ///< anywhere in the register file
+    std::uint64_t loadRegOrLv = 0;    ///< any register or last value
+
+    /** Primary producer: most frequent last-writer, per (static, reg). */
+    std::unordered_map<std::uint64_t, std::uint32_t> primaryProducer;
+
+    /**
+     * Build the per-static prediction-source specs for a compiler
+     * assistance level: instructions whose best allowed mode reaches
+     * the threshold get that mode; everything else keeps SameReg.
+     */
+    std::vector<StaticPredSpec>
+    buildSpecs(AssistLevel level, double threshold) const;
+
+    /**
+     * Select loads for *static* RVP marking: the set of static indices
+     * whose best allowed mode reaches the threshold (80% by default,
+     * 90% for the conservative recovery studies).
+     */
+    std::vector<std::uint32_t>
+    selectStaticLoads(AssistLevel level, double threshold) const;
+
+    /** Best rate for one instruction under a level (for tests). */
+    double bestRate(std::uint32_t s, AssistLevel level) const;
+
+    /** Best mode (and register) for one instruction under a level. */
+    StaticPredSpec bestSpec(std::uint32_t s, AssistLevel level) const;
+
+    /** Key for the primaryProducer map. */
+    static std::uint64_t
+    producerKey(std::uint32_t static_idx, RegIndex reg)
+    {
+        return (static_cast<std::uint64_t>(static_idx) << 8) | reg;
+    }
+
+  private:
+    const Program *prog_ = nullptr;
+    friend class ReuseProfiler;
+};
+
+/**
+ * The profiler itself: feed it every DynInst (with the pre-execution
+ * architectural state) and finalize.
+ */
+class ReuseProfiler
+{
+  public:
+    /**
+     * @param prog the compiled program being profiled
+     * @param live_before per-static arch-liveness masks
+     *        (archLiveBefore); sizes must match
+     */
+    ReuseProfiler(const Program &prog,
+                  std::vector<std::uint64_t> live_before);
+
+    /** Observe one executed instruction (pre-state = before it ran). */
+    void observe(const DynInst &inst, const ArchState &pre_state);
+
+    /** Finish and extract the profile. */
+    ReuseProfile finish();
+
+  private:
+    const Program &prog_;
+    ReuseProfile profile_;
+    /** Last value produced per static instruction. */
+    std::vector<std::uint64_t> lastValue_;
+    std::vector<bool> lastValueValid_;
+    /** Majority-vote stride tracking (Boyer–Moore style). */
+    std::vector<std::int64_t> strideCandidate_;
+    std::vector<std::int64_t> strideVotes_;
+    /** Last static writer of each architectural register. */
+    std::array<std::uint32_t, numArchRegs> lastWriter_;
+    /** (static, reg, producer) hit counts for primary-producer votes. */
+    std::unordered_map<std::uint64_t, std::uint64_t> producerVotes_;
+};
+
+} // namespace rvp
+
+#endif // RVP_PROFILE_REUSE_PROFILER_HH

@@ -1,0 +1,201 @@
+#include "sim/runner.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "compiler/arch_liveness.hh"
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "compiler/rvp_realloc.hh"
+#include "profile/critical_path.hh"
+#include "workloads/workloads.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+/** A compiled workload instance. */
+struct CompiledWorkload
+{
+    BuiltWorkload wl;
+    AllocResult alloc;
+    LowerResult low;
+};
+
+CompiledWorkload
+compile(const std::string &name, InputSet input)
+{
+    CompiledWorkload c;
+    c.wl = buildWorkload(name, input);
+    c.alloc = allocateRegisters(c.wl.func, AllocConfig{});
+    RVP_ASSERT(c.alloc.success);
+    c.low = lower(c.wl.func, c.alloc);
+    c.low.program.dataImage = c.wl.data;
+    return c;
+}
+
+/** Profile + critical-path scores over one compiled workload. */
+struct ProfileRun
+{
+    ReuseProfile profile;
+    std::vector<double> cpScores;
+};
+
+ProfileRun
+runProfiler(CompiledWorkload &c, std::uint64_t insts)
+{
+    std::vector<std::uint64_t> live =
+        archLiveBefore(c.wl.func, c.alloc, c.low);
+    ReuseProfiler profiler(c.low.program, live);
+    CriticalPathProfiler cp(c.low.program.size());
+    Emulator emu(c.low.program);
+    DynInst di;
+    std::uint64_t n = 0;
+    while (n < insts) {
+        ArchState pre = emu.state();
+        if (!emu.step(di))
+            break;
+        profiler.observe(di, pre);
+        cp.observe(di);
+        ++n;
+    }
+    return {profiler.finish(), cp.scores()};
+}
+
+/** Map train-profile reuse into Section-7.3 reallocation candidates. */
+std::vector<ReuseCandidate>
+buildCandidates(const ProfileRun &pr, const LowerResult &low,
+                double threshold)
+{
+    std::vector<ReuseCandidate> cands;
+    const ReuseProfile &p = pr.profile;
+    for (std::uint32_t s = 0; s < p.counts.size(); ++s) {
+        if (p.counts[s].execs == 0)
+            continue;
+        StaticPredSpec spec = p.bestSpec(s, AssistLevel::DeadLv);
+        double rate = p.bestRate(s, AssistLevel::DeadLv);
+        if (rate < threshold)
+            continue;
+        ReuseCandidate cand;
+        cand.consumerIr = low.irIdOfStatic[s];
+        cand.priority = pr.cpScores[s];
+        if (spec.source == PredSource::OtherReg) {
+            auto it = p.primaryProducer.find(
+                ReuseProfile::producerKey(s, spec.reg));
+            if (it == p.primaryProducer.end())
+                continue;
+            cand.producerIr = low.irIdOfStatic[it->second];
+        } else if (spec.source == PredSource::LastValue) {
+            cand.isLvr = true;
+        } else {
+            continue;   // already same-register: nothing to re-allocate
+        }
+        cands.push_back(cand);
+    }
+    return cands;
+}
+
+} // namespace
+
+ReuseProfile
+profileWorkload(const std::string &workload, std::uint64_t insts,
+                InputSet input)
+{
+    CompiledWorkload c = compile(workload, input);
+    return runProfiler(c, insts).profile;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config)
+{
+    // The needs-profile schemes: static RVP always; dynamic RVP when a
+    // compiler-assistance level beyond plain same-register is assumed;
+    // and any realistic re-allocation.
+    bool needs_profile =
+        config.scheme == VpScheme::StaticRvp ||
+        (config.scheme == VpScheme::DynamicRvp &&
+         config.assist != AssistLevel::Same) ||
+        config.realisticRealloc;
+
+    // Profile the *train* input. The compiled train binary must stay
+    // alive as long as the profile (which references its program).
+    CompiledWorkload train;
+    ProfileRun train_profile;
+    if (needs_profile) {
+        train = compile(config.workload, InputSet::Train);
+        train_profile = runProfiler(train, config.profileInsts);
+    }
+
+    // Compile the *ref* input. Workload construction and allocation
+    // are deterministic, so static indices line up with the train
+    // binary (asserted below).
+    CompiledWorkload ref = compile(config.workload, InputSet::Ref);
+    if (needs_profile) {
+        RVP_ASSERT(train_profile.profile.counts.size() ==
+                   ref.low.program.size());
+    }
+
+    VpConfig vp;
+    vp.scheme = config.scheme;
+    vp.loadsOnly = config.loadsOnly;
+    vp.tableEntries = config.tableEntries;
+    vp.taggedRvp = config.taggedRvp;
+    vp.threshold = config.counterThreshold;
+
+    if (config.realisticRealloc) {
+        // Figure 7: re-colour the registers to honour the profiled
+        // reuses, then run plain same-register dynamic RVP on the
+        // re-allocated binary — no optimistic profile application.
+        std::vector<ReuseCandidate> cands = buildCandidates(
+            train_profile, ref.low, config.profileThreshold);
+        ReallocResult rr =
+            reallocForReuse(ref.wl.func, AllocConfig{}, cands);
+        if (rr.success) {
+            ref.alloc = std::move(rr.alloc);
+            ref.low = lower(ref.wl.func, ref.alloc);
+            ref.low.program.dataImage = ref.wl.data;
+        } else {
+            warn("register re-allocation failed for %s; keeping the "
+                 "baseline allocation",
+                 config.workload.c_str());
+        }
+        vp.scheme = VpScheme::DynamicRvp;
+        vp.specs.clear();   // same-register only: reuse is in the binary
+    } else if (config.scheme == VpScheme::StaticRvp) {
+        // Mark the profiled loads with rvp_* opcodes and apply the
+        // profile's prediction sources.
+        auto marked_vec = train_profile.profile.selectStaticLoads(
+            config.assist, config.profileThreshold);
+        std::unordered_set<std::uint32_t> marked_ir;
+        for (std::uint32_t s : marked_vec)
+            marked_ir.insert(ref.low.irIdOfStatic[s]);
+        ref.low = lower(ref.wl.func, ref.alloc, &marked_ir);
+        ref.low.program.dataImage = ref.wl.data;
+        vp.specs = train_profile.profile.buildSpecs(
+            config.assist, config.profileThreshold);
+    } else if (config.scheme == VpScheme::DynamicRvp &&
+               config.assist != AssistLevel::Same) {
+        vp.specs = train_profile.profile.buildSpecs(
+            config.assist, config.profileThreshold);
+    }
+
+    auto predictor = makePredictor(vp, ref.low.program);
+    Core core(config.core, ref.low.program, *predictor);
+    CoreResult cr = core.run();
+
+    ExperimentResult result;
+    result.ipc = cr.ipc;
+    result.cycles = cr.cycles;
+    result.committed = cr.committed;
+    result.stats = cr.stats;
+    double committed = static_cast<double>(cr.committed);
+    double predictions = cr.stats.get("vp.predictions");
+    result.predictedFrac = committed > 0 ? predictions / committed : 0.0;
+    result.accuracy =
+        predictions > 0 ? cr.stats.get("vp.correct") / predictions : 0.0;
+    return result;
+}
+
+} // namespace rvp

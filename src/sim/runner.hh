@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment runner: the end-to-end recipe the paper's evaluation
+ * uses. One experiment = build workload -> compile (graph-colouring
+ * register allocation) -> profile the *train* input -> configure a
+ * value predictor (and optionally re-allocate registers per Section
+ * 7.3) -> run the *ref* input through the out-of-order core.
+ */
+
+#ifndef RVP_SIM_RUNNER_HH
+#define RVP_SIM_RUNNER_HH
+
+#include <string>
+
+#include "profile/reuse_profiler.hh"
+#include "uarch/core.hh"
+#include "vp/oracle.hh"
+#include "workloads/workloads.hh"
+
+namespace rvp
+{
+
+/** Configuration of one experiment run. */
+struct ExperimentConfig
+{
+    std::string workload = "go";
+    CoreParams core;
+    VpScheme scheme = VpScheme::None;
+    /** Compiler-assistance level for RVP schemes. */
+    AssistLevel assist = AssistLevel::Same;
+    /** Restrict prediction to loads. */
+    bool loadsOnly = true;
+    /** Profiler selection threshold (0.8; 0.9 for Figure 4). */
+    double profileThreshold = 0.8;
+    /** Instructions profiled on the train input. */
+    std::uint64_t profileInsts = 300'000;
+    /**
+     * Figure 7: replace the optimistic profile application with a real
+     * register re-allocation (Section 7.3) and plain same-register
+     * dynamic RVP on the re-allocated binary.
+     */
+    bool realisticRealloc = false;
+    /** Ablation: tag the RVP confidence counters. */
+    bool taggedRvp = false;
+    /**
+     * Predictor table entries (LVP values / RVP counters; the paper
+     * gives both mechanisms the same 1K-entry budget). Note: our
+     * synthetic workloads have a few hundred static instructions, so
+     * unlike the paper's SPEC95 binaries they never pressure the
+     * table — this makes the LVP baseline here slightly *stronger*
+     * than the paper's (see EXPERIMENTS.md); the ablation benchmarks
+     * sweep the size.
+     */
+    unsigned tableEntries = 1024;
+    /** Confidence threshold (paper: 7 on 3-bit resetting counters). */
+    unsigned counterThreshold = 7;
+};
+
+/** Results of one experiment run. */
+struct ExperimentResult
+{
+    double ipc = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    /** Fraction of committed instructions that were predicted. */
+    double predictedFrac = 0.0;
+    /** Prediction accuracy (correct / predicted). */
+    double accuracy = 0.0;
+    StatSet stats;
+};
+
+/** Run one experiment end to end. */
+ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Run the profiler only (Figure 1): returns the ReuseProfile of the
+ * named workload's *ref* input.
+ */
+ReuseProfile profileWorkload(const std::string &workload,
+                             std::uint64_t insts, InputSet input);
+
+} // namespace rvp
+
+#endif // RVP_SIM_RUNNER_HH

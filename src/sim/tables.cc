@@ -1,0 +1,69 @@
+#include "sim/tables.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rvp
+{
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << "%";
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i >= width.size())
+                width.resize(i + 1, 0);
+            width[i] = std::max(width[i], row[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << row[i];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace rvp

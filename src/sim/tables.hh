@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness: every figure
+ * and table binary prints its rows through this, so the output format
+ * is uniform and diffable.
+ */
+
+#ifndef RVP_SIM_TABLES_HH
+#define RVP_SIM_TABLES_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rvp
+{
+
+/** A simple right-padded text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (column counts should match the header). */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format "x.xx%" from a fraction. */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rvp
+
+#endif // RVP_SIM_TABLES_HH

@@ -1,0 +1,770 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+Core::Core(const CoreParams &params, const Program &prog,
+           ValuePredictor &predictor)
+    : params_(params), prog_(prog), predictor_(predictor), emu_(prog),
+      mem_(params.mem), bp_(params.bp)
+{
+    // Tag 0 is the always-ready sentinel (committed/initial values).
+    readyAt_.push_back(0);
+    tagProducer_.push_back(noSeq);
+    lastInstanceTag_.assign(prog.size(), 0);
+    lastInstanceSeq_.assign(prog.size(), noSeq);
+}
+
+// ---------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------
+
+Core::Inflight *
+Core::findSeq(std::uint64_t seq)
+{
+    if (window_.empty())
+        return nullptr;
+    std::uint64_t base = window_.front().seq;
+    if (seq < base || seq >= base + window_.size())
+        return nullptr;
+    return &window_[seq - base];
+}
+
+const Core::Fetched &
+Core::fetchedOf(std::uint64_t seq) const
+{
+    RVP_ASSERT(seq >= bufferBase_ &&
+               seq - bufferBase_ < buffer_.size());
+    return buffer_[seq - bufferBase_];
+}
+
+bool
+Core::predUnresolved(std::uint64_t seq) const
+{
+    const Inflight *inst = const_cast<Core *>(this)->findSeq(seq);
+    return inst && inst->isPredicted && !inst->resolved;
+}
+
+std::uint64_t
+Core::allocTag(std::uint64_t producer_seq)
+{
+    readyAt_.push_back(farFuture);
+    tagProducer_.push_back(producer_seq);
+    return nextTag_++;
+}
+
+void
+Core::noteFirstUse(std::uint64_t pred_seq, std::uint64_t user_seq)
+{
+    Inflight *pred = findSeq(pred_seq);
+    if (pred && pred->firstUseSeq == noSeq)
+        pred->firstUseSeq = user_seq;
+}
+
+/** Inherit the (transitive) speculation colouring of a value read. */
+void
+Core::inheritSpec(Inflight &inst, std::uint64_t tag)
+{
+    std::uint64_t producer = tagProducer_[tag];
+    if (producer == noSeq)
+        return;
+    Inflight *prod = findSeq(producer);
+    if (!prod)
+        return;   // committed: its value is architectural
+    for (std::uint64_t s : prod->specOn) {
+        if (predUnresolved(s) &&
+            std::find(inst.specOn.begin(), inst.specOn.end(), s) ==
+                inst.specOn.end()) {
+            inst.specOn.push_back(s);
+        }
+    }
+}
+
+unsigned
+Core::iqCount(bool fp) const
+{
+    unsigned count = 0;
+    for (const Inflight &inst : window_)
+        count += inst.inIq && inst.usesFpQueue == fp;
+    return count;
+}
+
+unsigned
+Core::physInUse(bool fp) const
+{
+    unsigned count = 0;
+    for (const Inflight &inst : window_) {
+        if (inst.state == Inflight::St::WaitDispatch)
+            continue;
+        RegIndex dest = fetchedOf(inst.seq).di.dest;
+        count += dest != regNone && isFpReg(dest) == fp;
+    }
+    return count;
+}
+
+unsigned
+Core::lsqInUse() const
+{
+    unsigned count = 0;
+    for (const Inflight &inst : window_)
+        count += inst.isMemOp && inst.state != Inflight::St::WaitDispatch;
+    return count;
+}
+
+// ---------------------------------------------------------------------
+// Complete / recovery
+// ---------------------------------------------------------------------
+
+void
+Core::completePhase()
+{
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+        Inflight &inst = window_[i];
+        if (inst.state != Inflight::St::Issued ||
+            inst.completeCycle != cycle_) {
+            continue;
+        }
+        inst.state = Inflight::St::Done;
+        const Fetched &f = fetchedOf(inst.seq);
+
+        if (f.isBranch && f.branchMispredict &&
+            pendingRedirectSeq_ == inst.seq) {
+            // Wrong path was never fetched; resume down the right one.
+            pendingRedirectSeq_ = noSeq;
+            fetchResumeCycle_ = cycle_ + 1;
+            lastFetchLine_ = ~0ull;
+            stats_.add("core.branch_mispredicts");
+        }
+
+        if (inst.isPredicted) {
+            inst.resolved = true;
+            if (!f.vp.correct) {
+                stats_.add("core.value_mispredicts");
+                recoverFromValueMispredict(inst);
+            }
+        }
+    }
+}
+
+void
+Core::resetIssuedDependent(Inflight &inst, const Inflight &pred)
+{
+    // Repair sources supplied by the wrong prediction.
+    for (int s = 0; s < 2; ++s) {
+        if (inst.srcPredSeq[s] == pred.seq) {
+            inst.srcTag[s] = pred.destTag;
+            inst.srcPredSeq[s] = noSeq;
+        }
+    }
+    if (inst.state == Inflight::St::Issued ||
+        inst.state == Inflight::St::Done) {
+        RVP_ASSERT(inst.inIq);   // held by the recovery policy
+        inst.state = Inflight::St::InIQ;
+        inst.completeCycle = farFuture;
+        // "A dependent instruction will issue one cycle later after a
+        // mispredict than it would if the previous instruction were
+        // not predicted" (Section 4.3).
+        inst.earliestIssue = cycle_ + 1;
+        if (inst.destTag)
+            readyAt_[inst.destTag] = farFuture;
+        stats_.add("core.reissues");
+    }
+}
+
+void
+Core::recoverFromValueMispredict(Inflight &pred)
+{
+    if (params_.recovery == RecoveryPolicy::Refetch) {
+        if (pred.firstUseSeq != noSeq && findSeq(pred.firstUseSeq)) {
+            stats_.add("core.value_refetches");
+            squashFrom(pred.firstUseSeq);
+            fetchResumeCycle_ = cycle_ + 1;
+        } else if (map_[fetchedOf(pred.seq).di.dest].predSeq == pred.seq) {
+            // No consumer yet: future consumers read the real result.
+            map_[fetchedOf(pred.seq).di.dest].predSeq = noSeq;
+        }
+        return;
+    }
+
+    // Reissue / selective reissue: every (transitively) dependent
+    // instruction re-executes with the correct value.
+    std::uint64_t base = window_.front().seq;
+    for (std::size_t i = pred.seq - base + 1; i < window_.size(); ++i) {
+        Inflight &inst = window_[i];
+        auto it = std::find(inst.specOn.begin(), inst.specOn.end(),
+                            pred.seq);
+        if (it == inst.specOn.end())
+            continue;
+        inst.specOn.erase(it);
+        resetIssuedDependent(inst, pred);
+    }
+    RegIndex dest = fetchedOf(pred.seq).di.dest;
+    if (map_[dest].predSeq == pred.seq)
+        map_[dest].predSeq = noSeq;
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+Core::commitPhase()
+{
+    unsigned done = 0;
+    while (done < params_.commitWidth && !window_.empty()) {
+        Inflight &head = window_.front();
+        if (head.state != Inflight::St::Done)
+            break;
+        const Fetched &f = fetchedOf(head.seq);
+
+        if (f.di.isStore())
+            mem_.storeAccess(f.di.effAddr);
+        if (f.di.dest != regNone) {
+            committedTag_[f.di.dest] = head.destTag;
+            // The map may still point at this tag; that stays valid.
+        }
+        ++committed_;
+        ++done;
+        window_.pop_front();
+        buffer_.pop_front();
+        ++bufferBase_;
+    }
+    stats_.add("core.commit_cycles_used", done > 0 ? 1 : 0);
+}
+
+// ---------------------------------------------------------------------
+// IQ release
+// ---------------------------------------------------------------------
+
+void
+Core::iqReleasePhase()
+{
+    // For the reissue policy: the oldest first-use of any unresolved
+    // prediction; everything at or after it is held in the queues.
+    std::uint64_t hold_from = noSeq;
+    if (params_.recovery == RecoveryPolicy::Reissue) {
+        for (const Inflight &inst : window_) {
+            if (inst.isPredicted && !inst.resolved &&
+                inst.firstUseSeq != noSeq) {
+                hold_from = std::min(hold_from, inst.firstUseSeq);
+            }
+        }
+    }
+
+    for (Inflight &inst : window_) {
+        // Drop resolved predictions from speculation sets as we go.
+        std::erase_if(inst.specOn, [&](std::uint64_t s) {
+            return !predUnresolved(s);
+        });
+        if (!inst.inIq || inst.state == Inflight::St::InIQ)
+            continue;
+        bool release = false;
+        switch (params_.recovery) {
+          case RecoveryPolicy::Refetch:
+            release = true;
+            break;
+          case RecoveryPolicy::Selective:
+            release = inst.specOn.empty();
+            break;
+          case RecoveryPolicy::Reissue:
+            release = inst.seq < hold_from;
+            break;
+        }
+        if (release) {
+            inst.inIq = false;
+            if (inst.state == Inflight::St::Done &&
+                cycle_ > inst.completeCycle) {
+                stats_.add("core.hold_after_done_cycles",
+                           static_cast<double>(cycle_ -
+                                               inst.completeCycle));
+                stats_.add("core.holds_released");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+bool
+Core::loadBlockedByStore(const Inflight &load) const
+{
+    const Fetched &lf = fetchedOf(load.seq);
+    // Youngest older store to the same address must have executed.
+    std::uint64_t base = window_.front().seq;
+    for (std::size_t i = load.seq - base; i-- > 0;) {
+        const Inflight &inst = window_[i];
+        const Fetched &f = fetchedOf(inst.seq);
+        if (!f.di.isStore() || f.di.effAddr != lf.di.effAddr)
+            continue;
+        return inst.state != Inflight::St::Done;
+    }
+    return false;
+}
+
+unsigned
+Core::loadLatencyFor(const Inflight &load)
+{
+    const Fetched &lf = fetchedOf(load.seq);
+    std::uint64_t base = window_.front().seq;
+    for (std::size_t i = load.seq - base; i-- > 0;) {
+        const Inflight &inst = window_[i];
+        const Fetched &f = fetchedOf(inst.seq);
+        if (f.di.isStore() && f.di.effAddr == lf.di.effAddr) {
+            stats_.add("core.store_forwards");
+            return 1;   // store-to-load forward
+        }
+    }
+    return mem_.loadLatency(lf.di.effAddr);
+}
+
+void
+Core::issuePhase()
+{
+    unsigned int_used = 0, ldst_used = 0, fp_used = 0;
+    for (Inflight &inst : window_) {
+        if (int_used >= params_.intFus && fp_used >= params_.fpFus)
+            break;
+        if (inst.state != Inflight::St::InIQ)
+            continue;
+        if (cycle_ < inst.earliestIssue)
+            continue;   // one-cycle reissue penalty after a mispredict
+
+        const Fetched &f = fetchedOf(inst.seq);
+        FuClass fu = f.di.info().fuClass;
+        bool is_fp = fu == FuClass::FpAdd || fu == FuClass::FpMul ||
+                     fu == FuClass::FpDiv;
+        bool is_mem = fu == FuClass::Load || fu == FuClass::Store;
+
+        // Functional-unit availability.
+        if (is_fp) {
+            if (fp_used >= params_.fpFus)
+                continue;
+        } else {
+            if (int_used >= params_.intFus)
+                continue;
+            if (is_mem && ldst_used >= params_.ldstPorts)
+                continue;
+        }
+
+        // Operand readiness (full bypass: ready for exec at cycle+1).
+        bool ready = true;
+        for (int s = 0; s < 2 && ready; ++s)
+            ready = readyAt_[inst.srcTag[s]] <= cycle_ + 1;
+        if (!ready)
+            continue;
+
+        unsigned latency = f.di.info().latency;
+        if (f.di.isLoad()) {
+            if (loadBlockedByStore(inst))
+                continue;
+            latency = 1 + loadLatencyFor(inst);
+        }
+
+        inst.state = Inflight::St::Issued;
+        inst.completeCycle = cycle_ + latency;
+        if (inst.destTag)
+            readyAt_[inst.destTag] = cycle_ + latency + 1;
+        if (is_fp)
+            ++fp_used;
+        else
+            ++int_used;
+        if (is_mem)
+            ++ldst_used;
+        stats_.add("core.issued");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (rename + queue insert)
+// ---------------------------------------------------------------------
+
+void
+Core::dispatchPhase()
+{
+    unsigned int_iq = iqCount(false);
+    unsigned fp_iq = iqCount(true);
+    unsigned phys_int = physInUse(false);
+    unsigned phys_fp = physInUse(true);
+    unsigned lsq = lsqInUse();
+
+    stats_.add("core.iq_occupancy_int", int_iq);
+    stats_.add("core.iq_occupancy_fp", fp_iq);
+
+    unsigned dispatched = 0;
+    for (Inflight &inst : window_) {
+        if (inst.state != Inflight::St::WaitDispatch)
+            continue;
+        if (dispatched >= params_.renameWidth)
+            break;
+        if (inst.fetchCycle + params_.frontDepth > cycle_)
+            break;   // still in the front end (in-order)
+
+        const Fetched &f = fetchedOf(inst.seq);
+        const OpcodeInfo &info = f.di.info();
+        bool is_fp_queue = info.fuClass == FuClass::FpAdd ||
+                           info.fuClass == FuClass::FpMul ||
+                           info.fuClass == FuClass::FpDiv;
+        bool uses_iq = info.fuClass != FuClass::None;
+        bool is_mem = info.isLoad || info.isStore;
+
+        // Structural stalls (in-order: stop at the first blocked one).
+        if (uses_iq) {
+            if (is_fp_queue ? fp_iq >= params_.fpIqEntries
+                            : int_iq >= params_.intIqEntries) {
+                stats_.add("core.iq_full_stalls");
+                break;
+            }
+        }
+        if (f.di.dest != regNone) {
+            bool fp_bank = isFpReg(f.di.dest);
+            unsigned in_use = fp_bank ? phys_fp : phys_int;
+            unsigned limit = (fp_bank ? params_.physFpRegs
+                                      : params_.physIntRegs) -
+                             numIntRegs;
+            if (in_use >= limit) {
+                stats_.add("core.phys_reg_stalls");
+                break;
+            }
+        }
+        if (is_mem && lsq >= params_.lsqEntries) {
+            stats_.add("core.lsq_full_stalls");
+            break;
+        }
+
+        // ---- rename sources ----
+        RegIndex srcs[2] = {f.di.srcA, f.di.srcB};
+        for (int s = 0; s < 2; ++s) {
+            if (srcs[s] == regNone) {
+                inst.srcTag[s] = 0;
+                continue;
+            }
+            MapEntry &entry = map_[srcs[s]];
+            if (entry.predSeq != noSeq && predUnresolved(entry.predSeq)) {
+                // Speculative mapping: read the *prior* value of the
+                // register — this is the prediction.
+                inst.srcTag[s] = entry.oldTag;
+                inst.srcPredSeq[s] = entry.predSeq;
+                if (std::find(inst.specOn.begin(), inst.specOn.end(),
+                              entry.predSeq) == inst.specOn.end())
+                    inst.specOn.push_back(entry.predSeq);
+                noteFirstUse(entry.predSeq, inst.seq);
+                inheritSpec(inst, entry.oldTag);
+                stats_.add("core.predicted_value_uses");
+            } else {
+                inst.srcTag[s] = entry.tag;
+                inheritSpec(inst, entry.tag);
+            }
+        }
+
+        // ---- rename destination ----
+        if (f.di.dest != regNone) {
+            inst.destTag = allocTag(inst.seq);
+            if (f.vp.predicted) {
+                inst.isPredicted = true;
+                // The *prior register value* consumers read. Which
+                // physical value that is depends on the compiler
+                // assumption behind the prediction: with
+                // re-allocation, the correlated register's current
+                // value (OtherReg) or this instruction's previous
+                // result in a loop-exclusive register (LastValue);
+                // without assistance, the destination's old mapping.
+                if (predictor_.valueFromBuffer()) {
+                    // Buffer-based prediction: the value was read from
+                    // the value file at rename — immediately ready.
+                    inst.predOldTag = 0;
+                } else {
+                    StaticPredSpec spec =
+                        predictor_.specOf(f.di.staticIndex);
+                    switch (spec.source) {
+                      case PredSource::SameReg:
+                        inst.predOldTag = map_[f.di.dest].tag;
+                        break;
+                      case PredSource::OtherReg:
+                        inst.predOldTag = map_[spec.reg].tag;
+                        break;
+                      case PredSource::LastValue:
+                      case PredSource::Stride:
+                        // The loop-exclusive register holds the
+                        // previous instance's result (plus, for
+                        // Stride, an inserted add the paper treats as
+                        // off the critical path).
+                        inst.predOldTag =
+                            lastInstanceTag_[f.di.staticIndex];
+                        break;
+                    }
+                }
+                map_[f.di.dest] =
+                    MapEntry{inst.destTag, inst.seq, inst.predOldTag};
+                stats_.add("core.predictions_dispatched");
+            } else {
+                map_[f.di.dest] = MapEntry{inst.destTag, noSeq, 0};
+            }
+            lastInstanceTag_[f.di.staticIndex] = inst.destTag;
+            lastInstanceSeq_[f.di.staticIndex] = inst.seq;
+            if (isFpReg(f.di.dest))
+                ++phys_fp;
+            else
+                ++phys_int;
+        }
+
+        // ---- queue insert ----
+        if (uses_iq) {
+            inst.state = Inflight::St::InIQ;
+            inst.inIq = true;
+            inst.usesIq = true;
+            inst.usesFpQueue = is_fp_queue;
+            if (is_fp_queue)
+                ++fp_iq;
+            else
+                ++int_iq;
+        } else {
+            // NOP/HALT: completes immediately, consumes nothing.
+            inst.state = Inflight::St::Done;
+            inst.completeCycle = cycle_;
+        }
+        inst.isMemOp = is_mem;
+        if (is_mem)
+            ++lsq;
+        ++dispatched;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+Core::fetchPhase()
+{
+    if (fetchHalted_ || cycle_ < fetchResumeCycle_ ||
+        pendingRedirectSeq_ != noSeq) {
+        stats_.add("core.fetch_stall_cycles");
+        return;
+    }
+
+    unsigned fetched = 0;
+    unsigned taken_branches = 0;
+    while (fetched < params_.fetchWidth) {
+        if (window_.size() >= params_.robEntries) {
+            stats_.add("core.rob_full_stalls");
+            break;
+        }
+
+        // Materialize the Fetched record (replay or new).
+        if (fetchSeq_ >= bufferBase_ + buffer_.size()) {
+            if (streamEnded_) {
+                fetchHalted_ = true;
+                break;
+            }
+            Fetched f;
+            ArchState pre = emu_.state();
+            if (!emu_.step(f.di)) {
+                streamEnded_ = true;
+                fetchHalted_ = true;
+                break;
+            }
+            f.vp = predictor_.onInst(f.di, pre);
+            if (f.di.isControl()) {
+                f.isBranch = true;
+                const StaticInst &si = prog_.at(f.di.staticIndex);
+                BranchPrediction pred = bp_.predict(f.di.pc, si);
+                bool dir_wrong =
+                    si.info().isCondBranch && pred.taken != f.di.isTaken;
+                bool target_wrong =
+                    f.di.isTaken && pred.taken &&
+                    (!pred.targetKnown || pred.target != f.di.nextPc);
+                f.branchMispredict = dir_wrong || target_wrong;
+                f.predictedTaken = pred.taken;
+                bp_.update(f.di.pc, si, f.di.isTaken, f.di.nextPc,
+                           dir_wrong);
+            }
+            buffer_.push_back(f);
+        }
+        Fetched &f = buffer_[fetchSeq_ - bufferBase_];
+
+        // Instruction-cache access, one probe per new line.
+        std::uint64_t line = f.di.pc >> 6;
+        if (line != lastFetchLine_) {
+            unsigned lat = mem_.fetchLatency(f.di.pc);
+            lastFetchLine_ = line;
+            if (lat > params_.mem.l1HitLatency) {
+                // Miss: the group arrives after the miss penalty.
+                fetchResumeCycle_ = cycle_ + (lat - 1);
+                stats_.add("core.icache_miss_stalls");
+                break;
+            }
+        }
+
+        Inflight inst;
+        inst.seq = fetchSeq_;
+        inst.fetchCycle = cycle_;
+        window_.push_back(inst);
+        ++fetchSeq_;
+        ++fetched;
+        stats_.add("core.fetched");
+
+        if (f.di.op == Opcode::HALT) {
+            fetchHalted_ = true;
+            break;
+        }
+        if (f.isBranch) {
+            if (f.branchMispredict) {
+                pendingRedirectSeq_ = inst.seq;
+                break;
+            }
+            if (f.predictedTaken) {
+                ++taken_branches;
+                lastFetchLine_ = ~0ull;   // redirected: new line next
+                if (taken_branches >= params_.fetchBlocks)
+                    break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash / rename-map rebuild
+// ---------------------------------------------------------------------
+
+void
+Core::squashFrom(std::uint64_t first_bad_seq)
+{
+    while (!window_.empty() && window_.back().seq >= first_bad_seq) {
+        stats_.add("core.squashed");
+        window_.pop_back();
+    }
+    fetchSeq_ = first_bad_seq;
+    if (pendingRedirectSeq_ != noSeq &&
+        pendingRedirectSeq_ >= first_bad_seq) {
+        pendingRedirectSeq_ = noSeq;
+    }
+    fetchHalted_ = false;
+    lastFetchLine_ = ~0ull;
+
+    // LastValue prediction sources must not point at squashed tags
+    // (their producers will never complete).
+    for (std::size_t s = 0; s < lastInstanceSeq_.size(); ++s) {
+        if (lastInstanceSeq_[s] != noSeq &&
+            lastInstanceSeq_[s] >= first_bad_seq) {
+            lastInstanceTag_[s] = 0;
+            lastInstanceSeq_[s] = noSeq;
+        }
+    }
+
+    // Replayed branches re-predict with the (now trained) predictor:
+    // model that as a correct prediction of the actual outcome.
+    for (std::size_t i = first_bad_seq - bufferBase_; i < buffer_.size();
+         ++i) {
+        Fetched &f = buffer_[i];
+        if (f.isBranch) {
+            f.branchMispredict = false;
+            f.predictedTaken = f.di.isTaken;
+        }
+    }
+    rebuildRenameMap();
+}
+
+void
+Core::rebuildRenameMap()
+{
+    for (RegIndex r = 0; r < numArchRegs; ++r)
+        map_[r] = MapEntry{committedTag_[r], noSeq, 0};
+    for (const Inflight &inst : window_) {
+        if (inst.state == Inflight::St::WaitDispatch)
+            break;   // not renamed yet (in-order suffix)
+        const Fetched &f = fetchedOf(inst.seq);
+        if (f.di.dest == regNone)
+            continue;
+        if (inst.isPredicted && !inst.resolved) {
+            map_[f.di.dest] =
+                MapEntry{inst.destTag, inst.seq, inst.predOldTag};
+        } else {
+            map_[f.di.dest] = MapEntry{inst.destTag, noSeq, 0};
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+CoreResult
+Core::run()
+{
+    std::uint64_t last_commit_cycle = 0;
+    std::uint64_t last_committed = 0;
+
+    while (committed_ < params_.maxInsts) {
+        completePhase();
+        commitPhase();
+        iqReleasePhase();
+        issuePhase();
+        dispatchPhase();
+        fetchPhase();
+
+        if (committed_ != last_committed) {
+            last_committed = committed_;
+            last_commit_cycle = cycle_;
+        } else if (cycle_ - last_commit_cycle > 100'000) {
+            panic("core deadlock at cycle %llu (%llu committed)",
+                  static_cast<unsigned long long>(cycle_),
+                  static_cast<unsigned long long>(committed_));
+        }
+
+        ++cycle_;
+        if (window_.empty() && fetchHalted_)
+            break;   // program ran to completion
+
+        // Debug-only window snapshot (RVP_CORE_SNAPSHOT=<cycle>).
+        static const char *snap_env = std::getenv("RVP_CORE_SNAPSHOT");
+        if (snap_env && cycle_ == std::strtoull(snap_env, nullptr, 10)) {
+            std::fprintf(stderr, "=== window @cycle %llu ===\n",
+                         static_cast<unsigned long long>(cycle_));
+            for (const Inflight &inst : window_) {
+                const Fetched &f = fetchedOf(inst.seq);
+                std::fprintf(
+                    stderr,
+                    "seq=%llu st=%d iq=%d fp=%d op=%s pred=%d res=%d "
+                    "spec=%zu src0=%llu@%llu src1=%llu@%llu cmpl=%llu\n",
+                    static_cast<unsigned long long>(inst.seq),
+                    static_cast<int>(inst.state), inst.inIq,
+                    inst.usesFpQueue,
+                    std::string(f.di.info().mnemonic).c_str(),
+                    inst.isPredicted, inst.resolved, inst.specOn.size(),
+                    static_cast<unsigned long long>(inst.srcTag[0]),
+                    static_cast<unsigned long long>(
+                        readyAt_[inst.srcTag[0]]),
+                    static_cast<unsigned long long>(inst.srcTag[1]),
+                    static_cast<unsigned long long>(
+                        readyAt_[inst.srcTag[1]]),
+                    static_cast<unsigned long long>(inst.completeCycle));
+            }
+        }
+    }
+
+    CoreResult result;
+    result.cycles = cycle_;
+    result.committed = committed_;
+    result.ipc = cycle_ ? static_cast<double>(committed_) /
+                              static_cast<double>(cycle_)
+                        : 0.0;
+    stats_.set("core.cycles", static_cast<double>(cycle_));
+    stats_.set("core.committed", static_cast<double>(committed_));
+    stats_.set("core.ipc", result.ipc);
+    mem_.exportStats(stats_);
+    bp_.exportStats(stats_);
+    predictor_.exportStats(stats_);
+    result.stats = stats_;
+    return result;
+}
+
+} // namespace rvp

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Execution-driven out-of-order core timing model. The functional
+ * emulator supplies the committed-path instruction stream (with
+ * values); this model times it through fetch, rename, the instruction
+ * queues, functional units, the memory hierarchy, and in-order
+ * commit, including:
+ *
+ *  - gshare/BTB/RAS branch prediction with squash + 7-cycle redirect
+ *  - register renaming with the paper's *speculative mapping* field:
+ *    a value-predicted instruction keeps the previous physical mapping
+ *    visible so its consumers read the prior register value and issue
+ *    immediately (Section 4)
+ *  - transitive speculation tracking so all three misprediction
+ *    recovery schemes (refetch / reissue / selective reissue) behave
+ *    per Section 4.3, including the IQ-occupancy pressure that makes
+ *    refetch competitive (Section 7.1.1)
+ *  - a load/store queue with perfect address-based disambiguation and
+ *    store->load forwarding.
+ *
+ * Wrong-path instructions are not fetched; a mispredicted branch
+ * stalls fetch until it resolves and restarts it the next cycle, which
+ * with the front-end depth reproduces the 7-cycle penalty of Table 1.
+ */
+
+#ifndef RVP_UARCH_CORE_HH
+#define RVP_UARCH_CORE_HH
+
+#include <deque>
+#include <vector>
+
+#include "branch/gshare.hh"
+#include "emu/emulator.hh"
+#include "mem/hierarchy.hh"
+#include "uarch/params.hh"
+#include "vp/predictor.hh"
+
+namespace rvp
+{
+
+/** Result of a timing run. */
+struct CoreResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+    StatSet stats;
+};
+
+/** The out-of-order core. One instance runs one program once. */
+class Core
+{
+  public:
+    /**
+     * @param params core configuration
+     * @param prog compiled program (with data image)
+     * @param predictor value predictor (owned by caller; consulted in
+     *        program order at first fetch)
+     */
+    Core(const CoreParams &params, const Program &prog,
+         ValuePredictor &predictor);
+
+    /** Run to the committed-instruction budget (or HALT). */
+    CoreResult run();
+
+  private:
+    static constexpr std::uint64_t noSeq = ~0ull;
+    static constexpr std::uint64_t farFuture = ~0ull / 4;
+
+    /** Program-order record produced at first fetch, kept for replay. */
+    struct Fetched
+    {
+        DynInst di;
+        VpDecision vp;
+        bool isBranch = false;
+        bool branchMispredict = false;
+        bool predictedTaken = false;
+    };
+
+    /** Pipeline state of one in-flight instruction. */
+    struct Inflight
+    {
+        enum class St : std::uint8_t { WaitDispatch, InIQ, Issued, Done };
+
+        std::uint64_t seq = 0;
+        St state = St::WaitDispatch;
+        std::uint64_t fetchCycle = 0;
+        std::uint64_t completeCycle = farFuture;
+        std::uint64_t earliestIssue = 0;
+
+        std::uint64_t destTag = 0;
+        std::uint64_t srcTag[2] = {0, 0};
+        /** Prediction (seq) currently supplying each source, if any. */
+        std::uint64_t srcPredSeq[2] = {noSeq, noSeq};
+        /** Unresolved predictions this instruction depends on. */
+        std::vector<std::uint64_t> specOn;
+
+        bool inIq = false;
+        bool usesFpQueue = false;
+        bool usesIq = false;
+        bool isMemOp = false;
+
+        // Prediction bookkeeping (when this instruction is predicted).
+        bool isPredicted = false;
+        bool resolved = false;
+        std::uint64_t predOldTag = 0;
+        std::uint64_t firstUseSeq = noSeq;
+    };
+
+    /** Speculative rename-map entry (Section 4.1). */
+    struct MapEntry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t predSeq = noSeq;   ///< unresolved prediction
+        std::uint64_t oldTag = 0;        ///< prior mapping (prediction)
+    };
+
+    // ---- pipeline phases (one call each per cycle) ----
+    void completePhase();
+    void commitPhase();
+    void iqReleasePhase();
+    void issuePhase();
+    void dispatchPhase();
+    void fetchPhase();
+
+    // ---- helpers ----
+    Inflight *findSeq(std::uint64_t seq);
+    const Fetched &fetchedOf(std::uint64_t seq) const;
+    bool predUnresolved(std::uint64_t seq) const;
+    void recoverFromValueMispredict(Inflight &pred);
+    void squashFrom(std::uint64_t first_bad_seq);
+    void rebuildRenameMap();
+    void resetIssuedDependent(Inflight &inst, const Inflight &pred);
+    unsigned iqCount(bool fp) const;
+    unsigned physInUse(bool fp) const;
+    unsigned lsqInUse() const;
+    bool loadBlockedByStore(const Inflight &load) const;
+    unsigned loadLatencyFor(const Inflight &load);
+    std::uint64_t allocTag(std::uint64_t producer_seq);
+    void noteFirstUse(std::uint64_t pred_seq, std::uint64_t user_seq);
+    void inheritSpec(Inflight &inst, std::uint64_t tag);
+
+    const CoreParams params_;
+    const Program &prog_;
+    ValuePredictor &predictor_;
+
+    Emulator emu_;
+    MemoryHierarchy mem_;
+    BranchPredictor bp_;
+
+    // Replay buffer: Fetched records for seqs [bufferBase_, ...).
+    std::deque<Fetched> buffer_;
+    std::uint64_t bufferBase_ = 0;
+    std::uint64_t fetchSeq_ = 0;      ///< next seq to put in the window
+    bool streamEnded_ = false;
+
+    std::deque<Inflight> window_;     ///< ROB, oldest first
+
+    MapEntry map_[numArchRegs];
+    std::uint64_t committedTag_[numArchRegs] = {};
+
+    std::vector<std::uint64_t> readyAt_;     ///< per tag: exec-start ready
+    std::vector<std::uint64_t> tagProducer_; ///< per tag: producing seq
+    std::uint64_t nextTag_ = 1;
+
+    /** Per static inst: tag/seq of its most recent dispatched instance
+     *  (the prediction source for LastValue specs). */
+    std::vector<std::uint64_t> lastInstanceTag_;
+    std::vector<std::uint64_t> lastInstanceSeq_;
+
+    std::uint64_t cycle_ = 0;
+    std::uint64_t committed_ = 0;
+    std::uint64_t fetchResumeCycle_ = 0;
+    std::uint64_t pendingRedirectSeq_ = noSeq;
+    std::uint64_t lastFetchLine_ = ~0ull;
+    bool fetchHalted_ = false;
+
+    StatSet stats_;
+};
+
+} // namespace rvp
+
+#endif // RVP_UARCH_CORE_HH

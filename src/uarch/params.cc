@@ -1,0 +1,32 @@
+#include "uarch/params.hh"
+
+namespace rvp
+{
+
+CoreParams
+CoreParams::table1()
+{
+    return CoreParams{};
+}
+
+CoreParams
+CoreParams::aggressive16()
+{
+    CoreParams p;
+    p.fetchWidth = 16;
+    p.fetchBlocks = 3;      // up to three basic blocks per cycle
+    p.renameWidth = 16;
+    p.commitWidth = 16;
+    p.intIqEntries = 64;
+    p.fpIqEntries = 64;
+    p.intFus = 12;
+    p.ldstPorts = 8;
+    p.fpFus = 6;
+    p.robEntries = 256;
+    p.physIntRegs = 224;    // doubled renaming registers
+    p.physFpRegs = 224;
+    p.lsqEntries = 128;
+    return p;
+}
+
+} // namespace rvp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Processor parameters. The defaults reproduce Table 1 of the paper:
+ * a 9-stage, 8-wide out-of-order core with 32-entry int/fp instruction
+ * queues, 6 integer FUs (4 of them load/store capable), 3 FP FUs, a
+ * 7-cycle branch-mispredict penalty, gshare + 256-entry BTB, and the
+ * 32KB/32KB/512KB cache hierarchy. aggressive16() doubles the queues,
+ * functional units, renaming registers, and fetch bandwidth and
+ * fetches up to three basic blocks per cycle (the paper's Section 7.4
+ * configuration).
+ */
+
+#ifndef RVP_UARCH_PARAMS_HH
+#define RVP_UARCH_PARAMS_HH
+
+#include <cstdint>
+
+#include "branch/gshare.hh"
+#include "mem/hierarchy.hh"
+
+namespace rvp
+{
+
+/** Value-misprediction recovery scheme (Section 4.3). */
+enum class RecoveryPolicy
+{
+    Refetch,    ///< treat like a branch mispredict: squash + refetch
+    Reissue,    ///< everything after first-use held in the IQ, reissues
+    Selective,  ///< only dependent instructions held and reissued
+};
+
+/** Full core configuration. */
+struct CoreParams
+{
+    unsigned fetchWidth = 8;
+    /** Max predicted-taken branches fetched per cycle (basic blocks). */
+    unsigned fetchBlocks = 1;
+    /**
+     * Cycles from fetch to dispatch. With 1 issue + 1 regread + 1
+     * execute cycle this yields the paper's 9-stage pipe and 7-cycle
+     * branch-mispredict penalty.
+     */
+    unsigned frontDepth = 5;
+    unsigned renameWidth = 8;
+    unsigned commitWidth = 8;
+
+    unsigned intIqEntries = 32;
+    unsigned fpIqEntries = 32;
+    unsigned intFus = 6;
+    unsigned ldstPorts = 4;     ///< of the integer FUs
+    unsigned fpFus = 3;
+
+    unsigned robEntries = 128;
+    unsigned physIntRegs = 128; ///< 32 architectural + 96 renaming
+    unsigned physFpRegs = 128;
+    unsigned lsqEntries = 64;
+
+    RecoveryPolicy recovery = RecoveryPolicy::Selective;
+
+    HierarchyConfig mem;
+    BranchPredictorConfig bp;
+
+    /** Committed-instruction budget for one run. */
+    std::uint64_t maxInsts = 400'000;
+
+    /** The paper's Table-1 next-generation 8-wide core. */
+    static CoreParams table1();
+
+    /** The paper's Section-7.4 aggressive 16-wide core. */
+    static CoreParams aggressive16();
+};
+
+} // namespace rvp
+
+#endif // RVP_UARCH_PARAMS_HH

@@ -1,0 +1,52 @@
+#include "vp/confidence.hh"
+
+namespace rvp
+{
+
+ConfidenceTable::ConfidenceTable(const ConfidenceConfig &config)
+    : config_(config),
+      counters_(config.entries,
+                ResettingCounter(config.counterBits, config.threshold)),
+      tags_(config.tagged ? config.entries : 0, ~0ull)
+{
+}
+
+unsigned
+ConfidenceTable::indexOf(std::uint64_t pc) const
+{
+    return static_cast<unsigned>((pc >> 2) % config_.entries);
+}
+
+bool
+ConfidenceTable::confident(std::uint64_t pc) const
+{
+    unsigned idx = indexOf(pc);
+    if (config_.tagged && tags_[idx] != pc)
+        return false;
+    return counters_[idx].confident();
+}
+
+void
+ConfidenceTable::update(std::uint64_t pc, bool correct)
+{
+    unsigned idx = indexOf(pc);
+    if (config_.tagged && tags_[idx] != pc) {
+        tags_[idx] = pc;
+        counters_[idx].reset();
+    }
+    if (correct)
+        counters_[idx].recordCorrect();
+    else
+        counters_[idx].recordIncorrect();
+}
+
+void
+ConfidenceTable::reset()
+{
+    for (auto &counter : counters_)
+        counter.reset();
+    for (auto &tag : tags_)
+        tag = ~0ull;
+}
+
+} // namespace rvp

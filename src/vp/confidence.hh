@@ -1,0 +1,65 @@
+/**
+ * @file
+ * PC-indexed confidence-counter table for value prediction: a
+ * direct-mapped array of 3-bit resetting counters with threshold 7
+ * (the paper's configuration for both dynamic RVP and the LVP
+ * baseline). RVP's table is untagged — the paper shows untagged
+ * counters actually outperform tagged ones for RVP because positive
+ * interference (two instructions that both exhibit register reuse
+ * sharing a counter) is common, unlike for LVP where the stored
+ * values would also have to match. A tagged variant exists for the
+ * ablation benchmark.
+ */
+
+#ifndef RVP_VP_CONFIDENCE_HH
+#define RVP_VP_CONFIDENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/counters.hh"
+
+namespace rvp
+{
+
+/** Configuration of a confidence table. */
+struct ConfidenceConfig
+{
+    unsigned entries = 1024;
+    unsigned counterBits = 3;
+    unsigned threshold = 7;
+    bool tagged = false;
+};
+
+/** Direct-mapped table of resetting confidence counters. */
+class ConfidenceTable
+{
+  public:
+    explicit ConfidenceTable(const ConfidenceConfig &config = {});
+
+    /**
+     * Would the table authorize a prediction for pc right now?
+     * Tagged tables refuse on a tag mismatch.
+     */
+    bool confident(std::uint64_t pc) const;
+
+    /**
+     * Record the outcome for pc. Tagged tables replace a mismatched
+     * entry (reset the counter to zero) before recording.
+     */
+    void update(std::uint64_t pc, bool correct);
+
+    void reset();
+    unsigned entryCount() const { return config_.entries; }
+
+  private:
+    unsigned indexOf(std::uint64_t pc) const;
+
+    ConfidenceConfig config_;
+    std::vector<ResettingCounter> counters_;
+    std::vector<std::uint64_t> tags_;
+};
+
+} // namespace rvp
+
+#endif // RVP_VP_CONFIDENCE_HH

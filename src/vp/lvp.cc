@@ -1,0 +1,70 @@
+#include "vp/lvp.hh"
+
+namespace rvp
+{
+
+LastValuePredictor::LastValuePredictor(const LvpConfig &config)
+    : config_(config),
+      table_(config.entries, Entry(config.counterBits, config.threshold))
+{
+}
+
+void
+LastValuePredictor::applyUpdate(const PendingUpdate &update)
+{
+    unsigned idx =
+        static_cast<unsigned>((update.pc >> 2) % config_.entries);
+    Entry &entry = table_[idx];
+
+    bool tag_hit = !config_.tagged || entry.tag == update.pc;
+    if (!tag_hit) {
+        // Interference: take the entry over and restart confidence.
+        ++tagMisses_;
+        entry.tag = update.pc;
+        entry.counter.reset();
+        entry.value = update.value;
+        return;
+    }
+    if (entry.value == update.value)
+        entry.counter.recordCorrect();
+    else
+        entry.counter.recordIncorrect();
+    entry.value = update.value;
+}
+
+VpDecision
+LastValuePredictor::onInst(const DynInst &inst, const ArchState &)
+{
+    // Retire value-file updates whose instructions have committed
+    // (modelled as an instruction-count delay; see LvpConfig).
+    while (!pending_.empty() &&
+           pending_.front().seq + config_.updateDelayInsts <= inst.seq) {
+        applyUpdate(pending_.front());
+        pending_.pop_front();
+    }
+
+    // Only register-writing instructions are candidates.
+    if (inst.dest == regNone)
+        return {};
+    if (config_.loadsOnly && !inst.isLoad())
+        return {};
+
+    unsigned idx = static_cast<unsigned>((inst.pc >> 2) % config_.entries);
+    const Entry &entry = table_[idx];
+
+    bool tag_hit = !config_.tagged || entry.tag == inst.pc;
+    bool predicted = tag_hit && entry.counter.confident();
+    bool value_hit = tag_hit && entry.value == inst.newValue;
+
+    pending_.push_back({inst.seq, inst.pc, inst.newValue});
+    return record(predicted, value_hit);
+}
+
+void
+LastValuePredictor::exportStats(StatSet &stats) const
+{
+    ValuePredictor::exportStats(stats);
+    stats.set("vp.lvp_tag_misses", static_cast<double>(tagMisses_));
+}
+
+} // namespace rvp

@@ -1,0 +1,51 @@
+#include "vp/oracle.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+void
+ValuePredictor::exportStats(StatSet &stats) const
+{
+    stats.set("vp.eligible", static_cast<double>(eligible_));
+    stats.set("vp.predictions", static_cast<double>(predictions_));
+    stats.set("vp.correct", static_cast<double>(correct_));
+    stats.set("vp.incorrect",
+              static_cast<double>(predictions_ - correct_));
+}
+
+std::unique_ptr<ValuePredictor>
+makePredictor(const VpConfig &config, const Program &prog)
+{
+    switch (config.scheme) {
+      case VpScheme::None:
+        return std::make_unique<NullPredictor>();
+      case VpScheme::Lvp: {
+        LvpConfig lvp;
+        lvp.entries = config.tableEntries;
+        lvp.counterBits = config.counterBits;
+        lvp.threshold = config.threshold;
+        lvp.tagged = config.taggedLvp;
+        lvp.loadsOnly = config.loadsOnly;
+        return std::make_unique<LastValuePredictor>(lvp);
+      }
+      case VpScheme::StaticRvp:
+        return std::make_unique<StaticRvpPredictor>(prog, config.specs);
+      case VpScheme::DynamicRvp: {
+        ConfidenceConfig conf;
+        conf.entries = config.tableEntries;
+        conf.counterBits = config.counterBits;
+        conf.threshold = config.threshold;
+        conf.tagged = config.taggedRvp;
+        return std::make_unique<DynamicRvpPredictor>(
+            config.specs, config.loadsOnly, conf);
+      }
+      case VpScheme::GabbayRp:
+        return std::make_unique<GabbayRegisterPredictor>(
+            config.counterBits, config.threshold, config.loadsOnly);
+    }
+    panic("unknown vp scheme");
+}
+
+} // namespace rvp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Value-predictor factory: builds a configured predictor from a
+ * scheme description. This is the configuration surface the
+ * experiment runner and the benchmark harness use.
+ */
+
+#ifndef RVP_VP_ORACLE_HH
+#define RVP_VP_ORACLE_HH
+
+#include <memory>
+
+#include "vp/lvp.hh"
+#include "vp/rvp.hh"
+
+namespace rvp
+{
+
+/** Which value-prediction mechanism to simulate. */
+enum class VpScheme
+{
+    None,        ///< no prediction baseline
+    Lvp,         ///< buffer-based last-value prediction
+    StaticRvp,   ///< opcode-marked loads, always predicted
+    DynamicRvp,  ///< PC-indexed confidence counters, no value storage
+    GabbayRp,    ///< register-indexed confidence counters (baseline)
+};
+
+/** Full predictor configuration. */
+struct VpConfig
+{
+    VpScheme scheme = VpScheme::None;
+    bool loadsOnly = true;
+    unsigned tableEntries = 1024;
+    unsigned counterBits = 3;
+    unsigned threshold = 7;
+    /** Tag the table (LVP default: yes; RVP default: no). */
+    bool taggedLvp = true;
+    bool taggedRvp = false;
+    /** Per-static prediction sources (RVP schemes). */
+    std::vector<StaticPredSpec> specs;
+};
+
+/**
+ * Build a predictor. prog must outlive the predictor for StaticRvp.
+ */
+std::unique_ptr<ValuePredictor>
+makePredictor(const VpConfig &config, const Program &prog);
+
+} // namespace rvp
+
+#endif // RVP_VP_ORACLE_HH

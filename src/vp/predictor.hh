@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Common interface for all value predictors. A predictor observes
+ * every committed-path instruction in program order (at fetch) and
+ * decides whether the pipeline treats the instruction as predicted
+ * and, if so, whether the prediction is architecturally correct. The
+ * timing model applies the performance consequences (dependence
+ * breaking, recovery); the predictor owns its own state (values,
+ * confidence counters).
+ */
+
+#ifndef RVP_VP_PREDICTOR_HH
+#define RVP_VP_PREDICTOR_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "emu/emulator.hh"
+#include "profile/reuse_profiler.hh"
+
+namespace rvp
+{
+
+/** Outcome of consulting a predictor for one dynamic instruction. */
+struct VpDecision
+{
+    bool predicted = false;
+    bool correct = false;
+};
+
+/** Abstract value predictor. */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /**
+     * Observe (and, if applicable, predict) one instruction.
+     *
+     * @param inst the executed instruction (values known)
+     * @param pre_state architectural register state just before inst
+     */
+    virtual VpDecision onInst(const DynInst &inst,
+                              const ArchState &pre_state) = 0;
+
+    /**
+     * The prediction source assumed for a static instruction. The
+     * timing model uses this to pick *which* prior register value the
+     * consumers wait for: with compiler re-allocation the value sits
+     * in the correlated register (OtherReg) or in a loop-exclusive
+     * register holding the instruction's previous result (LastValue).
+     */
+    virtual StaticPredSpec
+    specOf(std::uint32_t /* static_index */) const
+    {
+        return {};
+    }
+
+    /**
+     * True when the predicted value is read out of dedicated value
+     * storage at rename (buffer-based prediction, e.g. LVP): the
+     * value is available immediately, so consumers need not wait for
+     * any register. Storageless RVP returns false — the prediction
+     * is a prior register value and consumers wait for that register.
+     */
+    virtual bool valueFromBuffer() const { return false; }
+
+    /** Export predictor statistics under the "vp." prefix. */
+    virtual void exportStats(StatSet &stats) const;
+
+    std::uint64_t eligible() const { return eligible_; }
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t correct() const { return correct_; }
+
+  protected:
+    /** Book-keeping helper for subclasses. */
+    VpDecision
+    record(bool predicted, bool would_be_correct)
+    {
+        ++eligible_;
+        VpDecision d;
+        d.predicted = predicted;
+        d.correct = would_be_correct;
+        predictions_ += predicted;
+        correct_ += predicted && would_be_correct;
+        return d;
+    }
+
+  private:
+    std::uint64_t eligible_ = 0;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/** A predictor that never predicts (the no-prediction baseline). */
+class NullPredictor : public ValuePredictor
+{
+  public:
+    VpDecision
+    onInst(const DynInst &, const ArchState &) override
+    {
+        return {};
+    }
+};
+
+} // namespace rvp
+
+#endif // RVP_VP_PREDICTOR_HH

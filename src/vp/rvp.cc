@@ -1,0 +1,120 @@
+#include "vp/rvp.hh"
+
+namespace rvp
+{
+
+SpecEvaluator::SpecEvaluator(std::vector<StaticPredSpec> specs)
+    : specs_(std::move(specs))
+{
+    lastValue_.assign(specs_.size(), 0);
+    lastValid_.assign(specs_.size(), false);
+}
+
+bool
+SpecEvaluator::wouldBeCorrect(const DynInst &inst,
+                              const ArchState &pre_state)
+{
+    StaticPredSpec spec;   // default SameReg
+    std::uint32_t s = inst.staticIndex;
+    if (s < specs_.size())
+        spec = specs_[s];
+
+    switch (spec.source) {
+      case PredSource::SameReg:
+        return inst.oldDestValue == inst.newValue;
+      case PredSource::OtherReg:
+        // The profile says the compiler re-allocated so that this
+        // register's value lands in the destination (or a move put it
+        // there); the prediction is that register's current value.
+        return pre_state.read(spec.reg) == inst.newValue;
+      case PredSource::LastValue: {
+        // Compiler gave the instruction a loop-exclusive register, so
+        // the prior register value is the instruction's own previous
+        // result.
+        bool hit = lastValid_[s] && lastValue_[s] == inst.newValue;
+        lastValue_[s] = inst.newValue;
+        lastValid_[s] = true;
+        return hit;
+      }
+      case PredSource::Stride: {
+        // Compiler keeps a loop-exclusive register and inserts an add
+        // of the profiled stride each iteration (Section 3, "Et
+        // Cetera"), so the register holds last result + stride.
+        bool hit = lastValid_[s] &&
+                   lastValue_[s] + static_cast<std::uint64_t>(
+                                       spec.stride) == inst.newValue;
+        lastValue_[s] = inst.newValue;
+        lastValid_[s] = true;
+        return hit;
+      }
+    }
+    return false;
+}
+
+StaticRvpPredictor::StaticRvpPredictor(const Program &prog,
+                                       std::vector<StaticPredSpec> specs)
+    : prog_(prog), eval_(std::move(specs))
+{
+}
+
+VpDecision
+StaticRvpPredictor::onInst(const DynInst &inst, const ArchState &pre_state)
+{
+    if (inst.dest == regNone)
+        return {};
+    // Static RVP predicts exactly the opcode-marked loads, always.
+    if (!prog_.at(inst.staticIndex).isRvpMarked())
+        return {};
+    bool correct = eval_.wouldBeCorrect(inst, pre_state);
+    return record(true, correct);
+}
+
+DynamicRvpPredictor::DynamicRvpPredictor(std::vector<StaticPredSpec> specs,
+                                         bool loads_only,
+                                         const ConfidenceConfig &confidence)
+    : eval_(std::move(specs)), table_(confidence), loadsOnly_(loads_only)
+{
+}
+
+VpDecision
+DynamicRvpPredictor::onInst(const DynInst &inst, const ArchState &pre_state)
+{
+    if (inst.dest == regNone)
+        return {};
+    if (loadsOnly_ && !inst.isLoad())
+        return {};
+    bool correct = eval_.wouldBeCorrect(inst, pre_state);
+    bool predicted = table_.confident(inst.pc);
+    table_.update(inst.pc, correct);
+    return record(predicted, correct);
+}
+
+GabbayRegisterPredictor::GabbayRegisterPredictor(unsigned counter_bits,
+                                                 unsigned threshold,
+                                                 bool loads_only)
+    : loadsOnly_(loads_only)
+{
+    for (auto &counter : counters_)
+        counter = ResettingCounter(counter_bits, threshold);
+}
+
+VpDecision
+GabbayRegisterPredictor::onInst(const DynInst &inst, const ArchState &)
+{
+    if (inst.dest == regNone)
+        return {};
+    if (loadsOnly_ && !inst.isLoad())
+        return {};
+    // Same storageless same-register prediction, but the confidence
+    // counter is shared by *every* instruction writing this register.
+    bool correct = inst.oldDestValue == inst.newValue;
+    ResettingCounter &counter = counters_[inst.dest];
+    bool predicted = counter.confident();
+    if (correct)
+        counter.recordCorrect();
+    else
+        counter.recordIncorrect();
+    return record(predicted, correct);
+}
+
+} // namespace rvp

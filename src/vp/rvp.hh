@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Register value prediction — the paper's contribution. Three
+ * predictors share a SpecEvaluator that decides whether a prediction
+ * drawn from prior register values would be architecturally correct
+ * for an instruction, given the instruction's profile-assigned
+ * prediction source (same register / correlated other register /
+ * own last value, see profile/reuse_profiler.hh):
+ *
+ *  - StaticRvpPredictor: predicts every rvp_*-marked load, always
+ *    (static RVP; the compiler chose the loads via profiling).
+ *  - DynamicRvpPredictor: predicts any register-writing instruction
+ *    whose PC-indexed untagged 3-bit resetting confidence counter has
+ *    reached threshold (dynamic RVP; optionally loads only).
+ *  - GabbayRegisterPredictor: the Gabbay & Mendelson register-file
+ *    predictor baseline — identical except the confidence counters
+ *    are indexed by *destination register number*, so every
+ *    instruction that writes a register shares that register's
+ *    counter (the interference the paper shows cripples coverage).
+ *
+ * None of these store values: the prediction is whatever the register
+ * file already holds.
+ */
+
+#ifndef RVP_VP_RVP_HH
+#define RVP_VP_RVP_HH
+
+#include <array>
+#include <vector>
+
+#include "profile/reuse_profiler.hh"
+#include "vp/confidence.hh"
+#include "vp/predictor.hh"
+
+namespace rvp
+{
+
+/**
+ * Evaluates whether an RVP prediction would be correct for one
+ * instruction under its per-static prediction-source spec. Owns the
+ * per-static last-value state used by LastValue specs (which model a
+ * compiler-provided loop-exclusive register).
+ */
+class SpecEvaluator
+{
+  public:
+    /**
+     * @param specs per-static prediction sources; empty means
+     *        same-register for everything
+     */
+    explicit SpecEvaluator(std::vector<StaticPredSpec> specs);
+
+    /** Would predicting inst from its spec source be correct? */
+    bool wouldBeCorrect(const DynInst &inst, const ArchState &pre_state);
+
+    /** The spec assigned to a static instruction (SameReg default). */
+    StaticPredSpec
+    specOf(std::uint32_t static_index) const
+    {
+        return static_index < specs_.size() ? specs_[static_index]
+                                            : StaticPredSpec{};
+    }
+
+  private:
+    std::vector<StaticPredSpec> specs_;
+    std::vector<std::uint64_t> lastValue_;
+    std::vector<bool> lastValid_;
+};
+
+/** Static RVP: marked loads are always predicted. */
+class StaticRvpPredictor : public ValuePredictor
+{
+  public:
+    StaticRvpPredictor(const Program &prog,
+                       std::vector<StaticPredSpec> specs);
+
+    VpDecision onInst(const DynInst &inst,
+                      const ArchState &pre_state) override;
+
+    StaticPredSpec
+    specOf(std::uint32_t static_index) const override
+    {
+        return eval_.specOf(static_index);
+    }
+
+  private:
+    const Program &prog_;
+    SpecEvaluator eval_;
+};
+
+/** Dynamic RVP: PC-indexed confidence counters, no value storage. */
+class DynamicRvpPredictor : public ValuePredictor
+{
+  public:
+    /**
+     * @param loads_only restrict prediction to load instructions
+     * @param confidence counter-table geometry (untagged by default)
+     */
+    DynamicRvpPredictor(std::vector<StaticPredSpec> specs,
+                        bool loads_only,
+                        const ConfidenceConfig &confidence = {});
+
+    VpDecision onInst(const DynInst &inst,
+                      const ArchState &pre_state) override;
+
+    StaticPredSpec
+    specOf(std::uint32_t static_index) const override
+    {
+        return eval_.specOf(static_index);
+    }
+
+  private:
+    SpecEvaluator eval_;
+    ConfidenceTable table_;
+    bool loadsOnly_;
+};
+
+/** Gabbay & Mendelson register predictor: counters per register. */
+class GabbayRegisterPredictor : public ValuePredictor
+{
+  public:
+    GabbayRegisterPredictor(unsigned counter_bits = 3,
+                            unsigned threshold = 7,
+                            bool loads_only = false);
+
+    VpDecision onInst(const DynInst &inst,
+                      const ArchState &pre_state) override;
+
+  private:
+    std::array<ResettingCounter, numArchRegs> counters_;
+    bool loadsOnly_;
+};
+
+} // namespace rvp
+
+#endif // RVP_VP_RVP_HH

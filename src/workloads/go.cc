@@ -1,0 +1,153 @@
+/**
+ * @file
+ * "go" analogue: branchy integer board-scanning code in the style of
+ * the SPEC95 go engine. A 512-point board (values 0 = empty, 1/2 =
+ * stones) is scanned repeatedly: each point is classified, neighbour
+ * chains are examined with data-dependent branches, and a
+ * liberties-style table is consulted. After each full scan a
+ * linear-congruential "move generator" mutates one board point, so
+ * board values drift slowly. Characteristics reproduced: hard-to-
+ * predict branches, moderate load-value reuse (empty points dominate),
+ * small table loads with high reuse.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+constexpr std::uint64_t boardBase = Program::dataBase;          // 512 x 8B
+constexpr std::uint64_t libTableBase = Program::dataBase + 0x2000; // 3 x 8B
+constexpr std::uint64_t resultBase = Program::dataBase + 0x3000;
+
+} // namespace
+
+BuiltWorkload
+buildGo(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "go";
+    wl.isFloatingPoint = false;
+
+    // Board image: mostly empty, two stone colours.
+    Rng rng(input == InputSet::Train ? 0x90901 : 0x90902);
+    unsigned stone_pct = input == InputSet::Train ? 35 : 42;
+    for (unsigned i = 0; i < 512; ++i) {
+        std::uint64_t v = 0;
+        if (rng.chance(stone_pct, 100))
+            v = 1 + rng.nextBelow(2);
+        wl.data.push_back({boardBase + 8 * i, v});
+    }
+    // Liberties table: one entry per point class.
+    wl.data.push_back({libTableBase + 0, 4});
+    wl.data.push_back({libTableBase + 8, 2});
+    wl.data.push_back({libTableBase + 16, 1});
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg board = f.newIntVReg();
+    VReg libs = f.newIntVReg();
+    VReg result = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg seed = f.newIntVReg();
+    VReg score = f.newIntVReg();
+    VReg empty = f.newIntVReg();
+    VReg chains = f.newIntVReg();
+    VReg idx = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg cell = f.newIntVReg();
+    VReg left = f.newIntVReg();
+    VReg right = f.newIntVReg();
+    VReg lib = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg tmp2 = f.newIntVReg();
+
+    b.startBlock();
+    b.loadAddr(board, boardBase);
+    b.loadAddr(libs, libTableBase);
+    b.loadAddr(result, resultBase);
+    b.loadAddr(outer, 4'000'000);
+    b.loadImm(seed, 12345);
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(score, 0);
+    b.loadImm(empty, 0);
+    b.loadImm(chains, 0);
+    b.loadImm(idx, 1);
+
+    // -------- scan loop over interior points --------
+    BlockId scan_head = b.startBlock();
+    b.opImm(Opcode::SLL, addr, idx, 3);
+    b.op3(Opcode::ADDQ, addr, addr, board);
+    b.load(cell, addr, 0);
+
+    BlockId occupied = b.label();
+    BlockId point_done = b.label();
+    b.branch(Opcode::BNE, cell, occupied);
+
+    // Empty point: count it and fall to the next point.
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, empty, empty, 1);
+    b.jump(point_done);
+
+    // Occupied: compare against both neighbours (data-dependent
+    // branches: stone colours are pseudo-random).
+    b.place(occupied);
+    b.load(left, addr, -8);
+    b.load(right, addr, 8);
+    b.op3(Opcode::CMPEQ, tmp, left, cell);
+    BlockId no_left = b.label();
+    b.branch(Opcode::BEQ, tmp, no_left);
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, chains, chains, 1);
+    b.place(no_left);
+    b.op3(Opcode::CMPEQ, tmp, right, cell);
+    BlockId no_right = b.label();
+    b.branch(Opcode::BEQ, tmp, no_right);
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, chains, chains, 1);
+    b.place(no_right);
+    // Liberties table lookup: cell is 1 or 2 -> few distinct values.
+    b.opImm(Opcode::SLL, tmp2, cell, 3);
+    b.op3(Opcode::ADDQ, tmp2, tmp2, libs);
+    b.load(lib, tmp2, 0);
+    b.op3(Opcode::ADDQ, score, score, lib);
+
+    b.place(point_done);
+    b.opImm(Opcode::ADDQ, idx, idx, 1);
+    b.opImm(Opcode::CMPLT, tmp, idx, 511);
+    b.branch(Opcode::BNE, tmp, scan_head);
+
+    // -------- end of scan: record and mutate one point --------
+    b.startBlock();
+    b.store(score, result, 0);
+    b.store(empty, result, 8);
+    b.store(chains, result, 16);
+    // LCG move generator.
+    b.opImm(Opcode::MULQ, seed, seed, 389);
+    b.opImm(Opcode::ADDQ, seed, seed, 151);
+    b.opImm(Opcode::SRL, tmp, seed, 16);
+    b.opImm(Opcode::AND, tmp, tmp, 511);
+    b.opImm(Opcode::SLL, tmp, tmp, 3);
+    b.op3(Opcode::ADDQ, tmp, tmp, board);
+    b.opImm(Opcode::SRL, tmp2, seed, 24);
+    b.opImm(Opcode::AND, tmp2, tmp2, 1);
+    b.opImm(Opcode::ADDQ, tmp2, tmp2, 1);
+    b.store(tmp2, tmp, 0);
+
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

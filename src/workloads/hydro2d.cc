@@ -1,0 +1,145 @@
+/**
+ * @file
+ * "hydro2d" analogue: a 2D hydrodynamics relaxation stencil in the
+ * spirit of the SPEC95 Navier-Stokes solver. Each sweep reads the
+ * five-point neighbourhood of a 64x64 field and writes a damped
+ * average into a second plane. The field is piecewise-smooth (large
+ * constant patches around a varying blob), so neighbouring loads very
+ * often return the *same* value — exactly the cross-register value
+ * correlation (north == south == centre) that register value
+ * prediction exploits and that buffer-based last-value prediction
+ * cannot see. The source plane is never overwritten, so per-sweep
+ * value streams repeat, giving the high reuse the paper reports for
+ * hydro2d.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+// 32x32 doubles per plane: the two planes (16KB) stay L1-resident, so
+// prediction verification latencies are dominated by the pipeline, not
+// by cache misses (cf. DESIGN.md on run-length scaling).
+constexpr unsigned dim = 32;
+constexpr std::uint64_t gridBase = Program::dataBase;
+constexpr std::uint64_t outBase = Program::dataBase + 0x10000;
+constexpr std::uint64_t coefBase = Program::dataBase + 0x20000;
+
+} // namespace
+
+BuiltWorkload
+buildHydro2d(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "hydro2d";
+    wl.isFloatingPoint = true;
+
+    Rng rng(input == InputSet::Train ? 0x42d01 : 0x42d02);
+    // Piecewise-smooth field: a mild per-row gradient (values constant
+    // along each row — neighbouring loads correlate and per-PC value
+    // streams repeat for a full row, then step), a zero boundary ring,
+    // and one varying blob. The row gradient keeps the field from
+    // being degenerately uniform.
+    unsigned blob_x = 8 + static_cast<unsigned>(rng.nextBelow(8));
+    unsigned blob_y = 8 + static_cast<unsigned>(rng.nextBelow(8));
+    for (unsigned i = 0; i < dim; ++i) {
+        for (unsigned j = 0; j < dim; ++j) {
+            double v;
+            if (i == 0 || j == 0 || i == dim - 1 || j == dim - 1)
+                v = 0.0;
+            else if (i >= blob_x && i < blob_x + 8 && j >= blob_y &&
+                     j < blob_y + 8)
+                v = 2.0 + 0.125 * static_cast<double>((i + j) % 8);
+            else
+                v = 1.0 + 0.03125 * static_cast<double>(i);
+            wl.data.push_back(
+                {gridBase + 8ull * (i * dim + j), doubleBits(v)});
+        }
+    }
+    wl.data.push_back({coefBase, doubleBits(0.25)});
+    wl.data.push_back({coefBase + 8, doubleBits(0.05)});
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg grid = f.newIntVReg();
+    VReg out = f.newIntVReg();
+    VReg coefs = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg i = f.newIntVReg();
+    VReg j = f.newIntVReg();
+    VReg row = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg oaddr = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg quarter = f.newFpVReg();
+    VReg nu = f.newFpVReg();
+    VReg center = f.newFpVReg();
+    VReg north = f.newFpVReg();
+    VReg south = f.newFpVReg();
+    VReg west = f.newFpVReg();
+    VReg east = f.newFpVReg();
+    VReg acc = f.newFpVReg();
+    VReg lap = f.newFpVReg();
+
+    b.startBlock();
+    b.loadAddr(grid, gridBase);
+    b.loadAddr(out, outBase);
+    b.loadAddr(coefs, coefBase);
+    b.loadAddr(outer, 1'000'000);
+    b.load(quarter, coefs, 0);
+    b.load(nu, coefs, 8);
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(i, 1);
+
+    BlockId row_head = b.startBlock();
+    // row = i * dim (strength-reduced shift: dim = 32).
+    b.opImm(Opcode::SLL, row, i, 5);
+    b.loadImm(j, 1);
+
+    BlockId col_head = b.startBlock();
+    b.op3(Opcode::ADDQ, addr, row, j);
+    b.opImm(Opcode::SLL, addr, addr, 3);
+    b.op3(Opcode::ADDQ, oaddr, addr, out);
+    b.op3(Opcode::ADDQ, addr, addr, grid);
+    b.load(center, addr, 0);
+    b.load(north, addr, -8 * static_cast<std::int32_t>(dim));
+    b.load(south, addr, 8 * static_cast<std::int32_t>(dim));
+    b.load(west, addr, -8);
+    b.load(east, addr, 8);
+    // out = center + nu * (0.25*(n+s+w+e) - center)
+    b.op3(Opcode::ADDT, acc, north, south);
+    b.op3(Opcode::ADDT, acc, acc, west);
+    b.op3(Opcode::ADDT, acc, acc, east);
+    b.op3(Opcode::MULT, acc, acc, quarter);
+    b.op3(Opcode::SUBT, lap, acc, center);
+    b.op3(Opcode::MULT, lap, lap, nu);
+    b.op3(Opcode::ADDT, lap, lap, center);
+    b.store(lap, oaddr, 0);
+
+    b.opImm(Opcode::ADDQ, j, j, 1);
+    b.opImm(Opcode::CMPLT, tmp, j, static_cast<std::int32_t>(dim - 1));
+    b.branch(Opcode::BNE, tmp, col_head);
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, i, i, 1);
+    b.opImm(Opcode::CMPLT, tmp, i, static_cast<std::int32_t>(dim - 1));
+    b.branch(Opcode::BNE, tmp, row_head);
+
+    b.startBlock();
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

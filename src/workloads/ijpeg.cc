@@ -1,0 +1,150 @@
+/**
+ * @file
+ * "ijpeg" analogue: block-based image quantization in the style of the
+ * SPEC95 JPEG codec. The program sweeps 8x8 coefficient blocks,
+ * right-shifts each coefficient by a (mostly uniform) quantization
+ * table entry, stores the quantized output, and then re-reads the
+ * quantized plane while counting zero runs. Characteristics
+ * reproduced: most quantized coefficients are zero (constant
+ * locality), quantization-table loads see long runs of one value, and
+ * the zero-run loop's loads are highly last-value predictable.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+constexpr unsigned numBlocks = 24;
+constexpr std::uint64_t coeffBase = Program::dataBase;            // blocks
+constexpr std::uint64_t quantBase = Program::dataBase + 0x10000;  // 64 x 8B
+constexpr std::uint64_t quantOutBase = Program::dataBase + 0x20000;
+constexpr std::uint64_t statsBase = Program::dataBase + 0x30000;
+
+} // namespace
+
+BuiltWorkload
+buildIjpeg(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "ijpeg";
+    wl.isFloatingPoint = false;
+
+    Rng rng(input == InputSet::Train ? 0x11001 : 0x11002);
+    // Coefficients: DCT-like magnitude decay — low-frequency entries
+    // large, the high-frequency tail small (quantizes to zero).
+    for (unsigned blk = 0; blk < numBlocks; ++blk) {
+        for (unsigned k = 0; k < 64; ++k) {
+            std::uint64_t mag;
+            if (k < 4)
+                mag = 200 + rng.nextBelow(800);
+            else if (k < 16)
+                mag = rng.nextBelow(120);
+            else
+                mag = rng.nextBelow(12);
+            wl.data.push_back({coeffBase + 512ull * blk + 8ull * k, mag});
+        }
+    }
+    // Quantization table: uniform shift of 4 except the DC corner.
+    for (unsigned k = 0; k < 64; ++k)
+        wl.data.push_back({quantBase + 8ull * k, k < 2 ? 2u : 4u});
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg coeffs = f.newIntVReg();
+    VReg quant = f.newIntVReg();
+    VReg out = f.newIntVReg();
+    VReg stats = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg blk = f.newIntVReg();
+    VReg blk_in = f.newIntVReg();
+    VReg blk_out = f.newIntVReg();
+    VReg k = f.newIntVReg();
+    VReg c = f.newIntVReg();
+    VReg q = f.newIntVReg();
+    VReg qc = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg zrun = f.newIntVReg();
+    VReg nonzero = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg scan_limit = f.newIntVReg();
+
+    b.startBlock();
+    b.loadImm(scan_limit, static_cast<std::int32_t>(numBlocks) * 64);
+    b.loadAddr(coeffs, coeffBase);
+    b.loadAddr(quant, quantBase);
+    b.loadAddr(out, quantOutBase);
+    b.loadAddr(stats, statsBase);
+    b.loadAddr(outer, 2'000'000);
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(blk, 0);
+
+    // -------- quantize every block --------
+    BlockId blk_head = b.startBlock();
+    b.opImm(Opcode::SLL, blk_in, blk, 9);        // blk * 512
+    b.op3(Opcode::ADDQ, blk_in, blk_in, coeffs);
+    b.opImm(Opcode::SLL, blk_out, blk, 9);
+    b.op3(Opcode::ADDQ, blk_out, blk_out, out);
+    b.loadImm(k, 0);
+
+    BlockId q_head = b.startBlock();
+    b.opImm(Opcode::SLL, addr, k, 3);
+    b.op3(Opcode::ADDQ, tmp, addr, blk_in);
+    b.load(c, tmp, 0);                    // coefficient
+    b.op3(Opcode::ADDQ, tmp, addr, quant);
+    b.load(q, tmp, 0);                    // quant shift: long value runs
+    b.op3(Opcode::SRL, qc, c, q);         // quantize
+    b.op3(Opcode::ADDQ, tmp, addr, blk_out);
+    b.store(qc, tmp, 0);
+    b.opImm(Opcode::ADDQ, k, k, 1);
+    b.opImm(Opcode::CMPLT, tmp, k, 64);
+    b.branch(Opcode::BNE, tmp, q_head);
+
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, blk, blk, 1);
+    b.opImm(Opcode::CMPLT, tmp, blk,
+            static_cast<std::int32_t>(numBlocks));
+    b.branch(Opcode::BNE, tmp, blk_head);
+
+    // -------- zero-run scan over the quantized plane --------
+    b.startBlock();
+    b.loadImm(zrun, 0);
+    b.loadImm(nonzero, 0);
+    b.loadImm(k, 0);
+    BlockId scan_head = b.startBlock();
+    b.opImm(Opcode::SLL, addr, k, 3);
+    b.op3(Opcode::ADDQ, addr, addr, out);
+    b.load(qc, addr, 0);                  // mostly zero: constant locality
+    BlockId is_nonzero = b.label();
+    BlockId scan_next = b.label();
+    b.branch(Opcode::BNE, qc, is_nonzero);
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, zrun, zrun, 1);
+    b.jump(scan_next);
+    b.place(is_nonzero);
+    b.opImm(Opcode::ADDQ, nonzero, nonzero, 1);
+    b.place(scan_next);
+    b.opImm(Opcode::ADDQ, k, k, 1);
+    b.op3(Opcode::CMPLT, tmp, k, scan_limit);
+    b.branch(Opcode::BNE, tmp, scan_head);
+
+    b.startBlock();
+    b.store(zrun, stats, 0);
+    b.store(nonzero, stats, 8);
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

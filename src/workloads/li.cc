@@ -1,0 +1,152 @@
+/**
+ * @file
+ * "li" analogue: a lisp-style list interpreter in the spirit of the
+ * SPEC95 xlisp kernel. A small cons-cell heap holds several integer
+ * lists; the main loop repeatedly dispatches (through JSR/RET) to a
+ * list-summing routine that chases cdr pointers and branches on type
+ * tags. Characteristics reproduced: pointer chasing (poor value
+ * locality on the cdr loads), type-tag loads that almost always
+ * return the same tag (strong reuse, including cross-register
+ * correlation between the tag of a cell and the tag of its
+ * successor), and call/return control flow.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+constexpr unsigned numLists = 8;
+constexpr std::uint64_t heapBase = Program::dataBase;
+constexpr std::uint64_t headsBase = Program::dataBase + 0x20000;
+constexpr std::uint64_t symBase = Program::dataBase + 0x21000;
+constexpr std::uint64_t resultBase = Program::dataBase + 0x22000;
+
+} // namespace
+
+BuiltWorkload
+buildLi(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "li";
+    wl.isFloatingPoint = false;
+
+    Rng rng(input == InputSet::Train ? 0x11101 : 0x11102);
+    unsigned sym_pct = input == InputSet::Train ? 6 : 8;
+
+    // Build the cons heap: cell = {tag, value, cdr}, 24-byte stride.
+    std::uint64_t next_cell = heapBase;
+    for (unsigned l = 0; l < numLists; ++l) {
+        unsigned len = 10 + static_cast<unsigned>(rng.nextBelow(30));
+        std::uint64_t head = next_cell;
+        for (unsigned e = 0; e < len; ++e) {
+            std::uint64_t cell = next_cell;
+            next_cell += 24;
+            bool is_sym = rng.chance(sym_pct, 100);
+            std::uint64_t tag = is_sym ? 2 : 1;
+            std::uint64_t value =
+                is_sym ? rng.nextBelow(16) : rng.nextBelow(1000);
+            std::uint64_t cdr = (e + 1 < len) ? next_cell : 0;
+            wl.data.push_back({cell + 0, tag});
+            wl.data.push_back({cell + 8, value});
+            wl.data.push_back({cell + 16, cdr});
+        }
+        wl.data.push_back({headsBase + 8ull * l, head});
+    }
+    // Symbol table: small value set.
+    for (unsigned s = 0; s < 16; ++s)
+        wl.data.push_back({symBase + 8ull * s, 7});
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg heads = f.newIntVReg();
+    VReg syms = f.newIntVReg();
+    VReg results = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg l = f.newIntVReg();
+    VReg ptr = f.newIntVReg();
+    VReg sum = f.newIntVReg();
+    VReg tag = f.newIntVReg();
+    VReg nexttag = f.newIntVReg();
+    VReg val = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg link = f.newIntVReg();
+    VReg callee_addr = f.newIntVReg();
+
+    BlockId sum_list = b.label();   // the subroutine entry
+
+    b.startBlock();
+    b.loadAddr(heads, headsBase);
+    b.loadAddr(syms, symBase);
+    b.loadAddr(results, resultBase);
+    b.loadAddr(outer, 2'000'000);
+    b.labelAddr(callee_addr, sum_list);
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(l, 0);
+
+    BlockId list_head = b.startBlock();
+    b.opImm(Opcode::SLL, addr, l, 3);
+    b.op3(Opcode::ADDQ, addr, addr, heads);
+    b.load(ptr, addr, 0);                 // list head pointer
+    b.call(link, callee_addr, sum_list);
+
+    // ---- return continuation ----
+    b.startBlock();
+    b.opImm(Opcode::SLL, addr, l, 3);
+    b.op3(Opcode::ADDQ, addr, addr, results);
+    b.store(sum, addr, 0);
+    b.opImm(Opcode::ADDQ, l, l, 1);
+    b.opImm(Opcode::CMPLT, tmp, l, static_cast<std::int32_t>(numLists));
+    b.branch(Opcode::BNE, tmp, list_head);
+
+    b.startBlock();
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    // ---- sum_list subroutine: walks ptr, accumulates into sum ----
+    b.place(sum_list);
+    b.loadImm(sum, 0);
+    BlockId walk = b.startBlock();
+    b.load(tag, ptr, 0);                  // type tag: almost always 1
+    BlockId symbol_case = b.label();
+    BlockId advance = b.label();
+    b.opImm(Opcode::CMPEQ, tmp, tag, 1);
+    b.branch(Opcode::BEQ, tmp, symbol_case);
+    b.startBlock();                        // integer cell
+    b.load(val, ptr, 8);
+    b.op3(Opcode::ADDQ, sum, sum, val);
+    b.jump(advance);
+    b.place(symbol_case);                  // rare: symbol indirection
+    b.load(val, ptr, 8);
+    b.opImm(Opcode::SLL, val, val, 3);
+    b.op3(Opcode::ADDQ, val, val, syms);
+    b.load(val, val, 0);
+    b.op3(Opcode::ADDQ, sum, sum, val);
+    b.place(advance);
+    b.load(ptr, ptr, 16);                 // cdr chase: poor locality
+    BlockId done = b.label();
+    b.branch(Opcode::BEQ, ptr, done);
+    b.startBlock();
+    // Peek at the successor's tag: correlates with the (now dead)
+    // current tag register — the dead-register reuse pattern.
+    b.load(nexttag, ptr, 0);
+    b.op3(Opcode::ADDQ, sum, sum, nexttag);
+    b.jump(walk);
+    b.place(done);
+    b.ret(link);
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

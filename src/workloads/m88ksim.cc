@@ -1,0 +1,187 @@
+/**
+ * @file
+ * "m88ksim" analogue: an instruction-set simulator simulating a tiny
+ * guest program, in the spirit of the SPEC95 Motorola 88k simulator.
+ * The host loop fetches 16 guest "instructions" from a small program
+ * image, decodes fields with shifts and masks, reads two guest
+ * registers, executes a compare-chain dispatch, and writes the guest
+ * register file. Because the same 16 words are fetched forever and
+ * most guest register values reach a fixed point, this workload has
+ * the extreme last-value/register reuse the paper reports for m88ksim
+ * (it predicts 29-57% of instructions at ~99.9% accuracy). One guest
+ * counter strides so not every value is constant.
+ */
+
+#include "workloads/workloads.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+constexpr std::uint64_t progBase = Program::dataBase;          // 16 x 8B
+constexpr std::uint64_t gregsBase = Program::dataBase + 0x1000; // 16 x 8B
+constexpr std::uint64_t statsBase = Program::dataBase + 0x2000;
+
+/** Pack a guest instruction: op[2:0], rd[6:3], rs[10:7]. */
+constexpr std::uint64_t
+guest(unsigned op, unsigned rd, unsigned rs)
+{
+    return op | (rd << 3) | (rs << 7);
+}
+
+} // namespace
+
+BuiltWorkload
+buildM88ksim(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "m88ksim";
+    wl.isFloatingPoint = false;
+
+    // Guest program: ops 0=nop 1=add 2=sub 3=and 4=inc(rd).
+    // AND chains and self-subtractions converge to fixed points within
+    // a few guest iterations (the stable values m88ksim is famous
+    // for); r7 (inc) and r13 (add) keep striding so accuracy stays
+    // below 100%.
+    const std::uint64_t prog[16] = {
+        guest(3, 1, 2),  guest(3, 2, 3),  guest(2, 4, 4),  guest(4, 7, 0),
+        guest(3, 5, 1),  guest(0, 0, 0),  guest(3, 6, 5),  guest(2, 8, 8),
+        guest(3, 9, 6),  guest(1, 13, 7), guest(3, 10, 9), guest(2, 11, 11),
+        guest(3, 12, 10), guest(0, 0, 0), guest(3, 14, 12), guest(3, 15, 14),
+    };
+    for (unsigned i = 0; i < 16; ++i)
+        wl.data.push_back({progBase + 8ull * i, prog[i]});
+    // Guest register values converge to zero through the AND chains
+    // and self-subtractions within a few guest iterations (most of the
+    // simulated machine's registers hold the same value nearly all the
+    // time — the source of m88ksim's extreme value locality). Only r7
+    // (a counter) and r13 (accumulating r7) keep changing.
+    std::uint64_t seed_val = input == InputSet::Train ? 0x5c : 0x6c;
+    for (unsigned r = 0; r < 16; ++r) {
+        std::uint64_t init = 0;
+        if (r == 7)
+            init = 1;
+        if (r == 13)
+            init = seed_val;   // the train/ref inputs differ here
+        wl.data.push_back({gregsBase + 8ull * r, init});
+    }
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg prog_ptr = f.newIntVReg();
+    VReg gregs = f.newIntVReg();
+    VReg stats = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg gpc = f.newIntVReg();
+    VReg w = f.newIntVReg();
+    VReg op = f.newIntVReg();
+    VReg rd = f.newIntVReg();
+    VReg rs = f.newIntVReg();
+    VReg rdv = f.newIntVReg();
+    VReg rsv = f.newIntVReg();
+    VReg res = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg rdaddr = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg icount = f.newIntVReg();
+    VReg status = f.newIntVReg();
+    VReg bkpt = f.newIntVReg();
+
+    b.startBlock();
+    b.loadAddr(prog_ptr, progBase);
+    b.loadAddr(gregs, gregsBase);
+    b.loadAddr(stats, statsBase);
+    b.loadAddr(outer, 3'000'000);
+    b.loadImm(icount, 0);
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(gpc, 0);
+
+    // -------- guest execution loop --------
+    BlockId fetch = b.startBlock();
+    b.opImm(Opcode::SLL, addr, gpc, 3);
+    b.op3(Opcode::ADDQ, addr, addr, prog_ptr);
+    b.load(w, addr, 0);                   // guest fetch: 16 constants
+    // Simulator bookkeeping every guest step: interrupt-status and
+    // breakpoint-table polls, both constant (always "nothing to do")
+    // — the textbook constant-locality loads of a CPU simulator.
+    b.load(status, stats, 8);             // always 0: no interrupt
+    BlockId no_irq = b.label();
+    b.branch(Opcode::BEQ, status, no_irq);
+    b.startBlock();
+    b.store(status, stats, 16);           // (never executed)
+    b.place(no_irq);
+    b.load(bkpt, stats, 24);              // always 0: no breakpoint
+    BlockId no_bkpt = b.label();
+    b.branch(Opcode::BEQ, bkpt, no_bkpt);
+    b.startBlock();
+    b.store(bkpt, stats, 32);             // (never executed)
+    b.place(no_bkpt);
+    // Decode.
+    b.opImm(Opcode::AND, op, w, 7);
+    b.opImm(Opcode::SRL, rd, w, 3);
+    b.opImm(Opcode::AND, rd, rd, 15);
+    b.opImm(Opcode::SRL, rs, w, 7);
+    b.opImm(Opcode::AND, rs, rs, 15);
+    // Guest register reads.
+    b.opImm(Opcode::SLL, rdaddr, rd, 3);
+    b.op3(Opcode::ADDQ, rdaddr, rdaddr, gregs);
+    b.load(rdv, rdaddr, 0);               // guest regfile: stable values
+    b.opImm(Opcode::SLL, tmp, rs, 3);
+    b.op3(Opcode::ADDQ, tmp, tmp, gregs);
+    b.load(rsv, tmp, 0);
+
+    // Dispatch: compare chain on op.
+    BlockId case_add = b.label();
+    BlockId case_sub = b.label();
+    BlockId case_and = b.label();
+    BlockId case_inc = b.label();
+    BlockId writeback = b.label();
+    BlockId next = b.label();
+    b.opImm(Opcode::CMPEQ, tmp, op, 1);
+    b.branch(Opcode::BNE, tmp, case_add);
+    b.startBlock();
+    b.opImm(Opcode::CMPEQ, tmp, op, 2);
+    b.branch(Opcode::BNE, tmp, case_sub);
+    b.startBlock();
+    b.opImm(Opcode::CMPEQ, tmp, op, 3);
+    b.branch(Opcode::BNE, tmp, case_and);
+    b.startBlock();
+    b.opImm(Opcode::CMPEQ, tmp, op, 4);
+    b.branch(Opcode::BNE, tmp, case_inc);
+    b.startBlock();                        // nop
+    b.jump(next);
+    b.place(case_add);
+    b.op3(Opcode::ADDQ, res, rdv, rsv);
+    b.jump(writeback);
+    b.place(case_sub);
+    b.op3(Opcode::SUBQ, res, rdv, rsv);
+    b.jump(writeback);
+    b.place(case_and);
+    b.op3(Opcode::AND, res, rdv, rsv);
+    b.jump(writeback);
+    b.place(case_inc);
+    b.opImm(Opcode::ADDQ, res, rdv, 1);   // the striding counter
+    b.place(writeback);
+    b.store(res, rdaddr, 0);
+    b.place(next);
+    b.opImm(Opcode::ADDQ, icount, icount, 1);
+    b.opImm(Opcode::ADDQ, gpc, gpc, 1);
+    b.opImm(Opcode::CMPLT, tmp, gpc, 16);
+    b.branch(Opcode::BNE, tmp, fetch);
+
+    b.startBlock();
+    b.store(icount, stats, 0);
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

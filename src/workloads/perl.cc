@@ -1,0 +1,216 @@
+/**
+ * @file
+ * "perl" analogue: hash-table driven string processing in the spirit
+ * of the SPEC95 perl interpreter. A query stream of key pointers is
+ * hashed (multiply/xor over four words per key), a bucket head is
+ * loaded, and a chain of nodes is walked comparing key pointers; hits
+ * accumulate the stored value. Characteristics reproduced: moderate
+ * load reuse (keys repeat across the query stream so bucket heads and
+ * node values recur), data-dependent chain-walk branches, and a mix
+ * of well- and poorly-predictable loads.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+constexpr unsigned numKeys = 48;
+constexpr unsigned numBuckets = 64;
+constexpr unsigned numQueries = 96;
+constexpr std::uint64_t keysBase = Program::dataBase;             // 4 words each
+constexpr std::uint64_t bucketsBase = Program::dataBase + 0x4000;
+constexpr std::uint64_t nodesBase = Program::dataBase + 0x8000;   // {key,val,next}
+constexpr std::uint64_t queryBase = Program::dataBase + 0x10000;
+constexpr std::uint64_t resultBase = Program::dataBase + 0x14000;
+constexpr std::uint64_t globalsBase = Program::dataBase + 0x18000;
+
+} // namespace
+
+BuiltWorkload
+buildPerl(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "perl";
+    wl.isFloatingPoint = false;
+
+    Rng rng(input == InputSet::Train ? 0x9e711 : 0x9e712);
+
+    // Keys: four pseudo-character words each.
+    std::vector<std::uint64_t> key_addr(numKeys);
+    for (unsigned k = 0; k < numKeys; ++k) {
+        key_addr[k] = keysBase + 32ull * k;
+        for (unsigned word = 0; word < 4; ++word) {
+            wl.data.push_back(
+                {key_addr[k] + 8ull * word, rng.nextBelow(1 << 20)});
+        }
+    }
+
+    // Host-side hash must match the simulated hash so chains resolve.
+    auto hash = [&](unsigned k) {
+        std::uint64_t h = 0;
+        for (unsigned word = 0; word < 4; ++word) {
+            std::uint64_t c = 0;
+            for (auto &[a, v] : wl.data)
+                if (a == key_addr[k] + 8ull * word)
+                    c = v;
+            h = h * 31 + c;
+        }
+        return h & (numBuckets - 1);
+    };
+
+    // Hash-table nodes, chained per bucket.
+    std::vector<std::uint64_t> bucket_head(numBuckets, 0);
+    std::uint64_t next_node = nodesBase;
+    for (unsigned k = 0; k < numKeys; ++k) {
+        std::uint64_t node = next_node;
+        next_node += 24;
+        std::uint64_t b = hash(k);
+        wl.data.push_back({node + 0, key_addr[k]});
+        wl.data.push_back({node + 8, 100 + k});
+        wl.data.push_back({node + 16, bucket_head[b]});
+        bucket_head[b] = node;
+    }
+    for (unsigned b = 0; b < numBuckets; ++b)
+        wl.data.push_back({bucketsBase + 8ull * b, bucket_head[b]});
+
+    // Query stream: skewed toward a hot subset of keys.
+    for (unsigned q = 0; q < numQueries; ++q) {
+        unsigned k = rng.chance(70, 100)
+                         ? static_cast<unsigned>(rng.nextBelow(8))
+                         : static_cast<unsigned>(rng.nextBelow(numKeys));
+        wl.data.push_back({queryBase + 8ull * q, key_addr[k]});
+    }
+
+    // Interpreter globals: the flags and configuration words a real
+    // interpreter reloads constantly — all effectively constant, the
+    // source of perl's steady trickle of value reuse.
+    wl.data.push_back({globalsBase + 0, 0});    // magic/taint flag
+    wl.data.push_back({globalsBase + 8, 1});    // warn level
+    wl.data.push_back({globalsBase + 16, 32});  // field width
+    wl.data.push_back({globalsBase + 24, 7});   // separator char
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg queries = f.newIntVReg();
+    VReg buckets = f.newIntVReg();
+    VReg results = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg q = f.newIntVReg();
+    VReg kp = f.newIntVReg();
+    VReg h = f.newIntVReg();
+    VReg c = f.newIntVReg();
+    VReg node = f.newIntVReg();
+    VReg nk = f.newIntVReg();
+    VReg v = f.newIntVReg();
+    VReg sum = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg globals = f.newIntVReg();
+    VReg flag = f.newIntVReg();
+    VReg width = f.newIntVReg();
+    VReg sep = f.newIntVReg();
+    VReg linelen = f.newIntVReg();
+
+    b.startBlock();
+    b.loadAddr(queries, queryBase);
+    b.loadAddr(buckets, bucketsBase);
+    b.loadAddr(results, resultBase);
+    b.loadAddr(globals, globalsBase);
+    b.loadAddr(outer, 2'000'000);
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(sum, 0);
+    b.loadImm(q, 0);
+
+    BlockId query_head = b.startBlock();
+    // Interpreter bookkeeping: the taint/magic flag is polled on every
+    // operation (and is always clear) — classic constant locality.
+    b.load(flag, globals, 0);
+    BlockId no_magic = b.label();
+    b.branch(Opcode::BEQ, flag, no_magic);
+    b.startBlock();
+    b.store(flag, globals, 32);           // (never executed)
+    b.place(no_magic);
+    b.opImm(Opcode::SLL, addr, q, 3);
+    b.op3(Opcode::ADDQ, addr, addr, queries);
+    b.load(kp, addr, 0);                  // key pointer (hot set recurs)
+
+    // Hash: h = (((c0*31 + c1)*31 + c2)*31 + c3), unrolled.
+    b.load(c, kp, 0);
+    b.move(h, c);
+    b.load(c, kp, 8);
+    b.opImm(Opcode::MULQ, h, h, 31);
+    b.op3(Opcode::ADDQ, h, h, c);
+    b.load(c, kp, 16);
+    b.opImm(Opcode::MULQ, h, h, 31);
+    b.op3(Opcode::ADDQ, h, h, c);
+    b.load(c, kp, 24);
+    b.opImm(Opcode::MULQ, h, h, 31);
+    b.op3(Opcode::ADDQ, h, h, c);
+    b.opImm(Opcode::AND, h, h,
+            static_cast<std::int32_t>(numBuckets - 1));
+
+    b.opImm(Opcode::SLL, tmp, h, 3);
+    b.op3(Opcode::ADDQ, tmp, tmp, buckets);
+    b.load(node, tmp, 0);                 // bucket head
+
+    BlockId chain_head = b.startBlock();
+    BlockId next_query = b.label();
+    b.branch(Opcode::BEQ, node, next_query);   // empty / chain end
+    b.startBlock();
+    b.load(nk, node, 0);                  // node key pointer
+    b.op3(Opcode::CMPEQ, tmp, nk, kp);
+    BlockId miss = b.label();
+    b.branch(Opcode::BEQ, tmp, miss);
+    b.startBlock();                        // hit: take the value
+    b.load(v, node, 8);
+    b.op3(Opcode::ADDQ, sum, sum, v);
+    b.jump(next_query);
+    b.place(miss);
+    b.load(node, node, 16);               // walk the chain
+    b.jump(chain_head);
+
+    b.place(next_query);
+    b.opImm(Opcode::ADDQ, q, q, 1);
+    b.opImm(Opcode::CMPLT, tmp, q,
+            static_cast<std::int32_t>(numQueries));
+    b.branch(Opcode::BNE, tmp, query_head);
+
+    // -------- report-formatting phase (write the "output line") --------
+    // Field width and separator are interpreter globals: constant
+    // loads every iteration, like perl's format/write machinery.
+    b.startBlock();
+    b.store(sum, results, 0);
+    b.loadImm(linelen, 0);
+    b.loadImm(q, 0);
+    BlockId fmt_head = b.startBlock();
+    b.load(width, globals, 16);           // constant 32
+    b.load(sep, globals, 24);             // constant 7
+    b.opImm(Opcode::SLL, addr, q, 3);
+    b.op3(Opcode::ADDQ, addr, addr, results);
+    b.load(v, addr, 8);                   // previous line's cells
+    b.op3(Opcode::ADDQ, v, v, sep);
+    b.op3(Opcode::ADDQ, linelen, linelen, width);
+    b.store(v, addr, 8);
+    b.opImm(Opcode::ADDQ, q, q, 1);
+    b.opImm(Opcode::CMPLT, tmp, q, 24);
+    b.branch(Opcode::BNE, tmp, fmt_head);
+    b.startBlock();
+    b.store(linelen, results, 16);
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * "su2cor" analogue: small dense matrix-vector kernels in the spirit
+ * of the SPEC95 quark-propagator code. The program first runs a long
+ * strided initialization phase (su2cor famously spends billions of
+ * instructions initializing, which is why the paper simulates it for
+ * 3B instructions) and then repeatedly multiplies a small set of 4x4
+ * "gauge link" matrices into propagator vectors. Characteristics
+ * reproduced: a low-reuse init phase, then a main phase whose matrix
+ * coefficient loads recur heavily (few distinct matrices) while the
+ * vector data keeps changing.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+constexpr unsigned numMatrices = 4;
+constexpr unsigned numVectors = 128;
+constexpr std::uint64_t matBase = Program::dataBase;            // 4x4 each
+constexpr std::uint64_t vecBase = Program::dataBase + 0x4000;
+constexpr std::uint64_t outVecBase = Program::dataBase + 0x8000;
+constexpr std::uint64_t initBase = Program::dataBase + 0x20000;
+
+} // namespace
+
+BuiltWorkload
+buildSu2cor(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "su2cor";
+    wl.isFloatingPoint = true;
+
+    Rng rng(input == InputSet::Train ? 0x50201 : 0x50202);
+    for (unsigned m = 0; m < numMatrices; ++m)
+        for (unsigned e = 0; e < 16; ++e)
+            wl.data.push_back({matBase + 128ull * m + 8ull * e,
+                               doubleBits(0.25 + 0.5 * rng.nextDouble())});
+    for (unsigned v = 0; v < numVectors; ++v)
+        for (unsigned e = 0; e < 4; ++e)
+            wl.data.push_back({vecBase + 32ull * v + 8ull * e,
+                               doubleBits(rng.nextDouble())});
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg mats = f.newIntVReg();
+    VReg vecs = f.newIntVReg();
+    VReg outv = f.newIntVReg();
+    VReg init = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg n = f.newIntVReg();
+    VReg vi = f.newIntVReg();
+    VReg mrow = f.newIntVReg();
+    VReg maddr = f.newIntVReg();
+    VReg vaddr = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg seedr = f.newIntVReg();
+    VReg initmask = f.newIntVReg();
+    VReg coef = f.newFpVReg();
+    VReg vin = f.newFpVReg();
+    VReg acc = f.newFpVReg();
+
+    b.startBlock();
+    b.loadAddr(mats, matBase);
+    b.loadAddr(vecs, vecBase);
+    b.loadAddr(outv, outVecBase);
+    b.loadAddr(init, initBase);
+    b.loadImm(seedr, 991);
+    b.loadImm(initmask, 4095);
+
+    // -------- initialization phase: strided integer fill --------
+    // (~27K instructions of low-value-locality work before the main
+    // loop, mirroring su2cor's long startup.)
+    b.loadAddr(n, 3000);
+    BlockId init_head = b.startBlock();
+    b.opImm(Opcode::MULQ, seedr, seedr, 171);
+    b.opImm(Opcode::ADDQ, seedr, seedr, 77);
+    b.opImm(Opcode::SRL, tmp, seedr, 8);
+    b.op3(Opcode::AND, tmp, tmp, initmask);
+    b.opImm(Opcode::SLL, tmp, tmp, 3);
+    b.op3(Opcode::ADDQ, tmp, tmp, init);
+    b.store(seedr, tmp, 0);
+    b.opImm(Opcode::SUBQ, n, n, 1);
+    b.branch(Opcode::BNE, n, init_head);
+
+    b.startBlock();
+    b.loadAddr(outer, 1'000'000);
+
+    // -------- main phase: out[v][row] = M[...][row] . vec[v] --------
+    // Row-major outer loop over the matrix row, vectors inner: each
+    // coefficient-load PC then sees one value for 32 consecutive
+    // vectors (the same gauge link is applied to runs of lattice
+    // sites, the source of su2cor's value reuse).
+    BlockId outer_head = b.startBlock();
+    b.loadImm(mrow, 0);
+    BlockId row_head = b.startBlock();
+    b.loadImm(vi, 0);
+    BlockId vec_head = b.startBlock();
+    // matrix address = matBase + ((vi >> 5) & 3) * 128
+    b.opImm(Opcode::SRL, tmp, vi, 5);
+    b.opImm(Opcode::AND, tmp, tmp, 3);
+    b.opImm(Opcode::SLL, tmp, tmp, 7);
+    b.op3(Opcode::ADDQ, maddr, tmp, mats);
+    // vector address = vecBase + vi * 32
+    b.opImm(Opcode::SLL, vaddr, vi, 5);
+    b.op3(Opcode::ADDQ, vaddr, vaddr, vecs);
+    // acc = sum over col of M[row][col] * v[col], unrolled by 4.
+    b.opImm(Opcode::SLL, addr, mrow, 5);   // row * 32
+    b.op3(Opcode::ADDQ, addr, addr, maddr);
+    b.load(coef, addr, 0);                 // recurring coefficients
+    b.load(vin, vaddr, 0);
+    b.op3(Opcode::MULT, acc, coef, vin);
+    b.load(coef, addr, 8);
+    b.load(vin, vaddr, 8);
+    b.op3(Opcode::MULT, vin, coef, vin);
+    b.op3(Opcode::ADDT, acc, acc, vin);
+    b.load(coef, addr, 16);
+    b.load(vin, vaddr, 16);
+    b.op3(Opcode::MULT, vin, coef, vin);
+    b.op3(Opcode::ADDT, acc, acc, vin);
+    b.load(coef, addr, 24);
+    b.load(vin, vaddr, 24);
+    b.op3(Opcode::MULT, vin, coef, vin);
+    b.op3(Opcode::ADDT, acc, acc, vin);
+    // out[vi][row] = acc
+    b.opImm(Opcode::SLL, tmp, vi, 5);
+    b.op3(Opcode::ADDQ, tmp, tmp, outv);
+    b.opImm(Opcode::SLL, addr, mrow, 3);
+    b.op3(Opcode::ADDQ, tmp, tmp, addr);
+    b.store(acc, tmp, 0);
+
+    b.opImm(Opcode::ADDQ, vi, vi, 1);
+    b.opImm(Opcode::CMPLT, tmp, vi,
+            static_cast<std::int32_t>(numVectors));
+    b.branch(Opcode::BNE, tmp, vec_head);
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, mrow, mrow, 1);
+    b.opImm(Opcode::CMPLT, tmp, mrow, 4);
+    b.branch(Opcode::BNE, tmp, row_head);
+
+    b.startBlock();
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * "turb3d" analogue: FFT-style butterfly passes in the spirit of the
+ * SPEC95 turbulence code. Each stage sweeps a 256-element complex
+ * array applying a*w +/- b butterflies; the twiddle factor for a
+ * butterfly is selected by the low bits of the element index, so
+ * within a stage the same few twiddle values recur in long runs —
+ * strong load-value reuse on the coefficient stream (the behaviour
+ * the paper reports as 28-46% of turb3d instructions predicted),
+ * while the data array itself keeps evolving.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/rng.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+constexpr unsigned numElems = 256;   // complex pairs
+constexpr unsigned numTwiddles = 8;
+constexpr std::uint64_t dataReBase = Program::dataBase;
+constexpr std::uint64_t dataImBase = Program::dataBase + 0x4000;
+constexpr std::uint64_t twReBase = Program::dataBase + 0x8000;
+constexpr std::uint64_t twImBase = Program::dataBase + 0x9000;
+constexpr std::uint64_t energyBase = Program::dataBase + 0xa000;
+
+} // namespace
+
+BuiltWorkload
+buildTurb3d(InputSet input)
+{
+    BuiltWorkload wl;
+    wl.name = "turb3d";
+    wl.isFloatingPoint = true;
+
+    Rng rng(input == InputSet::Train ? 0x73b01 : 0x73b02);
+    for (unsigned i = 0; i < numElems; ++i) {
+        wl.data.push_back(
+            {dataReBase + 8ull * i, doubleBits(rng.nextDouble() - 0.5)});
+        wl.data.push_back(
+            {dataImBase + 8ull * i, doubleBits(rng.nextDouble() - 0.5)});
+    }
+    // Twiddles on (roughly) the unit circle; a small recurring set.
+    for (unsigned t = 0; t < numTwiddles; ++t) {
+        double angle = 0.785398 * t;   // pi/4 steps
+        // Avoid libm in image construction: rational approximations
+        // are fine, the values just need to be stable and distinct.
+        double re = 1.0 - angle * angle / 2 + angle * angle * angle *
+                    angle / 24;
+        double im = angle - angle * angle * angle / 6;
+        wl.data.push_back({twReBase + 8ull * t, doubleBits(re * 0.5)});
+        wl.data.push_back({twImBase + 8ull * t, doubleBits(im * 0.5)});
+    }
+
+    IRFunction &f = wl.func;
+    IRBuilder b(f);
+
+    VReg dre = f.newIntVReg();
+    VReg dim_ = f.newIntVReg();
+    VReg twre = f.newIntVReg();
+    VReg twim = f.newIntVReg();
+    VReg energy = f.newIntVReg();
+    VReg outer = f.newIntVReg();
+    VReg stage = f.newIntVReg();
+    VReg k = f.newIntVReg();
+    VReg tsel = f.newIntVReg();
+    VReg addr = f.newIntVReg();
+    VReg taddr = f.newIntVReg();
+    VReg tmp = f.newIntVReg();
+    VReg limit = f.newIntVReg();
+    VReg tshift = f.newIntVReg();
+    VReg wre = f.newFpVReg();
+    VReg wim = f.newFpVReg();
+    VReg are = f.newFpVReg();
+    VReg aim = f.newFpVReg();
+    VReg bre = f.newFpVReg();
+    VReg bim = f.newFpVReg();
+    VReg tre = f.newFpVReg();
+    VReg tim = f.newFpVReg();
+    VReg t2 = f.newFpVReg();
+
+    b.startBlock();
+    b.loadAddr(dre, dataReBase);
+    b.loadAddr(dim_, dataImBase);
+    b.loadAddr(twre, twReBase);
+    b.loadAddr(twim, twImBase);
+    b.loadAddr(energy, energyBase);
+    b.loadAddr(outer, 1'000'000);
+    b.loadImm(limit, static_cast<std::int32_t>(numElems / 2));
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(stage, 0);
+
+    BlockId stage_head = b.startBlock();
+    b.loadImm(k, 0);
+    // Twiddle stride per stage: stage s uses 2^s distinct twiddles
+    // (classic decimation FFT), so tsel = k >> (7 - s) gives runs of
+    // 128, 64, 32, 16 identical twiddle loads — the long coefficient
+    // runs the paper's turb3d reuse comes from.
+    b.loadImm(tshift, 7);
+    b.op3(Opcode::SUBQ, tshift, tshift, stage);
+
+    BlockId bfly_head = b.startBlock();
+    b.op3(Opcode::SRL, tsel, k, tshift);
+    b.opImm(Opcode::AND, tsel, tsel,
+            static_cast<std::int32_t>(numTwiddles - 1));
+    b.opImm(Opcode::SLL, taddr, tsel, 3);
+    b.op3(Opcode::ADDQ, tmp, taddr, twre);
+    b.load(wre, tmp, 0);
+    b.op3(Opcode::ADDQ, tmp, taddr, twim);
+    b.load(wim, tmp, 0);
+
+    // a = data[k], b = data[k + N/2]
+    b.opImm(Opcode::SLL, addr, k, 3);
+    b.op3(Opcode::ADDQ, addr, addr, dre);
+    b.load(are, addr, 0);
+    b.load(bre, addr, 8 * static_cast<std::int32_t>(numElems / 2));
+    b.opImm(Opcode::SLL, tmp, k, 3);
+    b.op3(Opcode::ADDQ, tmp, tmp, dim_);
+    b.load(aim, tmp, 0);
+    b.load(bim, tmp, 8 * static_cast<std::int32_t>(numElems / 2));
+
+    // t = b * w (complex); a' = a + t, b' = a - t.
+    b.op3(Opcode::MULT, tre, bre, wre);
+    b.op3(Opcode::MULT, t2, bim, wim);
+    b.op3(Opcode::SUBT, tre, tre, t2);
+    b.op3(Opcode::MULT, tim, bre, wim);
+    b.op3(Opcode::MULT, t2, bim, wre);
+    b.op3(Opcode::ADDT, tim, tim, t2);
+
+    b.op3(Opcode::ADDT, t2, are, tre);
+    b.store(t2, addr, 0);
+    b.op3(Opcode::SUBT, t2, are, tre);
+    b.store(t2, addr, 8 * static_cast<std::int32_t>(numElems / 2));
+    b.op3(Opcode::ADDT, t2, aim, tim);
+    b.store(t2, tmp, 0);
+    b.op3(Opcode::SUBT, t2, aim, tim);
+    b.store(t2, tmp, 8 * static_cast<std::int32_t>(numElems / 2));
+
+    b.opImm(Opcode::ADDQ, k, k, 1);
+    b.op3(Opcode::CMPLT, tmp, k, limit);
+    b.branch(Opcode::BNE, tmp, bfly_head);
+    b.startBlock();
+    b.opImm(Opcode::ADDQ, stage, stage, 1);
+    b.opImm(Opcode::CMPLT, tmp, stage, 4);
+    b.branch(Opcode::BNE, tmp, stage_head);
+
+    // End of pass: store an "energy" sample and renormalize nothing
+    // (values drift slowly; the twiddle stream stays constant).
+    b.startBlock();
+    b.load(are, dre, 0);
+    b.store(are, energy, 0);
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+
+    f.numberInsts();
+    return wl;
+}
+
+} // namespace rvp

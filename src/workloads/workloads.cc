@@ -1,0 +1,51 @@
+#include "workloads/workloads.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+const std::vector<WorkloadSpec> &
+allWorkloads()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"go", false},      {"ijpeg", false},   {"li", false},
+        {"m88ksim", false}, {"perl", false},    {"hydro2d", true},
+        {"mgrid", true},    {"su2cor", true},   {"turb3d", true},
+    };
+    return specs;
+}
+
+BuiltWorkload
+buildWorkload(const std::string &name, InputSet input)
+{
+    if (name == "go")
+        return buildGo(input);
+    if (name == "ijpeg")
+        return buildIjpeg(input);
+    if (name == "li")
+        return buildLi(input);
+    if (name == "m88ksim")
+        return buildM88ksim(input);
+    if (name == "perl")
+        return buildPerl(input);
+    if (name == "hydro2d")
+        return buildHydro2d(input);
+    if (name == "mgrid")
+        return buildMgrid(input);
+    if (name == "su2cor")
+        return buildSu2cor(input);
+    if (name == "turb3d")
+        return buildTurb3d(input);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::uint64_t
+doubleBits(double value)
+{
+    return std::bit_cast<std::uint64_t>(value);
+}
+
+} // namespace rvp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the gshare branch predictor, BTB, and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/gshare.hh"
+
+namespace rvp
+{
+namespace
+{
+
+StaticInst
+condBranch()
+{
+    StaticInst si;
+    si.op = Opcode::BNE;
+    si.ra = 1;
+    si.imm = -4;
+    return si;
+}
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    StaticInst br = condBranch();
+    std::uint64_t pc = 0x1000, target = 0x0f00;
+    // Train past history warmup: the global history register keeps
+    // changing for the first historyBits takens, so the PHT index only
+    // stabilizes (at pc ^ all-ones) after that.
+    for (int i = 0; i < 40; ++i) {
+        BranchPrediction pred = bp.predict(pc, br);
+        bp.update(pc, br, true, target, pred.taken != true);
+    }
+    BranchPrediction pred = bp.predict(pc, br);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.targetKnown);
+    EXPECT_EQ(pred.target, target);
+    bp.update(pc, br, true, target, false);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    StaticInst br = condBranch();
+    std::uint64_t pc = 0x2000;
+    for (int i = 0; i < 8; ++i) {
+        BranchPrediction pred = bp.predict(pc, br);
+        bp.update(pc, br, false, pc + 4, pred.taken);
+    }
+    BranchPrediction pred = bp.predict(pc, br);
+    EXPECT_FALSE(pred.taken);
+    EXPECT_TRUE(pred.targetKnown);
+    EXPECT_EQ(pred.target, pc + 4);
+}
+
+TEST(BranchPredictor, LearnsAlternatingViaHistory)
+{
+    // gshare should learn a strict T/N/T/N pattern after warmup.
+    BranchPredictor bp;
+    StaticInst br = condBranch();
+    std::uint64_t pc = 0x3000, target = 0x2f00;
+    unsigned correct = 0, total = 0;
+    bool taken = false;
+    for (int i = 0; i < 400; ++i) {
+        taken = !taken;
+        BranchPrediction pred = bp.predict(pc, br);
+        bool mispredict = pred.taken != taken;
+        if (i >= 200) {
+            ++total;
+            correct += !mispredict;
+        }
+        bp.update(pc, br, taken, taken ? target : pc + 4, mispredict);
+    }
+    EXPECT_GT(correct, total * 9 / 10);
+}
+
+TEST(BranchPredictor, UnconditionalPredictedTaken)
+{
+    BranchPredictor bp;
+    StaticInst br;
+    br.op = Opcode::BR;
+    br.imm = 16;
+    std::uint64_t pc = 0x4000, target = 0x4044;
+    BranchPrediction first = bp.predict(pc, br);
+    EXPECT_TRUE(first.taken);
+    EXPECT_FALSE(first.targetKnown);   // cold BTB
+    bp.update(pc, br, true, target, !first.targetKnown);
+    BranchPrediction second = bp.predict(pc, br);
+    EXPECT_TRUE(second.targetKnown);
+    EXPECT_EQ(second.target, target);
+}
+
+TEST(BranchPredictor, RasPairsCallsAndReturns)
+{
+    BranchPredictor bp;
+    StaticInst jsr;
+    jsr.op = Opcode::JSR;
+    jsr.ra = 4;
+    jsr.rc = raReg;
+    StaticInst ret;
+    ret.op = Opcode::RET;
+    ret.ra = raReg;
+
+    // call from 0x5000 and 0x6000, nested.
+    bp.predict(0x5000, jsr);
+    bp.predict(0x6000, jsr);
+    BranchPrediction r1 = bp.predict(0x7000, ret);
+    EXPECT_TRUE(r1.targetKnown);
+    EXPECT_EQ(r1.target, 0x6004u);
+    BranchPrediction r2 = bp.predict(0x7100, ret);
+    EXPECT_TRUE(r2.targetKnown);
+    EXPECT_EQ(r2.target, 0x5004u);
+}
+
+TEST(BranchPredictor, BtbConflictMissReported)
+{
+    BranchPredictorConfig cfg;
+    cfg.btbEntries = 4;   // tiny BTB: pcs 16 insts apart collide
+    BranchPredictor bp(cfg);
+    StaticInst br = condBranch();
+    for (int i = 0; i < 8; ++i) {
+        bp.update(0x1000, br, true, 0x900, false);
+        bp.update(0x1040, br, true, 0x800, false);   // same BTB slot
+    }
+    StatSet stats;
+    bp.exportStats(stats);
+    // After alternating updates the BTB holds 0x1040's entry; 0x1000
+    // (trained taken) must report a target miss.
+    for (int i = 0; i < 8; ++i) {
+        BranchPrediction pred = bp.predict(0x1000, br);
+        bp.update(0x1000, br, true, 0x900, !pred.taken);
+    }
+    // Re-probe after retraining: now 0x1040 misses.
+    BranchPrediction pred = bp.predict(0x1040, br);
+    if (pred.taken)
+        EXPECT_FALSE(pred.targetKnown);
+}
+
+TEST(BranchPredictor, ResetForgets)
+{
+    BranchPredictor bp;
+    StaticInst br = condBranch();
+    for (int i = 0; i < 8; ++i)
+        bp.update(0x1000, br, true, 0x900, false);
+    bp.reset();
+    BranchPrediction pred = bp.predict(0x1000, br);
+    EXPECT_FALSE(pred.targetKnown && pred.taken && pred.target == 0x900);
+}
+
+} // namespace
+} // namespace rvp

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the common substrate: counters, RNG, stats, bit
+ * utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/counters.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace rvp
+{
+namespace
+{
+
+TEST(SaturatingCounter, SaturatesAtMax)
+{
+    SaturatingCounter c(2);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.isSet());
+}
+
+TEST(SaturatingCounter, SaturatesAtZero)
+{
+    SaturatingCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.isSet());
+}
+
+TEST(SaturatingCounter, HysteresisAroundMidpoint)
+{
+    SaturatingCounter c(2, 2);
+    EXPECT_TRUE(c.isSet());
+    c.decrement();
+    EXPECT_FALSE(c.isSet());   // value 1
+    c.increment();
+    EXPECT_TRUE(c.isSet());    // back to 2
+}
+
+TEST(ResettingCounter, NeedsSevenConsecutiveCorrect)
+{
+    // The paper's filter: 3-bit resetting counter, threshold 7 — a
+    // prediction is only authorized after seven consecutive hits.
+    ResettingCounter c(3, 7);
+    for (int i = 0; i < 6; ++i) {
+        c.recordCorrect();
+        EXPECT_FALSE(c.confident()) << "after " << i + 1 << " corrects";
+    }
+    c.recordCorrect();
+    EXPECT_TRUE(c.confident());
+}
+
+TEST(ResettingCounter, SingleMissResets)
+{
+    ResettingCounter c(3, 7);
+    for (int i = 0; i < 7; ++i)
+        c.recordCorrect();
+    ASSERT_TRUE(c.confident());
+    c.recordIncorrect();
+    EXPECT_FALSE(c.confident());
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ResettingCounter, StaysSaturated)
+{
+    ResettingCounter c(3, 7);
+    for (int i = 0; i < 100; ++i)
+        c.recordCorrect();
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_TRUE(c.confident());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, RangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.nextRange(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, BelowCoversValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    s.add("x");
+    s.add("x", 2.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_FALSE(s.has("missing"));
+}
+
+TEST(StatSet, RatioHandlesZeroDenominator)
+{
+    StatSet s;
+    s.set("n", 5);
+    EXPECT_DOUBLE_EQ(s.ratio("n", "d"), 0.0);
+    s.set("d", 2);
+    EXPECT_DOUBLE_EQ(s.ratio("n", "d"), 2.5);
+}
+
+TEST(StatSet, MergeSums)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(StatSet, DumpIsSorted)
+{
+    StatSet s;
+    s.set("zeta", 1);
+    s.set("alpha", 2);
+    std::ostringstream os;
+    s.dump(os);
+    std::string text = os.str();
+    EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}
+
+TEST(Bits, MaskEdges)
+{
+    EXPECT_EQ(mask(0), 0ull);
+    EXPECT_EQ(mask(1), 1ull);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(Bits, ExtractInsertRoundTrip)
+{
+    std::uint64_t v = 0;
+    v = insertBits(v, 15, 8, 0xab);
+    EXPECT_EQ(bits(v, 15, 8), 0xabull);
+    EXPECT_EQ(bits(v, 7, 0), 0ull);
+    v = insertBits(v, 15, 8, 0x5);
+    EXPECT_EQ(bits(v, 15, 8), 0x5ull);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x3ff, 10), -1);
+    EXPECT_EQ(signExtend(0x1ff, 10), 511);
+    EXPECT_EQ(signExtend(0x200, 10), -512);
+    EXPECT_EQ(signExtend(0, 10), 0);
+}
+
+TEST(Bits, PowerOf2AndLog)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(1024));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+}
+
+} // namespace
+} // namespace rvp

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Unit and property tests for the compiler: interference construction,
+ * graph-colouring allocation (including forced spilling), lowering,
+ * and the RVP reallocation pass. The central property: a program
+ * compiled with ample registers and the same program compiled with a
+ * starved register file (forcing spills) must produce identical
+ * architectural results when executed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "compiler/interference.hh"
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "compiler/rvp_realloc.hh"
+#include "emu/emulator.hh"
+#include "ir/dominators.hh"
+#include "ir/loops.hh"
+
+namespace rvp
+{
+namespace
+{
+
+/** Run a program and collect its final stores into data memory. */
+std::map<std::uint64_t, std::uint64_t>
+runAndCapture(const Program &prog, const std::vector<std::uint64_t> &addrs,
+              std::uint64_t max_steps = 200000)
+{
+    Emulator emu(prog);
+    DynInst di;
+    std::uint64_t steps = 0;
+    while (steps < max_steps && emu.step(di))
+        ++steps;
+    EXPECT_TRUE(emu.halted()) << "program did not halt";
+    std::map<std::uint64_t, std::uint64_t> out;
+    for (std::uint64_t a : addrs)
+        out[a] = emu.memory().read64(a);
+    return out;
+}
+
+/**
+ * Straight-line function with many simultaneously-live values: sums
+ * and stores n values, each kept live to the end.
+ */
+IRFunction
+manyLiveValues(unsigned n, std::vector<std::uint64_t> &out_addrs)
+{
+    IRFunction func;
+    IRBuilder b(func);
+    b.startBlock();
+    VReg base = func.newIntVReg();
+    b.loadAddr(base, Program::dataBase);
+    std::vector<VReg> vals;
+    for (unsigned i = 0; i < n; ++i) {
+        VReg v = func.newIntVReg();
+        b.loadImm(v, static_cast<std::int32_t>(i * 3 + 1));
+        vals.push_back(v);
+    }
+    // Chain-sum so everything stays live until used.
+    VReg acc = func.newIntVReg();
+    b.loadImm(acc, 0);
+    for (unsigned i = 0; i < n; ++i)
+        b.op3(Opcode::ADDQ, acc, acc, vals[i]);
+    b.store(acc, base, 0);
+    for (unsigned i = 0; i < n; ++i)
+        b.store(vals[i], base, static_cast<std::int32_t>(8 + 8 * i));
+    b.halt();
+    func.numberInsts();
+    out_addrs.push_back(Program::dataBase);
+    for (unsigned i = 0; i < n; ++i)
+        out_addrs.push_back(Program::dataBase + 8 + 8 * i);
+    return func;
+}
+
+TEST(Interference, SimultaneouslyLiveValuesInterfere)
+{
+    std::vector<std::uint64_t> addrs;
+    IRFunction func = manyLiveValues(4, addrs);
+    func.numberInsts();
+    Cfg cfg(func);
+    Liveness live(func, cfg);
+    InterferenceGraph graph = buildInterference(func, cfg, live);
+    // All four values are simultaneously live -> pairwise interference.
+    // vregs: 0 = base, 1..4 = vals, 5 = acc.
+    for (VReg a = 1; a <= 4; ++a)
+        for (VReg c = 1; c <= 4; ++c)
+            if (a != c)
+                EXPECT_TRUE(graph.interferes(a, c)) << a << " " << c;
+}
+
+TEST(Interference, DisjointRangesDoNotInterfere)
+{
+    IRFunction func;
+    IRBuilder b(func);
+    b.startBlock();
+    VReg base = func.newIntVReg();
+    b.loadAddr(base, Program::dataBase);
+    VReg x = func.newIntVReg();
+    VReg y = func.newIntVReg();
+    b.loadImm(x, 1);
+    b.store(x, base, 0);     // x dies here
+    b.loadImm(y, 2);         // y born after x's death
+    b.store(y, base, 8);
+    b.halt();
+    func.numberInsts();
+    Cfg cfg(func);
+    Liveness live(func, cfg);
+    InterferenceGraph graph = buildInterference(func, cfg, live);
+    EXPECT_FALSE(graph.interferes(x, y));
+    EXPECT_TRUE(graph.interferes(base, x));
+    EXPECT_TRUE(graph.interferes(base, y));
+}
+
+TEST(RegAlloc, ColorsRespectInterference)
+{
+    std::vector<std::uint64_t> addrs;
+    IRFunction func = manyLiveValues(10, addrs);
+    AllocResult alloc = allocateRegisters(func, AllocConfig{});
+    ASSERT_TRUE(alloc.success);
+    EXPECT_EQ(alloc.spilledVRegs, 0u);
+
+    func.numberInsts();
+    Cfg cfg(func);
+    Liveness live(func, cfg);
+    InterferenceGraph graph = buildInterference(func, cfg, live);
+    for (VReg a = 0; a < func.numVRegs(); ++a) {
+        for (VReg c = a + 1; c < func.numVRegs(); ++c) {
+            if (graph.interferes(a, c) && alloc.colorOf[a] != regNone &&
+                alloc.colorOf[c] != regNone) {
+                EXPECT_NE(alloc.colorOf[a], alloc.colorOf[c])
+                    << "vregs " << a << "," << c;
+            }
+        }
+    }
+}
+
+TEST(RegAlloc, SpillsWhenStarved)
+{
+    std::vector<std::uint64_t> addrs;
+    IRFunction func = manyLiveValues(12, addrs);
+    AllocConfig starved;
+    starved.numIntColors = 4;
+    AllocResult alloc = allocateRegisters(func, starved);
+    ASSERT_TRUE(alloc.success);
+    EXPECT_GT(alloc.spilledVRegs, 0u);
+}
+
+TEST(RegAlloc, StarvedAllocationStillComputesCorrectly)
+{
+    // The correctness property: spilled code == unspilled code.
+    std::vector<std::uint64_t> addrs;
+    IRFunction ample_func = manyLiveValues(12, addrs);
+    AllocResult ample = allocateRegisters(ample_func, AllocConfig{});
+    ASSERT_TRUE(ample.success);
+    auto ref = runAndCapture(lower(ample_func, ample).program, addrs);
+
+    std::vector<std::uint64_t> addrs2;
+    IRFunction starved_func = manyLiveValues(12, addrs2);
+    AllocConfig starved;
+    starved.numIntColors = 4;
+    AllocResult tight = allocateRegisters(starved_func, starved);
+    ASSERT_TRUE(tight.success);
+    auto got = runAndCapture(lower(starved_func, tight).program, addrs2);
+
+    EXPECT_EQ(ref, got);
+}
+
+TEST(RegAlloc, NoSpillModeReportsFailure)
+{
+    std::vector<std::uint64_t> addrs;
+    IRFunction func = manyLiveValues(12, addrs);
+    AllocConfig cfg;
+    cfg.numIntColors = 4;
+    cfg.allowSpill = false;
+    AllocResult alloc = allocateRegisters(func, cfg);
+    EXPECT_FALSE(alloc.success);
+}
+
+TEST(Lower, BranchDisplacementsResolve)
+{
+    IRFunction func;
+    IRBuilder b(func);
+    VReg i = func.newIntVReg();
+    VReg base = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 5);
+    BlockId head = b.startBlock();
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.store(i, base, 0);
+    b.halt();
+    func.numberInsts();
+
+    AllocResult alloc = allocateRegisters(func, AllocConfig{});
+    ASSERT_TRUE(alloc.success);
+    LowerResult low = lower(func, alloc);
+
+    auto result = runAndCapture(low.program, {Program::dataBase});
+    EXPECT_EQ(result[Program::dataBase], 0u);
+
+    // Index maps must be mutually inverse.
+    for (std::uint32_t s = 0; s < low.program.size(); ++s)
+        EXPECT_EQ(low.staticOfIrId[low.irIdOfStatic[s]], s);
+}
+
+TEST(Lower, RvpMarkingChangesOpcode)
+{
+    IRFunction func;
+    IRBuilder b(func);
+    VReg base = func.newIntVReg();
+    VReg x = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.load(x, base, 0);          // the load to mark
+    b.store(x, base, 8);
+    b.halt();
+    func.numberInsts();
+
+    // Find the load's IR id.
+    std::uint32_t load_ir = UINT32_MAX;
+    for (std::uint32_t id = 0; id < func.numInsts(); ++id)
+        if (func.instAt(id).op == Opcode::LDQ)
+            load_ir = id;
+    ASSERT_NE(load_ir, UINT32_MAX);
+
+    AllocResult alloc = allocateRegisters(func, AllocConfig{});
+    ASSERT_TRUE(alloc.success);
+    std::unordered_set<std::uint32_t> marked{load_ir};
+    LowerResult low = lower(func, alloc, &marked);
+
+    unsigned rvp_loads = 0;
+    for (const StaticInst &si : low.program.insts)
+        rvp_loads += si.op == Opcode::RVP_LDQ;
+    EXPECT_EQ(rvp_loads, 1u);
+
+    // Marked load must execute identically to the unmarked one.
+    LowerResult plain = lower(func, alloc);
+    auto a = runAndCapture(low.program, {Program::dataBase + 8});
+    auto c = runAndCapture(plain.program, {Program::dataBase + 8});
+    EXPECT_EQ(a, c);
+}
+
+/**
+ * Random-program equivalence sweep: generate a random (terminating)
+ * integer program, allocate with ample and with starved register
+ * files, and require identical results.
+ */
+class AllocEquivalence : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+IRFunction
+randomProgram(std::uint64_t seed, std::vector<std::uint64_t> &addrs)
+{
+    Rng rng(seed);
+    IRFunction func;
+    IRBuilder b(func);
+    b.startBlock();
+    VReg base = func.newIntVReg();
+    b.loadAddr(base, Program::dataBase);
+
+    unsigned num_vals = 4 + static_cast<unsigned>(rng.nextBelow(10));
+    std::vector<VReg> vals;
+    for (unsigned i = 0; i < num_vals; ++i) {
+        VReg v = func.newIntVReg();
+        b.loadImm(v, static_cast<std::int32_t>(rng.nextRange(-100, 100)));
+        vals.push_back(v);
+    }
+
+    // A bounded loop mutating random values.
+    VReg counter = func.newIntVReg();
+    b.loadImm(counter, static_cast<std::int32_t>(rng.nextRange(3, 12)));
+    BlockId head = b.startBlock();
+    unsigned body_len = 3 + static_cast<unsigned>(rng.nextBelow(8));
+    for (unsigned i = 0; i < body_len; ++i) {
+        VReg d = vals[rng.nextBelow(vals.size())];
+        VReg s1 = vals[rng.nextBelow(vals.size())];
+        VReg s2 = vals[rng.nextBelow(vals.size())];
+        switch (rng.nextBelow(4)) {
+          case 0: b.op3(Opcode::ADDQ, d, s1, s2); break;
+          case 1: b.op3(Opcode::SUBQ, d, s1, s2); break;
+          case 2: b.op3(Opcode::XOR, d, s1, s2); break;
+          default: b.opImm(Opcode::ADDQ, d, s1,
+                           static_cast<std::int32_t>(rng.nextRange(-5, 5)));
+        }
+    }
+    b.opImm(Opcode::SUBQ, counter, counter, 1);
+    b.branch(Opcode::BNE, counter, head);
+    b.startBlock();
+    for (unsigned i = 0; i < num_vals; ++i) {
+        b.store(vals[i], base, static_cast<std::int32_t>(8 * i));
+        addrs.push_back(Program::dataBase + 8 * i);
+    }
+    b.halt();
+    func.numberInsts();
+    return func;
+}
+
+TEST_P(AllocEquivalence, StarvedMatchesAmple)
+{
+    for (std::uint64_t sub = 0; sub < 10; ++sub) {
+        std::uint64_t seed = GetParam() * 1000 + sub;
+        std::vector<std::uint64_t> addrs1, addrs2;
+        IRFunction f1 = randomProgram(seed, addrs1);
+        IRFunction f2 = randomProgram(seed, addrs2);
+
+        AllocResult ample = allocateRegisters(f1, AllocConfig{});
+        ASSERT_TRUE(ample.success);
+        AllocConfig starved_cfg;
+        starved_cfg.numIntColors = 5;
+        AllocResult starved = allocateRegisters(f2, starved_cfg);
+        ASSERT_TRUE(starved.success);
+
+        auto ref = runAndCapture(lower(f1, ample).program, addrs1);
+        auto got = runAndCapture(lower(f2, starved).program, addrs2);
+        EXPECT_EQ(ref, got) << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(RvpRealloc, CombinesDeadRegisterLiveRanges)
+{
+    // Producer writes a value; later a load produces the same value.
+    // After reallocation both must share one architectural register.
+    IRFunction func;
+    IRBuilder b(func);
+    VReg base = func.newIntVReg();
+    VReg producer = func.newIntVReg();
+    VReg consumer = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(producer, 42);          // producer def (ir id 3)
+    b.store(producer, base, 0);       // last use of producer
+    b.load(consumer, base, 0);        // loads 42: correlated!
+    b.store(consumer, base, 8);
+    b.halt();
+    func.numberInsts();
+
+    std::uint32_t producer_ir = UINT32_MAX, consumer_ir = UINT32_MAX;
+    for (std::uint32_t id = 0; id < func.numInsts(); ++id) {
+        const IRInst &inst = func.instAt(id);
+        if (inst.op == Opcode::LDA && inst.imm == 42)
+            producer_ir = id;
+        if (inst.op == Opcode::LDQ)
+            consumer_ir = id;
+    }
+    ASSERT_NE(producer_ir, UINT32_MAX);
+    ASSERT_NE(consumer_ir, UINT32_MAX);
+
+    std::vector<ReuseCandidate> cands;
+    cands.push_back({consumer_ir, producer_ir, false, 1.0});
+    ReallocResult rr = reallocForReuse(func, AllocConfig{}, cands);
+    ASSERT_TRUE(rr.success);
+    ASSERT_TRUE(rr.honored[0]);
+    EXPECT_EQ(rr.alloc.colorOf[producer], rr.alloc.colorOf[consumer]);
+
+    // The re-allocated program must still be correct.
+    auto got = runAndCapture(lower(func, rr.alloc).program,
+                             {Program::dataBase + 8});
+    EXPECT_EQ(got[Program::dataBase + 8], 42u);
+}
+
+TEST(RvpRealloc, RejectsOverlappingLiveRanges)
+{
+    // Producer stays live past the consumer: combining is illegal.
+    IRFunction func;
+    IRBuilder b(func);
+    VReg base = func.newIntVReg();
+    VReg producer = func.newIntVReg();
+    VReg consumer = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(producer, 42);
+    b.load(consumer, base, 0);
+    b.store(consumer, base, 8);
+    b.store(producer, base, 16);   // producer still live here
+    b.halt();
+    func.numberInsts();
+
+    std::uint32_t producer_ir = 3, consumer_ir = 4;
+    ASSERT_EQ(func.instAt(producer_ir).op, Opcode::LDA);
+    ASSERT_EQ(func.instAt(consumer_ir).op, Opcode::LDQ);
+
+    std::vector<ReuseCandidate> cands;
+    cands.push_back({consumer_ir, producer_ir, false, 1.0});
+    ReallocResult rr = reallocForReuse(func, AllocConfig{}, cands);
+    ASSERT_TRUE(rr.success);
+    EXPECT_FALSE(rr.honored[0]);
+    EXPECT_EQ(rr.droppedForLegality, 1u);
+}
+
+TEST(RvpRealloc, LvrGetsLoopExclusiveRegister)
+{
+    // A loop with one LVR load and several other defs; after the
+    // reallocation no other instruction in the loop may write the
+    // load's register.
+    IRFunction func;
+    IRBuilder b(func);
+    VReg base = func.newIntVReg();
+    VReg i = func.newIntVReg();
+    VReg x = func.newIntVReg();      // the LVR load target
+    VReg t1 = func.newIntVReg();
+    VReg t2 = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 10);
+    BlockId head = b.startBlock();
+    b.load(x, base, 0);              // last-value reuse
+    b.op3(Opcode::ADDQ, t1, x, i);
+    b.opImm(Opcode::ADDQ, t2, t1, 7);
+    b.store(t2, base, 8);
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.halt();
+    func.numberInsts();
+
+    std::uint32_t load_ir = UINT32_MAX;
+    for (std::uint32_t id = 0; id < func.numInsts(); ++id)
+        if (func.instAt(id).op == Opcode::LDQ)
+            load_ir = id;
+    ASSERT_NE(load_ir, UINT32_MAX);
+
+    std::vector<ReuseCandidate> cands;
+    ReuseCandidate lvr;
+    lvr.consumerIr = load_ir;
+    lvr.isLvr = true;
+    lvr.priority = 5.0;
+    cands.push_back(lvr);
+    ReallocResult rr = reallocForReuse(func, AllocConfig{}, cands);
+    ASSERT_TRUE(rr.success);
+    ASSERT_TRUE(rr.honored[0]);
+
+    RegIndex xreg = rr.alloc.colorOf[x];
+    EXPECT_NE(rr.alloc.colorOf[t1], xreg);
+    EXPECT_NE(rr.alloc.colorOf[t2], xreg);
+    EXPECT_NE(rr.alloc.colorOf[i], xreg);
+}
+
+TEST(RvpRealloc, LvrOutsideLoopAbandoned)
+{
+    IRFunction func;
+    IRBuilder b(func);
+    VReg base = func.newIntVReg();
+    VReg x = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.load(x, base, 0);
+    b.store(x, base, 8);
+    b.halt();
+    func.numberInsts();
+
+    std::vector<ReuseCandidate> cands;
+    ReuseCandidate lvr;
+    lvr.consumerIr = 3;   // the load
+    lvr.isLvr = true;
+    cands.push_back(lvr);
+    ReallocResult rr = reallocForReuse(func, AllocConfig{}, cands);
+    ASSERT_TRUE(rr.success);
+    EXPECT_FALSE(rr.honored[0]);
+    EXPECT_EQ(rr.droppedForLegality, 1u);
+}
+
+TEST(RvpRealloc, PruningPreservesColorability)
+{
+    // More LVR candidates than can possibly hold exclusive registers
+    // in a starved file: the pass must drop some and still succeed.
+    IRFunction func;
+    IRBuilder b(func);
+    VReg base = func.newIntVReg();
+    VReg i = func.newIntVReg();
+    std::vector<VReg> loads;
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 10);
+    BlockId head = b.startBlock();
+    VReg acc = func.newIntVReg();
+    b.loadImm(acc, 0);
+    for (unsigned k = 0; k < 6; ++k) {
+        VReg v = func.newIntVReg();
+        b.load(v, base, static_cast<std::int32_t>(8 * k));
+        b.op3(Opcode::ADDQ, acc, acc, v);
+        loads.push_back(v);
+    }
+    b.store(acc, base, 64);
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.halt();
+    func.numberInsts();
+
+    std::vector<ReuseCandidate> cands;
+    for (std::uint32_t id = 0; id < func.numInsts(); ++id) {
+        if (func.instAt(id).op == Opcode::LDQ) {
+            ReuseCandidate lvr;
+            lvr.consumerIr = id;
+            lvr.isLvr = true;
+            lvr.priority = static_cast<double>(id);
+            cands.push_back(lvr);
+        }
+    }
+    ASSERT_EQ(cands.size(), 6u);
+
+    AllocConfig tiny;
+    tiny.numIntColors = 6;
+    ReallocResult rr = reallocForReuse(func, tiny, cands);
+    ASSERT_TRUE(rr.success);
+    unsigned honored = 0;
+    for (bool h : rr.honored)
+        honored += h;
+    EXPECT_LT(honored, 6u);
+    EXPECT_GT(rr.droppedForColoring, 0u);
+}
+
+} // namespace
+} // namespace rvp

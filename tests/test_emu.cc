@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Unit tests for the functional emulator: per-opcode semantics, the
+ * DynInst record fields the predictors depend on (old destination
+ * value, effective address, branch outcome), and sparse memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "isa/inst.hh"
+
+namespace rvp
+{
+namespace
+{
+
+StaticInst
+op3(Opcode op, RegIndex rc, RegIndex ra, RegIndex rb)
+{
+    StaticInst si;
+    si.op = op;
+    si.rc = rc;
+    si.ra = ra;
+    si.rb = rb;
+    return si;
+}
+
+StaticInst
+opImm(Opcode op, RegIndex rc, RegIndex ra, std::int32_t imm)
+{
+    StaticInst si;
+    si.op = op;
+    si.rc = rc;
+    si.ra = ra;
+    si.useImm = true;
+    si.imm = imm;
+    return si;
+}
+
+StaticInst
+lda(RegIndex rc, RegIndex ra, std::int32_t imm)
+{
+    return opImm(Opcode::LDA, rc, ra, imm);
+}
+
+StaticInst
+mem(Opcode op, RegIndex reg, RegIndex base, std::int32_t imm)
+{
+    StaticInst si;
+    si.op = op;
+    si.ra = base;
+    si.imm = imm;
+    if (si.info().isStore)
+        si.rb = reg;
+    else
+        si.rc = reg;
+    return si;
+}
+
+StaticInst
+branch(Opcode op, RegIndex ra, std::int32_t disp)
+{
+    StaticInst si;
+    si.op = op;
+    si.ra = ra;
+    si.imm = disp;
+    return si;
+}
+
+StaticInst
+halt()
+{
+    StaticInst si;
+    si.op = Opcode::HALT;
+    return si;
+}
+
+/** Run prog to completion (or max_steps), returning all DynInsts. */
+std::vector<DynInst>
+run(const Program &prog, std::size_t max_steps = 10000)
+{
+    Emulator emu(prog);
+    std::vector<DynInst> out;
+    DynInst di;
+    while (out.size() < max_steps && emu.step(di))
+        out.push_back(di);
+    return out;
+}
+
+Program
+progOf(std::vector<StaticInst> insts)
+{
+    Program prog;
+    prog.insts = std::move(insts);
+    return prog;
+}
+
+TEST(SparseMemory, ZeroFilledAndRoundTrips)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.read64(0x1000), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+    mem.write64(0x1000, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(mem.read64(0x1000), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(mem.read64(0x1008), 0u);
+    EXPECT_EQ(mem.residentPages(), 1u);
+}
+
+TEST(SparseMemory, CrossPageIndependent)
+{
+    SparseMemory mem;
+    mem.write64(0x0ff8, 1);
+    mem.write64(0x1000, 2);
+    EXPECT_EQ(mem.read64(0x0ff8), 1u);
+    EXPECT_EQ(mem.read64(0x1000), 2u);
+    EXPECT_EQ(mem.residentPages(), 2u);
+}
+
+TEST(SparseMemory, ByteAccess)
+{
+    SparseMemory mem;
+    mem.write8(0x2003, 0xab);
+    EXPECT_EQ(mem.read8(0x2003), 0xab);
+    EXPECT_EQ(mem.read64(0x2000), 0xab000000ull);   // little-endian byte 3
+}
+
+TEST(Emulator, IntegerArithmetic)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, 10),
+        lda(2, zeroReg, 3),
+        op3(Opcode::ADDQ, 3, 1, 2),   // 13
+        op3(Opcode::SUBQ, 4, 1, 2),   // 7
+        op3(Opcode::MULQ, 5, 1, 2),   // 30
+        opImm(Opcode::SLL, 6, 2, 4),  // 48
+        opImm(Opcode::SRL, 7, 1, 1),  // 5
+        halt(),
+    });
+    Emulator emu(prog);
+    DynInst di;
+    while (emu.step(di)) {}
+    EXPECT_EQ(emu.state().read(3), 13u);
+    EXPECT_EQ(emu.state().read(4), 7u);
+    EXPECT_EQ(emu.state().read(5), 30u);
+    EXPECT_EQ(emu.state().read(6), 48u);
+    EXPECT_EQ(emu.state().read(7), 5u);
+}
+
+TEST(Emulator, SignedOps)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, -8),
+        opImm(Opcode::SRA, 2, 1, 1),       // -4
+        opImm(Opcode::CMPLT, 3, 1, 0),     // -8 < 0 -> 1
+        opImm(Opcode::CMPLE, 4, 1, -8),    // -8 <= -8 -> 1
+        opImm(Opcode::CMPEQ, 5, 1, -8),    // 1
+        opImm(Opcode::CMPULT, 6, 1, 1),    // huge unsigned < 1 -> 0
+        halt(),
+    });
+    Emulator emu(prog);
+    DynInst di;
+    while (emu.step(di)) {}
+    EXPECT_EQ(static_cast<std::int64_t>(emu.state().read(2)), -4);
+    EXPECT_EQ(emu.state().read(3), 1u);
+    EXPECT_EQ(emu.state().read(4), 1u);
+    EXPECT_EQ(emu.state().read(5), 1u);
+    EXPECT_EQ(emu.state().read(6), 0u);
+}
+
+TEST(Emulator, LogicalOps)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, 0xf0),
+        lda(2, zeroReg, 0x3c),
+        op3(Opcode::AND, 3, 1, 2),
+        op3(Opcode::BIS, 4, 1, 2),
+        op3(Opcode::XOR, 5, 1, 2),
+        halt(),
+    });
+    Emulator emu(prog);
+    DynInst di;
+    while (emu.step(di)) {}
+    EXPECT_EQ(emu.state().read(3), 0x30u);
+    EXPECT_EQ(emu.state().read(4), 0xfcu);
+    EXPECT_EQ(emu.state().read(5), 0xccu);
+}
+
+TEST(Emulator, ZeroRegisterReadsZeroAndDiscardsWrites)
+{
+    auto prog = progOf({
+        lda(zeroReg, zeroReg, 99),       // write to r31 discarded
+        op3(Opcode::ADDQ, 1, zeroReg, zeroReg),
+        halt(),
+    });
+    auto trace = run(prog);
+    EXPECT_EQ(trace[0].dest, regNone);   // normalized away
+    EXPECT_EQ(trace[1].srcA, regNone);
+    EXPECT_EQ(trace[1].srcB, regNone);
+    Emulator emu(prog);
+    DynInst di;
+    while (emu.step(di)) {}
+    EXPECT_EQ(emu.state().read(1), 0u);
+}
+
+TEST(Emulator, LoadStore)
+{
+    Program prog = progOf({
+        lda(1, zeroReg, 0),                       // r1 = 0, rebuilt below
+        mem(Opcode::LDQ, 2, 1, 8),                // r2 = mem[base+8]
+        opImm(Opcode::ADDQ, 2, 2, 5),
+        mem(Opcode::STQ, 2, 1, 16),               // mem[base+16] = r2
+        mem(Opcode::LDQ, 3, 1, 16),
+        halt(),
+    });
+    // Point r1 at the data segment.
+    prog.insts[0] = lda(1, zeroReg, 0x4000);
+    prog.dataImage.push_back({0x4008, 37});
+    auto trace = run(prog);
+    EXPECT_EQ(trace[1].effAddr, 0x4008u);
+    EXPECT_EQ(trace[1].newValue, 37u);
+    EXPECT_EQ(trace[3].effAddr, 0x4010u);
+    EXPECT_EQ(trace[3].newValue, 42u);    // store data recorded
+    EXPECT_EQ(trace[4].newValue, 42u);
+}
+
+TEST(Emulator, OldDestValueRecorded)
+{
+    // The heart of RVP: the emulator must report the value that was in
+    // the destination register *before* the instruction wrote it.
+    auto prog = progOf({
+        lda(5, zeroReg, 111),
+        lda(5, zeroReg, 222),
+        lda(5, zeroReg, 222),
+        halt(),
+    });
+    auto trace = run(prog);
+    EXPECT_EQ(trace[0].oldDestValue, 0u);
+    EXPECT_EQ(trace[1].oldDestValue, 111u);
+    EXPECT_EQ(trace[2].oldDestValue, 222u);
+    EXPECT_EQ(trace[2].newValue, 222u);   // same-register reuse!
+}
+
+TEST(Emulator, ConditionalBranches)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, 2),             // loop counter
+        // loop:
+        opImm(Opcode::SUBQ, 1, 1, 1),
+        branch(Opcode::BNE, 1, -2),     // back to subq
+        halt(),
+    });
+    auto trace = run(prog);
+    // lda, subq, bne(taken), subq, bne(not-taken), halt
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_TRUE(trace[2].isTaken);
+    EXPECT_EQ(trace[2].nextPc, Program::pcOf(1));
+    EXPECT_FALSE(trace[4].isTaken);
+    EXPECT_EQ(trace[4].nextPc, Program::pcOf(3));
+}
+
+TEST(Emulator, BranchVariants)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, -1),
+        branch(Opcode::BLT, 1, 1),      // taken, skip next
+        halt(),
+        branch(Opcode::BGE, 1, 1),      // not taken (-1 < 0)
+        branch(Opcode::BLE, 1, 1),      // taken
+        halt(),
+        branch(Opcode::BGT, 1, 1),      // not taken
+        halt(),
+    });
+    auto trace = run(prog);
+    EXPECT_TRUE(trace[1].isTaken);
+    EXPECT_FALSE(trace[2].isTaken);     // BGE
+    EXPECT_TRUE(trace[3].isTaken);      // BLE
+    EXPECT_FALSE(trace[4].isTaken);     // BGT
+    EXPECT_EQ(trace.back().op, Opcode::HALT);
+}
+
+TEST(Emulator, UnconditionalAndIndirect)
+{
+    auto prog = progOf({
+        branch(Opcode::BR, regNone, 2), // skip two
+        halt(),
+        halt(),
+        lda(4, zeroReg, static_cast<std::int32_t>(Program::pcOf(6))),
+        op3(Opcode::JSR, raReg, 4, regNone),
+        halt(),                          // skipped: jsr jumps to 6
+        // subroutine:
+        lda(5, zeroReg, 77),
+        op3(Opcode::RET, regNone, raReg, regNone),
+    });
+    auto trace = run(prog);
+    // br, lda, jsr, lda(sub), ret, halt
+    ASSERT_EQ(trace.size(), 6u);
+    EXPECT_EQ(trace[2].op, Opcode::JSR);
+    EXPECT_EQ(trace[2].newValue, Program::pcOf(5));  // return address
+    EXPECT_EQ(trace[2].nextPc, Program::pcOf(6));
+    EXPECT_EQ(trace[4].op, Opcode::RET);
+    EXPECT_EQ(trace[4].nextPc, Program::pcOf(5));
+    EXPECT_EQ(trace[5].op, Opcode::HALT);
+}
+
+TEST(Emulator, FloatingPoint)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, 7),
+        op3(Opcode::ITOF, fpBase + 0, 1, regNone),
+        op3(Opcode::CVTQT, fpBase + 1, fpBase + 0, regNone), // 7.0
+        op3(Opcode::ADDT, fpBase + 2, fpBase + 1, fpBase + 1), // 14.0
+        op3(Opcode::MULT, fpBase + 3, fpBase + 2, fpBase + 1), // 98.0
+        op3(Opcode::SUBT, fpBase + 4, fpBase + 3, fpBase + 2), // 84.0
+        op3(Opcode::DIVT, fpBase + 5, fpBase + 4, fpBase + 1), // 12.0
+        op3(Opcode::CVTTQ, fpBase + 6, fpBase + 5, regNone),   // 12
+        op3(Opcode::FTOI, 2, fpBase + 6, regNone),
+        halt(),
+    });
+    Emulator emu(prog);
+    DynInst di;
+    while (emu.step(di)) {}
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(emu.state().read(fpBase + 1)),
+                     7.0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(emu.state().read(fpBase + 5)),
+                     12.0);
+    EXPECT_EQ(emu.state().read(2), 12u);
+}
+
+TEST(Emulator, FpCompareAndBranch)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, 3),
+        op3(Opcode::ITOF, fpBase + 0, 1, regNone),
+        op3(Opcode::CVTQT, fpBase + 1, fpBase + 0, regNone),   // 3.0
+        op3(Opcode::CMPTLT, fpBase + 2, fpBase + 1, fpBase + 1), // 0.0
+        branch(Opcode::FBEQ, fpBase + 2, 1),    // taken: 0.0 == 0
+        halt(),
+        op3(Opcode::CMPTLE, fpBase + 3, fpBase + 1, fpBase + 1), // 1.0
+        branch(Opcode::FBNE, fpBase + 3, 1),    // taken
+        halt(),
+        halt(),
+    });
+    auto trace = run(prog);
+    EXPECT_TRUE(trace[4].isTaken);   // fbeq
+    EXPECT_TRUE(trace[6].isTaken);   // fbne
+}
+
+TEST(Emulator, HaltStopsStepping)
+{
+    auto prog = progOf({halt()});
+    Emulator emu(prog);
+    DynInst di;
+    EXPECT_TRUE(emu.step(di));
+    EXPECT_TRUE(emu.halted());
+    EXPECT_FALSE(emu.step(di));
+    EXPECT_EQ(emu.instCount(), 1u);
+}
+
+TEST(Emulator, StackPointerInitialized)
+{
+    auto prog = progOf({halt()});
+    Emulator emu(prog);
+    EXPECT_EQ(emu.state().read(spReg), Program::stackTop);
+}
+
+TEST(Emulator, SourcesRecordedForStores)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, 0x4000),
+        lda(2, zeroReg, 9),
+        mem(Opcode::STQ, 2, 1, 0),
+        halt(),
+    });
+    auto trace = run(prog);
+    EXPECT_EQ(trace[2].srcA, 1);   // base
+    EXPECT_EQ(trace[2].srcB, 2);   // data
+    EXPECT_EQ(trace[2].dest, regNone);
+}
+
+TEST(Emulator, SequenceNumbersMonotonic)
+{
+    auto prog = progOf({
+        lda(1, zeroReg, 3),
+        opImm(Opcode::SUBQ, 1, 1, 1),
+        branch(Opcode::BNE, 1, -2),
+        halt(),
+    });
+    auto trace = run(prog);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].seq, i);
+}
+
+} // namespace
+} // namespace rvp

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the SRISC ISA: opcode metadata, encoding round trips,
+ * and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "isa/inst.hh"
+
+namespace rvp
+{
+namespace
+{
+
+TEST(OpcodeInfo, TableOrderMatchesEnum)
+{
+    // opcodeInfo() panics internally on a mismatched table; touching
+    // every opcode validates the whole table.
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        const OpcodeInfo &info = opcodeInfo(op);
+        EXPECT_FALSE(info.mnemonic.empty());
+    }
+}
+
+TEST(OpcodeInfo, LoadStoreClassification)
+{
+    EXPECT_TRUE(opcodeInfo(Opcode::LDQ).isLoad);
+    EXPECT_TRUE(opcodeInfo(Opcode::RVP_LDQ).isLoad);
+    EXPECT_TRUE(opcodeInfo(Opcode::RVP_LDQ).isRvpMarked);
+    EXPECT_FALSE(opcodeInfo(Opcode::LDQ).isRvpMarked);
+    EXPECT_TRUE(opcodeInfo(Opcode::STQ).isStore);
+    EXPECT_FALSE(opcodeInfo(Opcode::STQ).writesRc);
+    EXPECT_TRUE(opcodeInfo(Opcode::LDT).rcIsFp);
+    EXPECT_TRUE(opcodeInfo(Opcode::STT).rbIsFp);
+}
+
+TEST(OpcodeInfo, ControlClassification)
+{
+    EXPECT_TRUE(opcodeInfo(Opcode::BEQ).isCondBranch);
+    EXPECT_TRUE(opcodeInfo(Opcode::BR).isUncondBranch);
+    EXPECT_TRUE(opcodeInfo(Opcode::JSR).isIndirect);
+    EXPECT_TRUE(opcodeInfo(Opcode::JSR).writesRc);
+    EXPECT_TRUE(opcodeInfo(Opcode::RET).isIndirect);
+    EXPECT_FALSE(opcodeInfo(Opcode::RET).writesRc);
+    EXPECT_TRUE(opcodeInfo(Opcode::FBEQ).raIsFp);
+    EXPECT_TRUE(isControl(Opcode::BR));
+    EXPECT_FALSE(isControl(Opcode::ADDQ));
+}
+
+TEST(Registers, BankHelpers)
+{
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(32));
+    EXPECT_TRUE(isFpReg(63));
+    EXPECT_TRUE(isZeroReg(zeroReg));
+    EXPECT_TRUE(isZeroReg(fpZeroReg));
+    EXPECT_FALSE(isZeroReg(30));
+    EXPECT_EQ(regName(5), "r5");
+    EXPECT_EQ(regName(fpBase + 12), "f12");
+    EXPECT_EQ(regName(regNone), "-");
+}
+
+TEST(Program, PcIndexRoundTrip)
+{
+    EXPECT_EQ(Program::pcOf(0), Program::textBase);
+    EXPECT_EQ(Program::indexOf(Program::pcOf(17)), 17u);
+}
+
+StaticInst
+makeOperate(Opcode op, RegIndex rc, RegIndex ra, RegIndex rb)
+{
+    StaticInst si;
+    si.op = op;
+    si.ra = ra;
+    si.rb = rb;
+    si.rc = rc;
+    return si;
+}
+
+TEST(Encoding, OperateRoundTrip)
+{
+    StaticInst si = makeOperate(Opcode::ADDQ, 3, 1, 2);
+    EXPECT_EQ(decodeInst(encodeInst(si)), si);
+}
+
+TEST(Encoding, OperateImmediateRoundTrip)
+{
+    StaticInst si = makeOperate(Opcode::SUBQ, 4, 9, regNone);
+    si.useImm = true;
+    si.imm = -200;
+    EXPECT_EQ(decodeInst(encodeInst(si)), si);
+    si.imm = 511;
+    EXPECT_EQ(decodeInst(encodeInst(si)), si);
+}
+
+TEST(Encoding, ImmediateRangeChecked)
+{
+    StaticInst si = makeOperate(Opcode::ADDQ, 1, 2, regNone);
+    si.useImm = true;
+    si.imm = 511;
+    EXPECT_TRUE(encodable(si));
+    si.imm = 512;
+    EXPECT_FALSE(encodable(si));
+    si.imm = -512;
+    EXPECT_TRUE(encodable(si));
+    si.imm = -513;
+    EXPECT_FALSE(encodable(si));
+}
+
+TEST(Encoding, LoadStoreRoundTrip)
+{
+    StaticInst load;
+    load.op = Opcode::LDQ;
+    load.ra = 5;
+    load.rc = 7;
+    load.imm = -32768;
+    EXPECT_EQ(decodeInst(encodeInst(load)), load);
+
+    StaticInst store;
+    store.op = Opcode::STT;
+    store.ra = 5;
+    store.rb = fpBase + 3;
+    store.imm = 32767;
+    EXPECT_EQ(decodeInst(encodeInst(store)), store);
+}
+
+TEST(Encoding, RvpLoadRoundTrip)
+{
+    StaticInst load;
+    load.op = Opcode::RVP_LDT;
+    load.ra = 2;
+    load.rc = fpBase + 9;
+    load.imm = 64;
+    StaticInst back = decodeInst(encodeInst(load));
+    EXPECT_EQ(back, load);
+    EXPECT_TRUE(back.isRvpMarked());
+}
+
+TEST(Encoding, BranchRoundTrip)
+{
+    StaticInst br;
+    br.op = Opcode::BNE;
+    br.ra = 11;
+    br.imm = -12345;
+    EXPECT_EQ(decodeInst(encodeInst(br)), br);
+
+    StaticInst fb;
+    fb.op = Opcode::FBEQ;
+    fb.ra = fpBase + 4;
+    fb.imm = 77;
+    EXPECT_EQ(decodeInst(encodeInst(fb)), fb);
+
+    StaticInst uncond;
+    uncond.op = Opcode::BR;
+    uncond.imm = 100000;
+    EXPECT_EQ(decodeInst(encodeInst(uncond)).imm, 100000);
+}
+
+TEST(Encoding, JsrRetRoundTrip)
+{
+    StaticInst jsr;
+    jsr.op = Opcode::JSR;
+    jsr.ra = 27;
+    jsr.rc = raReg;
+    EXPECT_EQ(decodeInst(encodeInst(jsr)), jsr);
+
+    StaticInst ret;
+    ret.op = Opcode::RET;
+    ret.ra = raReg;
+    EXPECT_EQ(decodeInst(encodeInst(ret)), ret);
+}
+
+TEST(Encoding, FpOperateBanksPreserved)
+{
+    StaticInst si = makeOperate(Opcode::MULT, fpBase + 1, fpBase + 2,
+                                fpBase + 3);
+    StaticInst back = decodeInst(encodeInst(si));
+    EXPECT_EQ(back, si);
+    EXPECT_TRUE(isFpReg(back.ra));
+    EXPECT_TRUE(isFpReg(back.rb));
+    EXPECT_TRUE(isFpReg(back.rc));
+}
+
+/** Property sweep: random well-formed instructions must round-trip. */
+class EncodingRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(EncodingRoundTrip, RandomInstructions)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 2000; ++iter) {
+        StaticInst si;
+        // Pick a random non-bare opcode.
+        do {
+            si.op = static_cast<Opcode>(rng.nextBelow(numOpcodes));
+        } while (si.op == Opcode::NumOpcodes);
+        const OpcodeInfo &info = si.info();
+
+        auto pick = [&](bool is_fp) {
+            return static_cast<RegIndex>(rng.nextBelow(32) +
+                                         (is_fp ? fpBase : 0));
+        };
+        si.ra = pick(info.raIsFp);
+        if (info.writesRc)
+            si.rc = pick(info.rcIsFp);
+
+        if (info.isLoad || si.op == Opcode::LDA) {
+            si.imm = static_cast<std::int32_t>(rng.nextRange(-32768, 32767));
+            si.useImm = (si.op == Opcode::LDA);
+        } else if (info.isStore) {
+            si.rb = pick(info.rbIsFp);
+            si.imm = static_cast<std::int32_t>(rng.nextRange(-32768, 32767));
+        } else if (info.isCondBranch || si.op == Opcode::BR) {
+            si.imm = static_cast<std::int32_t>(
+                rng.nextRange(-(1 << 20), (1 << 20) - 1));
+            if (si.op == Opcode::BR)
+                si.ra = regNone;
+        } else if (si.op == Opcode::JSR || si.op == Opcode::RET) {
+            // fields already set
+        } else if (si.op == Opcode::NOP || si.op == Opcode::HALT) {
+            si.ra = regNone;
+        } else if (info.writesRc) {
+            // operate: sometimes immediate form
+            if (!info.raIsFp && si.op != Opcode::ITOF &&
+                si.op != Opcode::FTOI && rng.chance(1, 2)) {
+                si.useImm = true;
+                si.imm = static_cast<std::int32_t>(rng.nextRange(-512, 511));
+            } else {
+                si.rb = pick(info.rbIsFp);
+            }
+        }
+
+        ASSERT_TRUE(encodable(si)) << disassemble(si);
+        StaticInst back = decodeInst(encodeInst(si));
+        // NOP/HALT lose their (meaningless) register fields; normalize.
+        if (si.op == Opcode::NOP || si.op == Opcode::HALT) {
+            continue;
+        }
+        // BR has no ra field.
+        if (si.op == Opcode::BR)
+            si.ra = back.ra;
+        EXPECT_EQ(back, si) << disassemble(si) << " vs " << disassemble(back);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Disasm, Formats)
+{
+    StaticInst add = makeOperate(Opcode::ADDQ, 3, 1, 2);
+    EXPECT_EQ(disassemble(add), "addq r3, r1, r2");
+
+    StaticInst addi = makeOperate(Opcode::ADDQ, 3, 1, regNone);
+    addi.useImm = true;
+    addi.imm = 8;
+    EXPECT_EQ(disassemble(addi), "addq r3, r1, #8");
+
+    StaticInst load;
+    load.op = Opcode::RVP_LDQ;
+    load.ra = 5;
+    load.rc = 3;
+    load.imm = 800;
+    EXPECT_EQ(disassemble(load), "rvp_ldq r3, 800(r5)");
+
+    StaticInst store;
+    store.op = Opcode::STQ;
+    store.ra = 2;
+    store.rb = 4;
+    store.imm = 64;
+    EXPECT_EQ(disassemble(store), "stq r4, 64(r2)");
+
+    StaticInst br;
+    br.op = Opcode::BEQ;
+    br.ra = 7;
+    br.imm = -3;
+    EXPECT_EQ(disassemble(br), "beq r7, -3");
+
+    StaticInst halt;
+    halt.op = Opcode::HALT;
+    EXPECT_EQ(disassemble(halt), "halt");
+}
+
+TEST(Disasm, ProgramListing)
+{
+    Program prog;
+    StaticInst halt;
+    halt.op = Opcode::HALT;
+    prog.insts = {makeOperate(Opcode::ADDQ, 1, 2, 3), halt};
+    std::string text = disassemble(prog);
+    EXPECT_NE(text.find("0:\taddq"), std::string::npos);
+    EXPECT_NE(text.find("1:\thalt"), std::string::npos);
+}
+
+} // namespace
+} // namespace rvp

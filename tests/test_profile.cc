@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the register-reuse profiler and the critical-path
+ * profiler: carefully constructed programs with known reuse patterns
+ * must be classified into the right lists (same register, dead
+ * register, live register, last value), with the right primary
+ * producers, and the Figure-1 aggregates must be ordered correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/arch_liveness.hh"
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "emu/emulator.hh"
+#include "profile/critical_path.hh"
+#include "profile/reuse_profiler.hh"
+#include "workloads/workloads.hh"
+
+namespace rvp
+{
+namespace
+{
+
+struct Compiled
+{
+    IRFunction func;
+    AllocResult alloc;
+    LowerResult low;
+};
+
+void
+compileInto(Compiled &c, const std::vector<std::pair<std::uint64_t,
+            std::uint64_t>> &data)
+{
+    c.alloc = allocateRegisters(c.func, AllocConfig{});
+    ASSERT_TRUE(c.alloc.success);
+    c.low = lower(c.func, c.alloc);
+    c.low.program.dataImage = data;
+}
+
+ReuseProfile
+profileRun(const Compiled &c, std::uint64_t budget)
+{
+    std::vector<std::uint64_t> live =
+        archLiveBefore(c.func, c.alloc, c.low);
+    ReuseProfiler profiler(c.low.program, live);
+    Emulator emu(c.low.program);
+    DynInst di;
+    std::uint64_t n = 0;
+    while (n < budget) {
+        ArchState pre = emu.state();
+        if (!emu.step(di))
+            break;
+        profiler.observe(di, pre);
+        ++n;
+    }
+    return profiler.finish();
+}
+
+/** Find the static index of the n-th load in a program. */
+std::uint32_t
+nthLoad(const Program &prog, unsigned n)
+{
+    for (std::uint32_t s = 0; s < prog.size(); ++s) {
+        if (prog.at(s).info().isLoad) {
+            if (n == 0)
+                return s;
+            --n;
+        }
+    }
+    return UINT32_MAX;
+}
+
+TEST(ReuseProfiler, SameRegisterReuseDetected)
+{
+    // A load in a loop whose value never changes and whose destination
+    // register is not redefined: pure same-register reuse.
+    Compiled c;
+    IRBuilder b(c.func);
+    VReg base = c.func.newIntVReg();
+    VReg i = c.func.newIntVReg();
+    VReg x = c.func.newIntVReg();
+    VReg sum = c.func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 100);
+    b.loadImm(sum, 0);
+    BlockId head = b.startBlock();
+    b.load(x, base, 0);                 // always 77
+    b.op3(Opcode::ADDQ, sum, sum, x);
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.store(sum, base, 8);
+    b.halt();
+    c.func.numberInsts();
+    compileInto(c, {{Program::dataBase, 77}});
+
+    ReuseProfile profile = profileRun(c, 100000);
+    std::uint32_t load = nthLoad(c.low.program, 0);
+    const InstReuseCounts &counts = profile.counts[load];
+    EXPECT_EQ(counts.execs, 100u);
+    // First execution misses (register held something else); the other
+    // 99 hit.
+    EXPECT_GE(counts.sameRegHits, 99u);
+    EXPECT_GE(counts.lastValueHits, 99u);
+    EXPECT_GT(profile.bestRate(load, AssistLevel::Same), 0.98);
+}
+
+TEST(ReuseProfiler, DeadRegisterCorrelationDetected)
+{
+    // A producer writes 42 and dies; the load later produces 42 into a
+    // register that was just clobbered with a varying value (so
+    // same-register reuse fails) and whose live range wraps the back
+    // edge (so the allocator cannot merge it with the producer by
+    // accident — they interfere).
+    Compiled c;
+    IRBuilder b(c.func);
+    VReg base = c.func.newIntVReg();
+    VReg i = c.func.newIntVReg();
+    VReg sum = c.func.newIntVReg();
+    VReg producer = c.func.newIntVReg();
+    VReg consumer = c.func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 100);
+    b.loadImm(sum, 0);
+    b.loadImm(consumer, 0);
+    BlockId head = b.startBlock();
+    b.op3(Opcode::ADDQ, sum, sum, consumer);
+    b.loadImm(producer, 42);
+    b.move(consumer, i);    // producer live across this def: the two
+                            // registers interfere and get distinct colours
+    b.store(consumer, base, 32);
+    b.store(producer, base, 0);         // last use: producer dies
+    b.load(consumer, base, 0);          // loads 42 into another reg
+    b.store(consumer, base, 8);
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.store(sum, base, 16);
+    b.halt();
+    c.func.numberInsts();
+    compileInto(c, {});
+
+    ReuseProfile profile = profileRun(c, 100000);
+    std::uint32_t load = nthLoad(c.low.program, 0);
+    ASSERT_NE(c.alloc.colorOf[producer], c.alloc.colorOf[consumer]);
+
+    // Same-register reuse must be dead (register just clobbered)...
+    EXPECT_LT(profile.bestRate(load, AssistLevel::Same), 0.1);
+    // ...but the Dead assist level finds the producer's register.
+    StaticPredSpec spec = profile.bestSpec(load, AssistLevel::Dead);
+    ASSERT_EQ(spec.source, PredSource::OtherReg);
+    EXPECT_EQ(spec.reg, c.alloc.colorOf[producer]);
+    EXPECT_GT(profile.bestRate(load, AssistLevel::Dead), 0.98);
+    // The primary producer must be the LDA writing 42.
+    auto it = profile.primaryProducer.find(
+        ReuseProfile::producerKey(load, spec.reg));
+    ASSERT_NE(it, profile.primaryProducer.end());
+    EXPECT_EQ(c.low.program.at(it->second).op, Opcode::LDA);
+    EXPECT_EQ(c.low.program.at(it->second).imm, 42);
+}
+
+TEST(ReuseProfiler, LiveRegisterRequiresLiveLevel)
+{
+    // The correlated register stays live past the consumer: only the
+    // Live assist level may exploit it. The consumer's own register is
+    // redefined each iteration with a different value first, so
+    // same-register reuse fails.
+    Compiled c;
+    IRBuilder b(c.func);
+    VReg base = c.func.newIntVReg();
+    VReg i = c.func.newIntVReg();
+    VReg corr = c.func.newIntVReg();    // live-correlated register
+    VReg consumer = c.func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 100);
+    b.loadImm(corr, 55);
+    BlockId head = b.startBlock();
+    b.move(consumer, i);                 // clobber with varying value
+    b.store(consumer, base, 8);
+    b.load(consumer, base, 0);           // always 55 == corr
+    b.store(consumer, base, 16);
+    b.store(corr, base, 24);             // corr stays live (loop-carried)
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.halt();
+    c.func.numberInsts();
+    compileInto(c, {{Program::dataBase, 55}});
+
+    ReuseProfile profile = profileRun(c, 100000);
+    std::uint32_t load = nthLoad(c.low.program, 0);
+
+    EXPECT_LT(profile.bestRate(load, AssistLevel::Same), 0.1);
+    // Dead level cannot see it (corr is live)...
+    StaticPredSpec dead_spec = profile.bestSpec(load, AssistLevel::Dead);
+    EXPECT_NE(dead_spec.reg, c.alloc.colorOf[corr]);
+    // ...but Live level can.
+    StaticPredSpec live_spec = profile.bestSpec(load, AssistLevel::Live);
+    ASSERT_EQ(live_spec.source, PredSource::OtherReg);
+    EXPECT_EQ(live_spec.reg, c.alloc.colorOf[corr]);
+    EXPECT_GT(profile.bestRate(load, AssistLevel::Live), 0.98);
+}
+
+TEST(ReuseProfiler, LastValueRequiresLvLevel)
+{
+    // The load's value repeats per PC, but its destination register is
+    // redefined (with a different value) between executions — the
+    // paper's Figure 2(c) pattern. Only the *lv* levels see it.
+    Compiled c;
+    IRBuilder b(c.func);
+    VReg base = c.func.newIntVReg();
+    VReg i = c.func.newIntVReg();
+    VReg x = c.func.newIntVReg();
+    VReg y = c.func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 100);
+    BlockId head = b.startBlock();
+    b.load(x, base, 0);                 // always 99
+    b.op3(Opcode::ADDQ, y, x, i);
+    b.store(y, base, 8);
+    b.move(x, i);                        // redefine x: kills same-reg reuse
+    b.store(x, base, 16);
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.halt();
+    c.func.numberInsts();
+    compileInto(c, {{Program::dataBase, 99}});
+
+    ReuseProfile profile = profileRun(c, 100000);
+    std::uint32_t load = nthLoad(c.low.program, 0);
+
+    EXPECT_LT(profile.bestRate(load, AssistLevel::Same), 0.1);
+    StaticPredSpec spec = profile.bestSpec(load, AssistLevel::DeadLv);
+    EXPECT_EQ(spec.source, PredSource::LastValue);
+    EXPECT_GT(profile.bestRate(load, AssistLevel::DeadLv), 0.98);
+}
+
+TEST(ReuseProfiler, Figure1ColumnsAreMonotone)
+{
+    // same <= dead <= any <= reg-or-lv, on every workload.
+    for (const WorkloadSpec &ws : allWorkloads()) {
+        BuiltWorkload wl = buildWorkload(ws.name, InputSet::Train);
+        Compiled c;
+        c.func = std::move(wl.func);
+        compileInto(c, wl.data);
+        ReuseProfile p = profileRun(c, 120000);
+        EXPECT_GT(p.loadExecs, 0u) << ws.name;
+        EXPECT_LE(p.loadSameReg, p.loadDeadReg) << ws.name;
+        EXPECT_LE(p.loadDeadReg, p.loadAnyReg) << ws.name;
+        EXPECT_LE(p.loadAnyReg, p.loadRegOrLv) << ws.name;
+        EXPECT_LE(p.loadRegOrLv, p.loadExecs) << ws.name;
+    }
+}
+
+TEST(ReuseProfiler, BuildSpecsKeepsUnlistedAsSameReg)
+{
+    BuiltWorkload wl = buildWorkload("go", InputSet::Train);
+    Compiled c;
+    c.func = std::move(wl.func);
+    compileInto(c, wl.data);
+    ReuseProfile p = profileRun(c, 50000);
+    auto specs = p.buildSpecs(AssistLevel::Dead, 0.8);
+    ASSERT_EQ(specs.size(), c.low.program.size());
+    unsigned other = 0;
+    for (std::uint32_t s = 0; s < specs.size(); ++s) {
+        if (specs[s].source == PredSource::OtherReg) {
+            ++other;
+            // Every OtherReg spec must clear the threshold.
+            EXPECT_GE(p.bestRate(s, AssistLevel::Dead), 0.8);
+        } else {
+            EXPECT_EQ(specs[s].source, PredSource::SameReg);
+        }
+    }
+    // Dead level never emits LastValue specs.
+    for (const auto &spec : specs)
+        EXPECT_NE(spec.source, PredSource::LastValue);
+}
+
+TEST(ReuseProfiler, SelectStaticLoadsHonoursThreshold)
+{
+    BuiltWorkload wl = buildWorkload("m88ksim", InputSet::Train);
+    Compiled c;
+    c.func = std::move(wl.func);
+    compileInto(c, wl.data);
+    ReuseProfile p = profileRun(c, 50000);
+    auto strict = p.selectStaticLoads(AssistLevel::Same, 0.9);
+    auto loose = p.selectStaticLoads(AssistLevel::Same, 0.8);
+    auto assisted = p.selectStaticLoads(AssistLevel::DeadLv, 0.8);
+    EXPECT_LE(strict.size(), loose.size());
+    EXPECT_LE(loose.size(), assisted.size());
+    EXPECT_FALSE(assisted.empty());
+    for (std::uint32_t s : strict)
+        EXPECT_TRUE(c.low.program.at(s).info().isLoad);
+}
+
+TEST(CriticalPath, ChainLeaderScoresHighest)
+{
+    // One long dependence chain plus independent noise: the chain's
+    // instruction must collect (almost) all the frontier credit.
+    Program prog;
+    auto op = [&](Opcode o, RegIndex rc, RegIndex ra, std::int32_t imm) {
+        StaticInst si;
+        si.op = o;
+        si.rc = rc;
+        si.ra = ra;
+        si.useImm = true;
+        si.imm = imm;
+        prog.insts.push_back(si);
+    };
+    // 0: chain head; 1: chain link (self-dependent); 2: independent.
+    op(Opcode::LDA, 1, zeroReg, 5);
+    op(Opcode::ADDQ, 1, 1, 1);
+    op(Opcode::LDA, 2, zeroReg, 3);
+
+    CriticalPathProfiler cp(prog.size());
+    DynInst di;
+    di.op = Opcode::ADDQ;
+    for (int iter = 0; iter < 100; ++iter) {
+        di.staticIndex = 1;
+        di.srcA = 1;
+        di.dest = 1;
+        cp.observe(di);
+        di.staticIndex = 2;
+        di.srcA = regNone;
+        di.dest = 2;
+        cp.observe(di);
+        di.srcA = 1;
+        di.dest = 1;
+    }
+    EXPECT_GT(cp.scores()[1], cp.scores()[2] * 10);
+}
+
+} // namespace
+} // namespace rvp

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * End-to-end tests of the experiment runner (the paper's evaluation
+ * recipe) and the table formatter: every scheme must run on a real
+ * workload, the profile must come from the train input, and the
+ * qualitative results the paper leans on must hold on at least the
+ * clearest workloads (m88ksim's extreme reuse; the Gabbay predictor's
+ * coverage collapse).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/runner.hh"
+#include "sim/tables.hh"
+
+namespace rvp
+{
+namespace
+{
+
+ExperimentConfig
+baseConfig(const std::string &workload)
+{
+    ExperimentConfig config;
+    config.workload = workload;
+    config.core.maxInsts = 40'000;
+    config.profileInsts = 40'000;
+    return config;
+}
+
+TEST(Runner, NoPredictionBaselineRuns)
+{
+    ExperimentResult r = runExperiment(baseConfig("ijpeg"));
+    EXPECT_GE(r.committed, 40'000u);
+    EXPECT_GT(r.ipc, 0.3);
+    EXPECT_DOUBLE_EQ(r.predictedFrac, 0.0);
+}
+
+TEST(Runner, EverySchemeRunsOnEveryRecovery)
+{
+    for (VpScheme scheme : {VpScheme::Lvp, VpScheme::StaticRvp,
+                            VpScheme::DynamicRvp, VpScheme::GabbayRp}) {
+        for (RecoveryPolicy recovery :
+             {RecoveryPolicy::Refetch, RecoveryPolicy::Reissue,
+              RecoveryPolicy::Selective}) {
+            ExperimentConfig config = baseConfig("m88ksim");
+            config.core.maxInsts = 20'000;
+            config.profileInsts = 20'000;
+            config.scheme = scheme;
+            config.assist = AssistLevel::Dead;
+            config.core.recovery = recovery;
+            ExperimentResult r = runExperiment(config);
+            EXPECT_GE(r.committed, 20'000u)
+                << static_cast<int>(scheme) << "/"
+                << static_cast<int>(recovery);
+            EXPECT_GT(r.ipc, 0.2);
+        }
+    }
+}
+
+TEST(Runner, M88ksimDrvpHasHighCoverageAndAccuracy)
+{
+    ExperimentConfig config = baseConfig("m88ksim");
+    config.scheme = VpScheme::DynamicRvp;
+    config.assist = AssistLevel::DeadLv;
+    config.loadsOnly = false;
+    ExperimentResult r = runExperiment(config);
+    // Paper Table 2 reports m88k at 29-57% of instructions predicted
+    // with ~99.9% accuracy; our synthetic analogue lands in the same
+    // regime (tens of percent coverage at >93% accuracy).
+    EXPECT_GT(r.predictedFrac, 0.15);
+    EXPECT_GT(r.accuracy, 0.93);
+}
+
+TEST(Runner, GabbayCoverageCollapses)
+{
+    ExperimentConfig drvp = baseConfig("m88ksim");
+    drvp.scheme = VpScheme::DynamicRvp;
+    drvp.loadsOnly = false;
+    ExperimentResult r_drvp = runExperiment(drvp);
+
+    ExperimentConfig grp = baseConfig("m88ksim");
+    grp.scheme = VpScheme::GabbayRp;
+    grp.loadsOnly = false;
+    ExperimentResult r_grp = runExperiment(grp);
+
+    // Table 2's contrast: register-indexed counters lose most of the
+    // coverage that PC-indexed counters achieve.
+    EXPECT_LT(r_grp.predictedFrac, r_drvp.predictedFrac * 0.6);
+}
+
+TEST(Runner, DynamicRvpHelpsM88ksim)
+{
+    ExperimentConfig base = baseConfig("m88ksim");
+    ExperimentResult no_pred = runExperiment(base);
+
+    ExperimentConfig drvp = baseConfig("m88ksim");
+    drvp.scheme = VpScheme::DynamicRvp;
+    drvp.assist = AssistLevel::DeadLv;
+    drvp.loadsOnly = false;
+    ExperimentResult with_pred = runExperiment(drvp);
+
+    EXPECT_GT(with_pred.ipc, no_pred.ipc);
+}
+
+TEST(Runner, StaticRvpAccuracyHigh)
+{
+    ExperimentConfig config = baseConfig("ijpeg");
+    config.scheme = VpScheme::StaticRvp;
+    config.assist = AssistLevel::Dead;
+    ExperimentResult r = runExperiment(config);
+    if (r.predictedFrac > 0.005) {
+        // Profile-selected loads at an 80% threshold: accuracy should
+        // transfer from train to ref.
+        EXPECT_GT(r.accuracy, 0.7);
+    }
+}
+
+TEST(Runner, RealisticReallocRuns)
+{
+    ExperimentConfig config = baseConfig("li");
+    config.scheme = VpScheme::DynamicRvp;
+    config.loadsOnly = false;
+    config.realisticRealloc = true;
+    ExperimentResult r = runExperiment(config);
+    EXPECT_GE(r.committed, 40'000u);
+    EXPECT_GT(r.ipc, 0.2);
+}
+
+TEST(Runner, ProfileWorkloadProducesFigure1Data)
+{
+    ReuseProfile p = profileWorkload("mgrid", 60'000, InputSet::Ref);
+    EXPECT_GT(p.loadExecs, 0u);
+    // mgrid is mostly zeros: the register file almost always holds the
+    // loaded value somewhere.
+    double any = static_cast<double>(p.loadAnyReg) /
+                 static_cast<double>(p.loadExecs);
+    EXPECT_GT(any, 0.5);
+}
+
+TEST(Tables, FormatsAligned)
+{
+    TextTable table;
+    table.setHeader({"prog", "ipc", "speedup"});
+    table.addRow({"go", TextTable::num(1.234), TextTable::percent(0.052)});
+    table.addRow({"hydro2d", TextTable::num(2.5), "-"});
+    std::ostringstream os;
+    table.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("prog"), std::string::npos);
+    EXPECT_NE(text.find("1.234"), std::string::npos);
+    EXPECT_NE(text.find("5.2%"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // Columns align: "ipc" starts at the same offset in both rows.
+    std::size_t header_pos = text.find("ipc");
+    std::size_t row_pos = text.find("1.234");
+    std::size_t line_start_header = text.rfind('\n', header_pos);
+    std::size_t line_start_row = text.rfind('\n', row_pos);
+    EXPECT_EQ(header_pos - line_start_header, row_pos - line_start_row);
+}
+
+TEST(Tables, NumPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::percent(0.1234, 2), "12.34%");
+}
+
+} // namespace
+} // namespace rvp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Additional experiment-runner tests: the configuration knobs
+ * (confidence threshold, table size, tagged counters, aggressive
+ * core), determinism, the train->ref methodology, and coarse
+ * paper-shape checks that gate the benchmark harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+namespace rvp
+{
+namespace
+{
+
+ExperimentConfig
+quick(const std::string &workload)
+{
+    ExperimentConfig c;
+    c.workload = workload;
+    c.core.maxInsts = 40'000;
+    c.profileInsts = 40'000;
+    return c;
+}
+
+TEST(RunnerKnobs, LowerThresholdRaisesCoverage)
+{
+    ExperimentConfig strict = quick("hydro2d");
+    strict.scheme = VpScheme::DynamicRvp;
+    strict.loadsOnly = false;
+    strict.counterThreshold = 7;
+    ExperimentConfig loose = strict;
+    loose.counterThreshold = 2;
+    ExperimentResult r_strict = runExperiment(strict);
+    ExperimentResult r_loose = runExperiment(loose);
+    EXPECT_GT(r_loose.predictedFrac, r_strict.predictedFrac);
+}
+
+TEST(RunnerKnobs, TaggedRvpCountersWork)
+{
+    ExperimentConfig cfg = quick("m88ksim");
+    cfg.scheme = VpScheme::DynamicRvp;
+    cfg.loadsOnly = false;
+    cfg.taggedRvp = true;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_GT(r.predictedFrac, 0.01);
+    EXPECT_GE(r.committed, 40'000u);
+}
+
+TEST(RunnerKnobs, TinyTableStillFunctions)
+{
+    ExperimentConfig cfg = quick("ijpeg");
+    cfg.scheme = VpScheme::DynamicRvp;
+    cfg.tableEntries = 16;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_GE(r.committed, 40'000u);
+}
+
+TEST(RunnerKnobs, AggressiveCoreRuns)
+{
+    ExperimentConfig cfg = quick("turb3d");
+    std::uint64_t budget = cfg.core.maxInsts;
+    cfg.core = CoreParams::aggressive16();
+    cfg.core.maxInsts = budget;
+    cfg.scheme = VpScheme::DynamicRvp;
+    cfg.assist = AssistLevel::DeadLv;
+    ExperimentResult r = runExperiment(cfg);
+    EXPECT_GE(r.committed, budget);
+    EXPECT_GT(r.ipc, 0.5);
+}
+
+TEST(Runner, Deterministic)
+{
+    ExperimentConfig cfg = quick("li");
+    cfg.scheme = VpScheme::DynamicRvp;
+    cfg.assist = AssistLevel::DeadLv;
+    cfg.loadsOnly = false;
+    ExperimentResult a = runExperiment(cfg);
+    ExperimentResult b = runExperiment(cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.predictedFrac, b.predictedFrac);
+}
+
+TEST(Runner, ProfileComesFromTrainInput)
+{
+    // The train and ref images differ, but the profile must transfer:
+    // static RVP marked on train keeps decent accuracy on ref.
+    ExperimentConfig cfg = quick("m88ksim");
+    cfg.scheme = VpScheme::StaticRvp;
+    cfg.assist = AssistLevel::Same;
+    cfg.profileThreshold = 0.9;
+    ExperimentResult r = runExperiment(cfg);
+    if (r.predictedFrac > 0.01) {
+        EXPECT_GT(r.accuracy, 0.8);
+    }
+}
+
+TEST(Runner, AssistLevelsOrderCoverage)
+{
+    // Coverage must be monotone in compiler assistance for dynamic RVP.
+    double coverage[3];
+    int idx = 0;
+    for (AssistLevel level : {AssistLevel::Same, AssistLevel::Dead,
+                              AssistLevel::DeadLv}) {
+        ExperimentConfig cfg = quick("hydro2d");
+        cfg.scheme = VpScheme::DynamicRvp;
+        cfg.assist = level;
+        cfg.loadsOnly = false;
+        coverage[idx++] = runExperiment(cfg).predictedFrac;
+    }
+    EXPECT_LE(coverage[0], coverage[1] + 0.02);
+    EXPECT_LE(coverage[1], coverage[2] + 0.02);
+    EXPECT_GT(coverage[2], coverage[0]);
+}
+
+TEST(Shape, RvpBeatsNoPredictionOnAverage)
+{
+    // The paper's headline direction on the 8-wide core: dynamic RVP
+    // with dead+lv assistance gains over no prediction on average.
+    double gain = 0;
+    int n = 0;
+    for (const char *name : {"m88ksim", "hydro2d", "mgrid", "li"}) {
+        ExperimentConfig base = quick(name);
+        ExperimentConfig drvp = quick(name);
+        drvp.scheme = VpScheme::DynamicRvp;
+        drvp.assist = AssistLevel::DeadLv;
+        drvp.loadsOnly = false;
+        gain += runExperiment(drvp).ipc / runExperiment(base).ipc;
+        ++n;
+    }
+    EXPECT_GT(gain / n, 1.01);
+}
+
+TEST(Shape, GabbayTrailsDrvp)
+{
+    // Register-indexed confidence must lose coverage against
+    // PC-indexed confidence on every workload where reuse exists.
+    for (const char *name : {"m88ksim", "hydro2d", "ijpeg"}) {
+        ExperimentConfig drvp = quick(name);
+        drvp.scheme = VpScheme::DynamicRvp;
+        drvp.loadsOnly = false;
+        ExperimentConfig grp = quick(name);
+        grp.scheme = VpScheme::GabbayRp;
+        grp.loadsOnly = false;
+        EXPECT_LE(runExperiment(grp).predictedFrac,
+                  runExperiment(drvp).predictedFrac + 0.01)
+            << name;
+    }
+}
+
+TEST(Shape, AccuracyUniformlyHighAtThreshold7)
+{
+    // Table 2: the conservative resetting counters keep accuracy high
+    // across every workload.
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        ExperimentConfig cfg = quick(spec.name);
+        cfg.scheme = VpScheme::DynamicRvp;
+        cfg.assist = AssistLevel::DeadLv;
+        cfg.loadsOnly = false;
+        ExperimentResult r = runExperiment(cfg);
+        if (r.predictedFrac > 0.01) {
+            EXPECT_GT(r.accuracy, 0.85) << spec.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace rvp

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the stride extension (PredSource::Stride): profiler stride
+ * detection via majority vote, spec evaluation, the assist-level
+ * gating, and an end-to-end runner check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/arch_liveness.hh"
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "emu/emulator.hh"
+#include "profile/reuse_profiler.hh"
+#include "sim/runner.hh"
+#include "vp/rvp.hh"
+
+namespace rvp
+{
+namespace
+{
+
+TEST(StrideProfile, DetectsConstantStride)
+{
+    // A counter loop: i takes 100, 99, ..., delta -1 every time.
+    IRFunction func;
+    IRBuilder b(func);
+    VReg base = func.newIntVReg();
+    VReg i = func.newIntVReg();
+    b.startBlock();
+    b.loadAddr(base, Program::dataBase);
+    b.loadImm(i, 100);
+    BlockId head = b.startBlock();
+    b.store(i, base, 0);
+    b.opImm(Opcode::SUBQ, i, i, 1);
+    b.branch(Opcode::BNE, i, head);
+    b.startBlock();
+    b.halt();
+    func.numberInsts();
+
+    AllocResult alloc = allocateRegisters(func, AllocConfig{});
+    ASSERT_TRUE(alloc.success);
+    LowerResult low = lower(func, alloc);
+    auto live = archLiveBefore(func, alloc, low);
+    ReuseProfiler profiler(low.program, live);
+    Emulator emu(low.program);
+    DynInst di;
+    while (true) {
+        ArchState pre = emu.state();
+        if (!emu.step(di))
+            break;
+        profiler.observe(di, pre);
+    }
+    ReuseProfile profile = profiler.finish();
+
+    // Find the subq.
+    std::uint32_t subq = UINT32_MAX;
+    for (std::uint32_t s = 0; s < low.program.size(); ++s)
+        if (low.program.at(s).op == Opcode::SUBQ)
+            subq = s;
+    ASSERT_NE(subq, UINT32_MAX);
+
+    const InstReuseCounts &c = profile.counts[subq];
+    EXPECT_EQ(c.strideValue, -1);
+    EXPECT_GT(c.strideHits, 90u);
+    EXPECT_LT(c.lastValueHits, 5u);   // never repeats
+
+    // Only the stride level may exploit it.
+    StaticPredSpec lv_spec = profile.bestSpec(subq, AssistLevel::DeadLv);
+    EXPECT_NE(lv_spec.source, PredSource::Stride);
+    StaticPredSpec stride_spec =
+        profile.bestSpec(subq, AssistLevel::DeadLvStride);
+    EXPECT_EQ(stride_spec.source, PredSource::Stride);
+    EXPECT_EQ(stride_spec.stride, -1);
+    EXPECT_GT(profile.bestRate(subq, AssistLevel::DeadLvStride), 0.9);
+}
+
+TEST(StrideSpec, EvaluatorTracksStride)
+{
+    std::vector<StaticPredSpec> specs(1);
+    specs[0].source = PredSource::Stride;
+    specs[0].stride = 4;
+    SpecEvaluator eval(std::move(specs));
+
+    DynInst di;
+    di.staticIndex = 0;
+    di.dest = 3;
+    di.op = Opcode::ADDQ;
+    di.newValue = 100;
+    EXPECT_FALSE(eval.wouldBeCorrect(di, {}));   // no history yet
+    di.newValue = 104;
+    EXPECT_TRUE(eval.wouldBeCorrect(di, {}));    // 100 + 4
+    di.newValue = 108;
+    EXPECT_TRUE(eval.wouldBeCorrect(di, {}));
+    di.newValue = 108;                            // stride broken
+    EXPECT_FALSE(eval.wouldBeCorrect(di, {}));
+}
+
+TEST(StrideSpec, NegativeStride)
+{
+    std::vector<StaticPredSpec> specs(1);
+    specs[0].source = PredSource::Stride;
+    specs[0].stride = -8;
+    SpecEvaluator eval(std::move(specs));
+    DynInst di;
+    di.staticIndex = 0;
+    di.dest = 3;
+    di.op = Opcode::ADDQ;
+    di.newValue = 64;
+    eval.wouldBeCorrect(di, {});
+    di.newValue = 56;
+    EXPECT_TRUE(eval.wouldBeCorrect(di, {}));
+}
+
+TEST(StrideRunner, EndToEndGainsCoverage)
+{
+    // m88ksim's guest counter (r7) strides by one per guest loop: the
+    // stride level must add coverage on top of dead+lv.
+    ExperimentConfig lv;
+    lv.workload = "m88ksim";
+    lv.core.maxInsts = 40'000;
+    lv.profileInsts = 40'000;
+    lv.scheme = VpScheme::DynamicRvp;
+    lv.assist = AssistLevel::DeadLv;
+    lv.loadsOnly = false;
+    ExperimentConfig stride = lv;
+    stride.assist = AssistLevel::DeadLvStride;
+
+    ExperimentResult r_lv = runExperiment(lv);
+    ExperimentResult r_stride = runExperiment(stride);
+    EXPECT_GE(r_stride.predictedFrac, r_lv.predictedFrac);
+    EXPECT_GE(r_stride.committed, 40'000u);
+}
+
+} // namespace
+} // namespace rvp

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Additional out-of-order-core tests: structural limits (physical
+ * registers, LSQ, ROB, fetch bandwidth), store-to-load forwarding,
+ * I-cache stalls, determinism, and the aggressive 16-wide
+ * configuration's parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "uarch/core.hh"
+#include "vp/oracle.hh"
+#include "workloads/workloads.hh"
+
+namespace rvp
+{
+namespace
+{
+
+StaticInst
+opImm(Opcode op, RegIndex rc, RegIndex ra, std::int32_t imm)
+{
+    StaticInst si;
+    si.op = op;
+    si.rc = rc;
+    si.ra = ra;
+    si.useImm = true;
+    si.imm = imm;
+    return si;
+}
+
+StaticInst
+lda(RegIndex rc, std::int32_t imm)
+{
+    return opImm(Opcode::LDA, rc, zeroReg, imm);
+}
+
+StaticInst
+branch(Opcode op, RegIndex ra, std::int32_t disp)
+{
+    StaticInst si;
+    si.op = op;
+    si.ra = ra;
+    si.imm = disp;
+    return si;
+}
+
+StaticInst
+haltInst()
+{
+    StaticInst si;
+    si.op = Opcode::HALT;
+    return si;
+}
+
+CoreResult
+runProgram(const Program &prog, CoreParams params = CoreParams::table1(),
+           VpConfig vp = {})
+{
+    auto predictor = makePredictor(vp, prog);
+    Core core(params, prog, *predictor);
+    return core.run();
+}
+
+TEST(CoreParams, AggressiveDoublesResources)
+{
+    CoreParams base = CoreParams::table1();
+    CoreParams wide = CoreParams::aggressive16();
+    EXPECT_EQ(wide.fetchWidth, base.fetchWidth * 2);
+    EXPECT_EQ(wide.intIqEntries, base.intIqEntries * 2);
+    EXPECT_EQ(wide.fpIqEntries, base.fpIqEntries * 2);
+    EXPECT_EQ(wide.intFus, base.intFus * 2);
+    EXPECT_EQ(wide.fpFus, base.fpFus * 2);
+    EXPECT_EQ(wide.fetchBlocks, 3u);   // three basic blocks per cycle
+    EXPECT_GT(wide.physIntRegs, base.physIntRegs);
+    EXPECT_EQ(wide.robEntries, base.robEntries * 2);
+}
+
+TEST(Core, StoreForwardingBeatsCacheAccess)
+{
+    // store then immediately load the same address in a loop: every
+    // load must forward from the in-flight/committed store.
+    Program prog;
+    StaticInst store;
+    store.op = Opcode::STQ;
+    store.rb = 2;
+    store.ra = 5;
+    store.imm = 0;
+    StaticInst load;
+    load.op = Opcode::LDQ;
+    load.rc = 3;
+    load.ra = 5;
+    load.imm = 0;
+    prog.insts = {
+        lda(1, 3000),
+        lda(5, static_cast<std::int32_t>(Program::dataBase >> 13)),
+        opImm(Opcode::SLL, 5, 5, 13),
+        opImm(Opcode::ADDQ, 2, 2, 1),   // 3: data changes
+        store,                           // 4
+        load,                            // 5
+        opImm(Opcode::SUBQ, 1, 1, 1),    // 6
+        branch(Opcode::BNE, 1, -4),      // 7 -> 3
+        haltInst(),
+    };
+    CoreResult r = runProgram(prog);
+    EXPECT_GT(r.stats.get("core.store_forwards"), 2000.0);
+}
+
+TEST(Core, PhysicalRegisterLimitStallsRename)
+{
+    // Long-latency producers hold physical registers; a tiny register
+    // file must throttle dispatch.
+    Program prog;
+    prog.insts.push_back(lda(1, 3000));
+    for (RegIndex r = 2; r < 12; ++r)
+        prog.insts.push_back(opImm(Opcode::MULQ, r, r, 3));
+    prog.insts.push_back(opImm(Opcode::SUBQ, 1, 1, 1));
+    prog.insts.push_back(branch(Opcode::BNE, 1, -12));
+    prog.insts.push_back(haltInst());
+
+    CoreParams tight = CoreParams::table1();
+    tight.physIntRegs = 40;   // 32 architectural + 8 rename
+    CoreResult tight_r = runProgram(prog, tight);
+    CoreResult ample_r = runProgram(prog);
+    EXPECT_GT(tight_r.stats.get("core.phys_reg_stalls"), 100.0);
+    EXPECT_GT(tight_r.cycles, ample_r.cycles);
+}
+
+TEST(Core, LsqLimitStallsMemOps)
+{
+    // A burst of independent loads: a tiny LSQ throttles them.
+    Program prog;
+    prog.insts.push_back(lda(1, 2000));
+    prog.insts.push_back(
+        lda(5, static_cast<std::int32_t>(Program::dataBase >> 13)));
+    prog.insts.push_back(opImm(Opcode::SLL, 5, 5, 13));
+    for (unsigned i = 0; i < 8; ++i) {
+        StaticInst load;
+        load.op = Opcode::LDQ;
+        load.rc = static_cast<RegIndex>(6 + i);
+        load.ra = 5;
+        load.imm = static_cast<std::int32_t>(8 * i);
+        prog.insts.push_back(load);
+    }
+    prog.insts.push_back(opImm(Opcode::SUBQ, 1, 1, 1));
+    prog.insts.push_back(branch(Opcode::BNE, 1, -10));
+    prog.insts.push_back(haltInst());
+
+    CoreParams tight = CoreParams::table1();
+    tight.lsqEntries = 4;
+    CoreResult tight_r = runProgram(prog, tight);
+    CoreResult ample_r = runProgram(prog);
+    EXPECT_GT(tight_r.stats.get("core.lsq_full_stalls"), 100.0);
+    EXPECT_GE(tight_r.cycles, ample_r.cycles);
+}
+
+TEST(Core, RobLimitCapsWindow)
+{
+    Program prog;
+    // Independent long-latency divides: a large window overlaps many
+    // of them; a 16-entry ROB can barely hold one loop iteration.
+    prog.insts.push_back(lda(1, 1000));
+    StaticInst div;
+    div.op = Opcode::DIVT;
+    div.rc = fpBase + 1;
+    div.ra = fpBase + 3;   // f3 is never written: iterations independent
+    div.rb = fpBase + 2;
+    prog.insts.push_back(div);
+    for (RegIndex r = 2; r < 8; ++r)
+        prog.insts.push_back(opImm(Opcode::ADDQ, r, r, 1));
+    prog.insts.push_back(opImm(Opcode::SUBQ, 1, 1, 1));
+    prog.insts.push_back(branch(Opcode::BNE, 1, -9));
+    prog.insts.push_back(haltInst());
+
+    CoreParams tiny = CoreParams::table1();
+    tiny.robEntries = 16;
+    CoreResult tiny_r = runProgram(prog, tiny);
+    CoreResult big_r = runProgram(prog);
+    EXPECT_GT(tiny_r.stats.get("core.rob_full_stalls"), 100.0);
+    EXPECT_GT(tiny_r.cycles, big_r.cycles);
+}
+
+TEST(Core, FetchBlocksLimitMattersForBranchyLoops)
+{
+    // A loop whose body contains an extra taken branch: two basic
+    // blocks per iteration. The 1-block/cycle front end needs two
+    // fetch cycles per iteration; the 3-block front end keeps up with
+    // the 1-iteration/cycle subq chain.
+    Program prog;
+    prog.insts = {
+        lda(1, 10000),
+        // loop head (1):
+        opImm(Opcode::ADDQ, 2, 2, 1),
+        branch(Opcode::BR, regNone, 1),      // jump over the dead slot
+        opImm(Opcode::ADDQ, 3, 3, 1),        // (skipped)
+        opImm(Opcode::ADDQ, 4, 4, 1),        // 4: join
+        opImm(Opcode::SUBQ, 1, 1, 1),
+        branch(Opcode::BNE, 1, -6),
+        haltInst(),
+    };
+    CoreParams one = CoreParams::table1();
+    CoreParams three = CoreParams::table1();
+    three.fetchBlocks = 3;
+    CoreResult one_r = runProgram(prog, one);
+    CoreResult three_r = runProgram(prog, three);
+    EXPECT_LT(static_cast<double>(three_r.cycles),
+              static_cast<double>(one_r.cycles) * 0.8);
+}
+
+TEST(Core, IcacheMissesStallFetch)
+{
+    // A loop body larger than the 32KB L1I (8192 instructions) misses
+    // the instruction cache continuously.
+    Program prog;
+    prog.insts.push_back(lda(1, 60));
+    for (unsigned i = 0; i < 9000; ++i)
+        prog.insts.push_back(opImm(Opcode::ADDQ, 2, 2, 1));
+    prog.insts.push_back(opImm(Opcode::SUBQ, 1, 1, 1));
+    prog.insts.push_back(
+        branch(Opcode::BNE, 1, -static_cast<std::int32_t>(9002)));
+    prog.insts.push_back(haltInst());
+    CoreResult r = runProgram(prog);
+    EXPECT_GT(r.stats.get("l1i.misses"), 5000.0);
+    EXPECT_GT(r.stats.get("core.icache_miss_stalls"), 1000.0);
+    EXPECT_LT(r.ipc, 4.0);   // fetch-starved
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    BuiltWorkload wl = buildWorkload("perl", InputSet::Ref);
+    AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+    ASSERT_TRUE(alloc.success);
+    LowerResult low = lower(wl.func, alloc);
+    low.program.dataImage = wl.data;
+    CoreParams params = CoreParams::table1();
+    params.maxInsts = 30'000;
+    VpConfig vp;
+    vp.scheme = VpScheme::DynamicRvp;
+    vp.loadsOnly = false;
+    CoreResult a = runProgram(low.program, params, vp);
+    CoreResult c = runProgram(low.program, params, vp);
+    EXPECT_EQ(a.cycles, c.cycles);
+    EXPECT_EQ(a.committed, c.committed);
+    EXPECT_EQ(a.stats.get("vp.predictions"), c.stats.get("vp.predictions"));
+}
+
+TEST(Core, RefetchRecoveryReplaysExactly)
+{
+    // Under heavy value misprediction with refetch recovery, the
+    // committed stream must still be the functional stream (same
+    // count, correct halt).
+    Program prog;
+    StaticInst load;
+    load.op = Opcode::LDQ;
+    load.rc = 5;
+    load.ra = 5;
+    load.imm = 0;
+    prog.insts = {
+        lda(1, 2000),
+        lda(5, static_cast<std::int32_t>(Program::dataBase >> 13)),
+        opImm(Opcode::SLL, 5, 5, 13),
+        load,
+        opImm(Opcode::ADDQ, 6, 5, 1),
+        opImm(Opcode::SUBQ, 1, 1, 1),
+        branch(Opcode::BNE, 1, -4),
+        haltInst(),
+    };
+    // Two-element pointer cycle with periodic stability: A -> A for a
+    // while is impossible with static data, so use the alternating
+    // cycle plus a low threshold to force real mispredicted uses.
+    prog.dataImage = {{Program::dataBase, Program::dataBase + 64},
+                      {Program::dataBase + 64, Program::dataBase}};
+    CoreParams params = CoreParams::table1();
+    params.recovery = RecoveryPolicy::Refetch;
+    VpConfig vp;
+    vp.scheme = VpScheme::DynamicRvp;
+    vp.threshold = 1;
+    vp.counterBits = 3;
+    CoreResult base = runProgram(prog);
+    CoreResult r = runProgram(prog, params, vp);
+    EXPECT_EQ(r.committed, base.committed);
+}
+
+TEST(Core, HaltDrainsCleanly)
+{
+    Program prog;
+    prog.insts = {lda(1, 1), haltInst()};
+    CoreResult r = runProgram(prog);
+    EXPECT_EQ(r.committed, 2u);
+    // One cold I-cache miss (1+20+80 cycles) plus the pipeline drain.
+    EXPECT_LT(r.cycles, 130u);
+}
+
+TEST(Core, SixteenWideBeatsEightWideOnWorkloads)
+{
+    unsigned wins = 0, total = 0;
+    for (const char *name : {"m88ksim", "turb3d", "ijpeg"}) {
+        BuiltWorkload wl = buildWorkload(name, InputSet::Ref);
+        AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+        LowerResult low = lower(wl.func, alloc);
+        low.program.dataImage = wl.data;
+        CoreParams narrow = CoreParams::table1();
+        narrow.maxInsts = 30'000;
+        CoreParams wide = CoreParams::aggressive16();
+        wide.maxInsts = 30'000;
+        CoreResult n = runProgram(low.program, narrow);
+        CoreResult w = runProgram(low.program, wide);
+        ++total;
+        wins += w.ipc > n.ipc;
+    }
+    EXPECT_EQ(wins, total);
+}
+
+} // namespace
+} // namespace rvp

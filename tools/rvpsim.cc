@@ -1,0 +1,209 @@
+/**
+ * @file
+ * rvpsim — command-line driver for the simulator. Runs any workload
+ * under any value-prediction scheme and prints the headline numbers
+ * (optionally the full statistics dump or the compiled disassembly).
+ *
+ *   rvpsim --workload m88ksim --scheme drvp --assist dead_lv --all
+ *   rvpsim --workload hydro2d --scheme lvp --insts 1000000 --stats
+ *   rvpsim --list
+ *
+ * Run `rvpsim --help` for the full option set.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "isa/disasm.hh"
+#include "sim/runner.hh"
+#include "sim/tables.hh"
+
+using namespace rvp;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "rvpsim — storageless value prediction simulator (ISCA '99)\n"
+        "\n"
+        "  --workload NAME     go|ijpeg|li|m88ksim|perl|hydro2d|mgrid|\n"
+        "                      su2cor|turb3d           (default: go)\n"
+        "  --scheme NAME       none|lvp|srvp|drvp|grp  (default: none)\n"
+        "  --assist NAME       same|dead|live|dead_lv|live_lv|\n"
+        "                      dead_lv_stride          (default: same)\n"
+        "  --all               predict all register-writing instructions\n"
+        "  --loads             predict loads only (default)\n"
+        "  --recovery NAME     refetch|reissue|selective\n"
+        "                                              (default: selective)\n"
+        "  --realloc           recompile with the Section-7.3 register\n"
+        "                      re-allocation instead of profile assists\n"
+        "  --wide              use the aggressive 16-wide core\n"
+        "  --insts N           committed-instruction budget (400000)\n"
+        "  --profile-insts N   profiling budget on train input (300000)\n"
+        "  --threshold X       profile selection threshold (0.8)\n"
+        "  --confidence N      confidence-counter threshold (7)\n"
+        "  --table N           predictor table entries (1024)\n"
+        "  --tagged-rvp        tag the RVP confidence counters\n"
+        "  --stats             dump the full statistics set\n"
+        "  --disasm            print the compiled workload and exit\n"
+        "  --list              list available workloads and exit\n";
+}
+
+[[noreturn]] void
+die(const std::string &message)
+{
+    std::cerr << "rvpsim: " << message << " (try --help)\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig config;
+    config.workload = "go";
+    bool dump_stats = false;
+    bool disasm_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                die("missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            for (const WorkloadSpec &spec : allWorkloads()) {
+                std::cout << spec.name
+                          << (spec.isFloatingPoint ? " (fp)\n"
+                                                   : " (int)\n");
+            }
+            return 0;
+        } else if (arg == "--workload") {
+            config.workload = next();
+        } else if (arg == "--scheme") {
+            std::string s = next();
+            if (s == "none")
+                config.scheme = VpScheme::None;
+            else if (s == "lvp")
+                config.scheme = VpScheme::Lvp;
+            else if (s == "srvp")
+                config.scheme = VpScheme::StaticRvp;
+            else if (s == "drvp")
+                config.scheme = VpScheme::DynamicRvp;
+            else if (s == "grp")
+                config.scheme = VpScheme::GabbayRp;
+            else
+                die("unknown scheme '" + s + "'");
+        } else if (arg == "--assist") {
+            std::string s = next();
+            if (s == "same")
+                config.assist = AssistLevel::Same;
+            else if (s == "dead")
+                config.assist = AssistLevel::Dead;
+            else if (s == "live")
+                config.assist = AssistLevel::Live;
+            else if (s == "dead_lv")
+                config.assist = AssistLevel::DeadLv;
+            else if (s == "live_lv")
+                config.assist = AssistLevel::LiveLv;
+            else if (s == "dead_lv_stride")
+                config.assist = AssistLevel::DeadLvStride;
+            else
+                die("unknown assist level '" + s + "'");
+        } else if (arg == "--all") {
+            config.loadsOnly = false;
+        } else if (arg == "--loads") {
+            config.loadsOnly = true;
+        } else if (arg == "--recovery") {
+            std::string s = next();
+            if (s == "refetch")
+                config.core.recovery = RecoveryPolicy::Refetch;
+            else if (s == "reissue")
+                config.core.recovery = RecoveryPolicy::Reissue;
+            else if (s == "selective")
+                config.core.recovery = RecoveryPolicy::Selective;
+            else
+                die("unknown recovery policy '" + s + "'");
+        } else if (arg == "--realloc") {
+            config.realisticRealloc = true;
+        } else if (arg == "--wide") {
+            RecoveryPolicy recovery = config.core.recovery;
+            std::uint64_t insts = config.core.maxInsts;
+            config.core = CoreParams::aggressive16();
+            config.core.recovery = recovery;
+            config.core.maxInsts = insts;
+        } else if (arg == "--insts") {
+            config.core.maxInsts = std::strtoull(next().c_str(), nullptr,
+                                                 10);
+        } else if (arg == "--profile-insts") {
+            config.profileInsts = std::strtoull(next().c_str(), nullptr,
+                                                10);
+        } else if (arg == "--threshold") {
+            config.profileThreshold = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--confidence") {
+            config.counterThreshold = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--table") {
+            config.tableEntries = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--tagged-rvp") {
+            config.taggedRvp = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--disasm") {
+            disasm_only = true;
+        } else {
+            die("unknown option '" + arg + "'");
+        }
+    }
+
+    bool known = false;
+    for (const WorkloadSpec &spec : allWorkloads())
+        known |= spec.name == config.workload;
+    if (!known)
+        die("unknown workload '" + config.workload + "'");
+
+    if (disasm_only) {
+        BuiltWorkload wl = buildWorkload(config.workload, InputSet::Ref);
+        AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+        LowerResult low = lower(wl.func, alloc);
+        std::cout << disassemble(low.program);
+        return 0;
+    }
+
+    ExperimentResult result = runExperiment(config);
+
+    TextTable table;
+    table.setHeader({"metric", "value"});
+    table.addRow({"workload", config.workload});
+    table.addRow({"committed", std::to_string(result.committed)});
+    table.addRow({"cycles", std::to_string(result.cycles)});
+    table.addRow({"IPC", TextTable::num(result.ipc)});
+    table.addRow({"predicted", TextTable::percent(result.predictedFrac)});
+    table.addRow({"accuracy", TextTable::percent(result.accuracy)});
+    table.addRow({"branch mispredicts",
+                  TextTable::num(
+                      result.stats.get("core.branch_mispredicts"), 0)});
+    table.addRow({"value mispredicts",
+                  TextTable::num(
+                      result.stats.get("core.value_mispredicts"), 0)});
+    table.print(std::cout);
+
+    if (dump_stats) {
+        std::cout << "\n";
+        result.stats.dump(std::cout);
+    }
+    return 0;
+}
