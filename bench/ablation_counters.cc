@@ -16,43 +16,64 @@ using namespace rvp::bench;
 namespace
 {
 
-ExperimentResult
-runDrvp(const std::string &workload, bool tagged, unsigned threshold,
-        unsigned entries)
+/** One counter-design cell of the ablation grid. */
+struct Cell
 {
-    ExperimentConfig config = baseConfig(workload);
-    config.scheme = VpScheme::DynamicRvp;
-    config.loadsOnly = false;
-    config.taggedRvp = tagged;
-    config.tableEntries = entries;
-    config.counterThreshold = threshold;
-    config.core.recovery = RecoveryPolicy::Selective;
-    return runExperiment(config);
-}
+    const char *name;
+    bool tagged;
+    unsigned threshold;
+    unsigned entries;
+};
+
+constexpr Cell kCells[] = {
+    {"untag-1K-t7", false, 7, 1024}, {"tag-1K-t7", true, 7, 1024},
+    {"untag-256-t7", false, 7, 256}, {"untag-4K-t7", false, 7, 4096},
+    {"untag-1K-t3", false, 3, 1024}, {"untag-1K-t5", false, 5, 1024},
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
+
     std::cout << "Ablation: RVP confidence-counter design "
                  "(speedup over no prediction)\n\n";
+
+    // Grid: per workload, the no-prediction baseline plus every cell.
+    std::vector<std::string> workloads = benchWorkloads();
+    std::vector<ExperimentConfig> configs;
+    for (const std::string &workload : workloads) {
+        configs.push_back(baseConfig(workload));
+        for (const Cell &cell : kCells) {
+            ExperimentConfig config = baseConfig(workload);
+            config.scheme = VpScheme::DynamicRvp;
+            config.loadsOnly = false;
+            config.taggedRvp = cell.tagged;
+            config.tableEntries = cell.entries;
+            config.counterThreshold = cell.threshold;
+            config.core.recovery = RecoveryPolicy::Selective;
+            configs.push_back(std::move(config));
+        }
+    }
+
+    SweepReport report;
+    std::vector<ExperimentResult> results =
+        runSweep(configs, benchSweepOptions(), &report);
+    reportSweep(report);
 
     TextTable table;
     table.setHeader({"program", "untag-1K-t7", "tag-1K-t7",
                      "untag-256-t7", "untag-4K-t7", "untag-1K-t3",
                      "untag-1K-t5"});
-    for (const std::string &workload : benchWorkloads()) {
-        double no_pred = runExperiment(baseConfig(workload)).ipc;
-        auto cell = [&](bool tagged, unsigned thr, unsigned entries) {
-            return TextTable::num(
-                runDrvp(workload, tagged, thr, entries).ipc / no_pred);
-        };
-        table.addRow({workload, cell(false, 7, 1024),
-                      cell(true, 7, 1024), cell(false, 7, 256),
-                      cell(false, 7, 4096), cell(false, 3, 1024),
-                      cell(false, 5, 1024)});
-        std::cerr << "  ran " << workload << "\n";
+    std::size_t idx = 0;
+    for (const std::string &workload : workloads) {
+        double no_pred = results[idx++].ipc;
+        std::vector<std::string> cells{workload};
+        for (std::size_t c = 0; c < std::size(kCells); ++c)
+            cells.push_back(TextTable::num(results[idx++].ipc / no_pred));
+        table.addRow(cells);
     }
     table.print(std::cout);
     std::cout << "\npaper shape: untagged counters do not lose to tagged"

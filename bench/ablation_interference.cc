@@ -12,6 +12,8 @@
 
 #include <iostream>
 
+#include "common.hh"
+#include "sim/sweep.hh"
 #include "sim/tables.hh"
 #include "uarch/core.hh"
 #include "vp/oracle.hh"
@@ -81,20 +83,31 @@ coverage(const Program &prog, VpScheme scheme, unsigned entries)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
+
     std::cout << "Ablation: loop footprint vs a 256-entry prediction "
                  "table (coverage of eligible instructions)\n\n";
     TextTable table;
     table.setHeader({"loop body (insts)", "lvp (tagged values)",
                      "drvp (untagged counters)"});
-    for (unsigned body : {64u, 128u, 192u, 256u, 384u, 512u, 1024u}) {
-        Program prog = bigLoop(body, 2000);
-        double lvp = coverage(prog, VpScheme::Lvp, 256);
-        double rvp = coverage(prog, VpScheme::DynamicRvp, 256);
-        table.addRow({std::to_string(body), TextTable::percent(lvp),
-                      TextTable::percent(rvp)});
-        std::cerr << "  body " << body << " done\n";
+    const std::vector<unsigned> bodies{64u,  128u, 192u, 256u,
+                                       384u, 512u, 1024u};
+    std::vector<double> lvp(bodies.size()), rvp(bodies.size());
+    parallelFor(bodies.size(), bench::benchOptions().jobs,
+                [&](std::size_t i) {
+                    Program prog = bigLoop(bodies[i], 2000);
+                    lvp[i] = coverage(prog, VpScheme::Lvp, 256);
+                    rvp[i] = coverage(prog, VpScheme::DynamicRvp, 256);
+                    std::cerr << "  body " +
+                                     std::to_string(bodies[i]) +
+                                     " done\n";
+                });
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+        table.addRow({std::to_string(bodies[i]),
+                      TextTable::percent(lvp[i]),
+                      TextTable::percent(rvp[i])});
     }
     table.print(std::cout);
     std::cout << "\npaper shape: LVP coverage collapses once the loop"

@@ -1,25 +1,34 @@
 /**
  * @file
  * Shared scaffolding for the figure/table benchmark binaries: run
- * configuration from the environment, per-workload sweeps, speedup
- * computation, and uniform output.
+ * configuration from the command line and the environment,
+ * per-workload sweeps through the parallel sweep scheduler
+ * (sim/sweep.hh), speedup computation, and uniform output.
+ *
+ * Command-line flags (every figure/table binary):
+ *   --jobs N, -j N           worker threads (default: all cores)
+ *   --serial                 shorthand for --jobs 1
+ *   --quiet                  suppress per-run progress lines
  *
  * Environment knobs:
  *   RVP_BENCH_INSTS          committed instructions per run (400000)
  *   RVP_BENCH_PROFILE_INSTS  profiling instructions (300000)
  *   RVP_BENCH_WORKLOADS      comma-separated workload filter (all)
+ *   RVP_BENCH_JOBS           worker threads (flags take precedence)
  */
 
 #ifndef RVP_BENCH_COMMON_HH
 #define RVP_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "sim/tables.hh"
 #include "workloads/workloads.hh"
 
@@ -31,6 +40,66 @@ envU64(const char *name, std::uint64_t fallback)
 {
     const char *value = std::getenv(name);
     return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/** Options shared by every bench binary (set by init()). */
+struct BenchOptions
+{
+    unsigned jobs = 0;       ///< 0 = defaultJobs()
+    bool progress = true;
+};
+
+inline BenchOptions &
+benchOptions()
+{
+    static BenchOptions options{
+        static_cast<unsigned>(envU64("RVP_BENCH_JOBS", 0)), true};
+    return options;
+}
+
+/**
+ * Parse the common bench flags (--jobs/-j N, --serial, --quiet,
+ * --help). Unknown arguments are fatal so typos don't silently run
+ * the full default sweep.
+ */
+inline void
+init(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": missing value for " << arg
+                          << "\n";
+                std::exit(1);
+            }
+            benchOptions().jobs =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--serial") {
+            benchOptions().jobs = 1;
+        } else if (arg == "--quiet") {
+            benchOptions().progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << argv[0]
+                      << " [--jobs N|-j N] [--serial] [--quiet]\n"
+                         "env: RVP_BENCH_INSTS, RVP_BENCH_PROFILE_INSTS,\n"
+                         "     RVP_BENCH_WORKLOADS, RVP_BENCH_JOBS\n";
+            std::exit(0);
+        } else {
+            std::cerr << argv[0] << ": unknown argument '" << arg
+                      << "' (try --help)\n";
+            std::exit(1);
+        }
+    }
+}
+
+inline SweepOptions
+benchSweepOptions()
+{
+    SweepOptions options;
+    options.jobs = benchOptions().jobs;
+    options.progress = benchOptions().progress;
+    return options;
 }
 
 inline std::vector<std::string>
@@ -73,27 +142,51 @@ struct Variant
     void (*apply)(ExperimentConfig &);
 };
 
+/** Print the sweep's wall-clock and cache-effectiveness summary. */
+inline void
+reportSweep(const SweepReport &report)
+{
+    std::cerr << "  sweep: " << report.runSeconds.size() << " runs in "
+              << TextTable::num(report.wallSeconds, 2) << "s at jobs="
+              << report.jobs << " (compile cache "
+              << report.cache.compileHits << " hits / "
+              << report.cache.compileMisses << " misses, profile cache "
+              << report.cache.profileHits << " hits / "
+              << report.cache.profileMisses << " misses)\n";
+}
+
 /**
- * Run all variants over all workloads; returns result[workload][variant].
+ * Run all variants over all workloads on the parallel sweep
+ * scheduler; returns result[workload][variant]. Results are
+ * bit-identical for any --jobs value.
  */
 inline std::map<std::string, std::map<std::string, ExperimentResult>>
 sweep(const std::vector<Variant> &variants,
       void (*common)(ExperimentConfig &) = nullptr)
 {
-    std::map<std::string, std::map<std::string, ExperimentResult>> out;
-    for (const std::string &workload : benchWorkloads()) {
+    std::vector<std::string> workloads = benchWorkloads();
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(workloads.size() * variants.size());
+    for (const std::string &workload : workloads) {
         for (const Variant &variant : variants) {
             ExperimentConfig config = baseConfig(workload);
             if (common)
                 common(config);
             variant.apply(config);
-            out[workload][variant.name] = runExperiment(config);
-            std::cerr << "  ran " << workload << " / " << variant.name
-                      << " (ipc " << TextTable::num(
-                             out[workload][variant.name].ipc)
-                      << ")\n";
+            configs.push_back(std::move(config));
         }
     }
+
+    SweepReport report;
+    std::vector<ExperimentResult> results =
+        runSweep(configs, benchSweepOptions(), &report);
+    reportSweep(report);
+
+    std::map<std::string, std::map<std::string, ExperimentResult>> out;
+    std::size_t idx = 0;
+    for (const std::string &workload : workloads)
+        for (const Variant &variant : variants)
+            out[workload][variant.name] = std::move(results[idx++]);
     return out;
 }
 

@@ -15,8 +15,10 @@ using namespace rvp;
 using namespace rvp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
+
     std::uint64_t insts = envU64("RVP_BENCH_INSTS", 400'000);
 
     TextTable table;
@@ -26,8 +28,18 @@ main()
     double c_sum[4] = {}, f_sum[4] = {};
     unsigned c_count = 0, f_count = 0;
 
-    for (const std::string &name : benchWorkloads()) {
-        ReuseProfile p = profileWorkload(name, insts, InputSet::Ref);
+    // Profile every workload in parallel; rows print in input order.
+    std::vector<std::string> names = benchWorkloads();
+    std::vector<ReuseProfile> profiles(names.size());
+    WorkloadCache cache;
+    parallelFor(names.size(), benchOptions().jobs, [&](std::size_t i) {
+        profiles[i] =
+            cache.profiled(names[i], InputSet::Ref, insts)->profile;
+    });
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const ReuseProfile &p = profiles[w];
         double execs = static_cast<double>(p.loadExecs);
         if (execs == 0)
             continue;

@@ -14,8 +14,10 @@ using namespace rvp;
 using namespace rvp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
+
     std::vector<Variant> variants = {
         {"no_predict", [](ExperimentConfig &) {}},
         {"lvp",

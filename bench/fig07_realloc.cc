@@ -15,8 +15,10 @@ using namespace rvp;
 using namespace rvp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
+
     // The paper shows hydro2d, li, mgrid, su2cor (the programs where
     // ideal reallocation made a significant difference).
     if (!std::getenv("RVP_BENCH_WORKLOADS")) {
@@ -56,18 +58,32 @@ main()
     TextTable table;
     table.setHeader({"program", "lvp", "drvp_all_noreallocate",
                      "drvp_all_dead_lv_realloc", "drvp_all_dead_lv_ideal"});
+    std::vector<std::string> fell_back;
     for (const auto &[workload, row] : results) {
         double base = row.at("no_predict").ipc;
         std::vector<std::string> cells{workload};
         for (std::size_t i = 1; i < variants.size(); ++i)
             cells.push_back(
                 TextTable::num(row.at(variants[i].name).ipc / base));
+        if (row.at("drvp_all_dead_lv_realloc").reallocFailed)
+            fell_back.push_back(workload);
         table.addRow(cells);
     }
 
     std::cout << "Figure 7: realistic register re-allocation "
                  "(speedup over no prediction)\n\n";
     table.print(std::cout);
+    if (fell_back.empty()) {
+        std::cout << "\nre-allocation succeeded for every workload "
+                     "(no baseline fallbacks).\n";
+    } else {
+        std::cout << "\nWARNING: re-allocation FAILED and fell back to "
+                     "the baseline allocation for:";
+        for (const std::string &w : fell_back)
+            std::cout << ' ' << w;
+        std::cout << "\n(the drvp_all_dead_lv_realloc column measures "
+                     "plain same-register DRVP there)\n";
+    }
     std::cout << "\npaper shape: compiler-based re-allocation recovers"
                  " most of the ideal-profile potential; wherever LVP"
                  " beat plain DRVP, the re-allocation is enough to"

@@ -8,12 +8,14 @@ namespace rvp
 namespace
 {
 
+// One fprintf per report so lines from concurrent sweep workers never
+// interleave mid-message (stdio locks the stream per call).
 void
 vreport(const char *prefix, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    char body[1024];
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    std::fprintf(stderr, "%s: %s\n", prefix, body);
 }
 
 } // namespace
@@ -36,6 +38,23 @@ fatal(const char *fmt, ...)
     vreport("fatal", fmt, args);
     va_end(args);
     std::exit(1);
+}
+
+void
+assertFail(const char *file, int line, const char *cond,
+           const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion failed at %s:%d: %s\n", file,
+                 line, cond);
+    if (fmt) {
+        va_list args;
+        va_start(args, fmt);
+        std::fprintf(stderr, "panic: ");
+        std::vfprintf(stderr, fmt, args);
+        std::fprintf(stderr, "\n");
+        va_end(args);
+    }
+    std::abort();
 }
 
 void

@@ -30,15 +30,24 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
+ * Print an assertion-failure report (with an optional explanatory
+ * printf-style message) and abort. Used by RVP_ASSERT.
+ */
+[[noreturn]] void assertFail(const char *file, int line, const char *cond,
+                             const char *fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
  * Assert-like helper that survives NDEBUG builds. Use for invariants
  * whose failure means the simulator (not the simulated program) is
- * broken.
+ * broken. An optional printf-style message explains the violated
+ * expectation: RVP_ASSERT(ok, "workload %s not compiled", name).
  */
 #define RVP_ASSERT(cond, ...)                                               \
     do {                                                                    \
         if (!(cond)) {                                                      \
-            ::rvp::panic("assertion failed at %s:%d: %s", __FILE__,         \
-                         __LINE__, #cond);                                  \
+            ::rvp::assertFail(__FILE__, __LINE__,                           \
+                              #cond __VA_OPT__(, ) __VA_ARGS__);            \
         }                                                                   \
     } while (0)
 

@@ -1,68 +1,19 @@
 #include "sim/runner.hh"
 
+#include <memory>
 #include <unordered_set>
 
 #include "common/logging.hh"
 #include "compiler/arch_liveness.hh"
-#include "compiler/lower.hh"
-#include "compiler/regalloc.hh"
 #include "compiler/rvp_realloc.hh"
 #include "profile/critical_path.hh"
-#include "workloads/workloads.hh"
+#include "sim/sweep.hh"
 
 namespace rvp
 {
 
 namespace
 {
-
-/** A compiled workload instance. */
-struct CompiledWorkload
-{
-    BuiltWorkload wl;
-    AllocResult alloc;
-    LowerResult low;
-};
-
-CompiledWorkload
-compile(const std::string &name, InputSet input)
-{
-    CompiledWorkload c;
-    c.wl = buildWorkload(name, input);
-    c.alloc = allocateRegisters(c.wl.func, AllocConfig{});
-    RVP_ASSERT(c.alloc.success);
-    c.low = lower(c.wl.func, c.alloc);
-    c.low.program.dataImage = c.wl.data;
-    return c;
-}
-
-/** Profile + critical-path scores over one compiled workload. */
-struct ProfileRun
-{
-    ReuseProfile profile;
-    std::vector<double> cpScores;
-};
-
-ProfileRun
-runProfiler(CompiledWorkload &c, std::uint64_t insts)
-{
-    std::vector<std::uint64_t> live =
-        archLiveBefore(c.wl.func, c.alloc, c.low);
-    ReuseProfiler profiler(c.low.program, live);
-    CriticalPathProfiler cp(c.low.program.size());
-    Emulator emu(c.low.program);
-    DynInst di;
-    std::uint64_t n = 0;
-    while (n < insts) {
-        ArchState pre = emu.state();
-        if (!emu.step(di))
-            break;
-        profiler.observe(di, pre);
-        cp.observe(di);
-        ++n;
-    }
-    return {profiler.finish(), cp.scores()};
-}
 
 /** Map train-profile reuse into Section-7.3 reallocation candidates. */
 std::vector<ReuseCandidate>
@@ -97,19 +48,95 @@ buildCandidates(const ProfileRun &pr, const LowerResult &low,
     return cands;
 }
 
+bool
+knownWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &spec : allWorkloads())
+        if (spec.name == name)
+            return true;
+    return false;
+}
+
 } // namespace
+
+CompiledWorkload
+compileWorkload(const std::string &name, InputSet input)
+{
+    CompiledWorkload c;
+    c.wl = buildWorkload(name, input);
+    c.alloc = allocateRegisters(c.wl.func, AllocConfig{});
+    RVP_ASSERT(c.alloc.success);
+    c.low = lower(c.wl.func, c.alloc);
+    c.low.program.dataImage = c.wl.data;
+    return c;
+}
+
+ProfileRun
+profileCompiled(const CompiledWorkload &c, std::uint64_t insts)
+{
+    std::vector<std::uint64_t> live =
+        archLiveBefore(c.wl.func, c.alloc, c.low);
+    ReuseProfiler profiler(c.low.program, live);
+    CriticalPathProfiler cp(c.low.program.size());
+    Emulator emu(c.low.program);
+    DynInst di;
+    std::uint64_t n = 0;
+    while (n < insts) {
+        ArchState pre = emu.state();
+        if (!emu.step(di))
+            break;
+        profiler.observe(di, pre);
+        cp.observe(di);
+        ++n;
+    }
+    return {profiler.finish(), cp.scores()};
+}
 
 ReuseProfile
 profileWorkload(const std::string &workload, std::uint64_t insts,
                 InputSet input)
 {
-    CompiledWorkload c = compile(workload, input);
-    return runProfiler(c, insts).profile;
+    CompiledWorkload c = compileWorkload(workload, input);
+    return profileCompiled(c, insts).profile;
+}
+
+void
+validateExperimentConfig(const ExperimentConfig &config)
+{
+    RVP_ASSERT(knownWorkload(config.workload),
+               "unknown workload '%s' (see allWorkloads())",
+               config.workload.c_str());
+    RVP_ASSERT(!(config.realisticRealloc &&
+                 config.scheme != VpScheme::DynamicRvp),
+               "realisticRealloc re-colours the registers for "
+               "same-register dynamic RVP and would discard scheme %s; "
+               "use VpScheme::DynamicRvp",
+               schemeName(config.scheme));
+    RVP_ASSERT(!(config.realisticRealloc &&
+                 config.assist != AssistLevel::Same),
+               "realisticRealloc replaces the %s profile application "
+               "with a real re-allocation; assist must stay Same",
+               assistName(config.assist));
+    RVP_ASSERT(!(config.scheme == VpScheme::StaticRvp && !config.loadsOnly),
+               "static RVP predicts opcode-marked loads only; "
+               "loadsOnly=false is contradictory");
+    RVP_ASSERT(config.tableEntries > 0,
+               "predictor table must have at least one entry");
+    RVP_ASSERT(config.counterThreshold <= 7,
+               "confidence threshold %u does not fit the 3-bit "
+               "resetting counters (max 7)",
+               config.counterThreshold);
+    RVP_ASSERT(config.profileThreshold >= 0.0 &&
+                   config.profileThreshold <= 1.0,
+               "profile selection threshold %g is not a rate in [0, 1]",
+               config.profileThreshold);
 }
 
 ExperimentResult
-runExperiment(const ExperimentConfig &config)
+runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
 {
+    validateExperimentConfig(config);
+
     // The needs-profile schemes: static RVP always; dynamic RVP when a
     // compiler-assistance level beyond plain same-register is assumed;
     // and any realistic re-allocation.
@@ -119,22 +146,37 @@ runExperiment(const ExperimentConfig &config)
          config.assist != AssistLevel::Same) ||
         config.realisticRealloc;
 
-    // Profile the *train* input. The compiled train binary must stay
-    // alive as long as the profile (which references its program).
-    CompiledWorkload train;
-    ProfileRun train_profile;
+    // Profile the *train* input. The profile points into the compiled
+    // train binary (ReuseProfile keeps a Program pointer), so that
+    // binary must outlive every use of the profile: the cache keeps its
+    // instance alive for the whole sweep; the uncached path anchors a
+    // local one here for the rest of this function.
+    std::shared_ptr<const ProfileRun> train_profile;
+    std::shared_ptr<const CompiledWorkload> train_keepalive;
     if (needs_profile) {
-        train = compile(config.workload, InputSet::Train);
-        train_profile = runProfiler(train, config.profileInsts);
+        if (cache) {
+            train_profile = cache->profiled(config.workload,
+                                            InputSet::Train,
+                                            config.profileInsts);
+        } else {
+            train_keepalive = std::make_shared<const CompiledWorkload>(
+                compileWorkload(config.workload, InputSet::Train));
+            train_profile = std::make_shared<const ProfileRun>(
+                profileCompiled(*train_keepalive, config.profileInsts));
+        }
     }
 
     // Compile the *ref* input. Workload construction and allocation
     // are deterministic, so static indices line up with the train
-    // binary (asserted below).
-    CompiledWorkload ref = compile(config.workload, InputSet::Ref);
+    // binary (asserted below) and a cached instance is bit-identical
+    // to a fresh compile.
+    std::shared_ptr<const CompiledWorkload> ref_shared =
+        cache ? cache->compiled(config.workload, InputSet::Ref)
+              : std::make_shared<const CompiledWorkload>(
+                    compileWorkload(config.workload, InputSet::Ref));
     if (needs_profile) {
-        RVP_ASSERT(train_profile.profile.counts.size() ==
-                   ref.low.program.size());
+        RVP_ASSERT(train_profile->profile.counts.size() ==
+                   ref_shared->low.program.size());
     }
 
     VpConfig vp;
@@ -144,58 +186,93 @@ runExperiment(const ExperimentConfig &config)
     vp.taggedRvp = config.taggedRvp;
     vp.threshold = config.counterThreshold;
 
+    // Schemes that rewrite the binary work on a private copy; the
+    // cached instance stays pristine for concurrent runs.
+    const CompiledWorkload *ref = ref_shared.get();
+    CompiledWorkload mutated;
+    bool realloc_failed = false;
+    StatSet realloc_stats;
+
     if (config.realisticRealloc) {
         // Figure 7: re-colour the registers to honour the profiled
         // reuses, then run plain same-register dynamic RVP on the
         // re-allocated binary — no optimistic profile application.
+        mutated = *ref_shared;
         std::vector<ReuseCandidate> cands = buildCandidates(
-            train_profile, ref.low, config.profileThreshold);
+            *train_profile, mutated.low, config.profileThreshold);
         ReallocResult rr =
-            reallocForReuse(ref.wl.func, AllocConfig{}, cands);
+            reallocForReuse(mutated.wl.func, AllocConfig{}, cands);
+        realloc_stats.set("realloc.attempted", 1.0);
+        realloc_stats.set("realloc.candidates",
+                          static_cast<double>(cands.size()));
+        realloc_stats.set("realloc.failed", rr.success ? 0.0 : 1.0);
         if (rr.success) {
-            ref.alloc = std::move(rr.alloc);
-            ref.low = lower(ref.wl.func, ref.alloc);
-            ref.low.program.dataImage = ref.wl.data;
+            std::uint64_t honored = 0;
+            for (bool h : rr.honored)
+                honored += h;
+            realloc_stats.set("realloc.honored",
+                              static_cast<double>(honored));
+            realloc_stats.set("realloc.dropped_legality",
+                              static_cast<double>(rr.droppedForLegality));
+            realloc_stats.set("realloc.dropped_coloring",
+                              static_cast<double>(rr.droppedForColoring));
+            mutated.alloc = std::move(rr.alloc);
+            mutated.low = lower(mutated.wl.func, mutated.alloc);
+            mutated.low.program.dataImage = mutated.wl.data;
         } else {
+            realloc_failed = true;
             warn("register re-allocation failed for %s; keeping the "
                  "baseline allocation",
                  config.workload.c_str());
         }
-        vp.scheme = VpScheme::DynamicRvp;
+        ref = &mutated;
         vp.specs.clear();   // same-register only: reuse is in the binary
     } else if (config.scheme == VpScheme::StaticRvp) {
         // Mark the profiled loads with rvp_* opcodes and apply the
         // profile's prediction sources.
-        auto marked_vec = train_profile.profile.selectStaticLoads(
+        mutated = *ref_shared;
+        auto marked_vec = train_profile->profile.selectStaticLoads(
             config.assist, config.profileThreshold);
         std::unordered_set<std::uint32_t> marked_ir;
         for (std::uint32_t s : marked_vec)
-            marked_ir.insert(ref.low.irIdOfStatic[s]);
-        ref.low = lower(ref.wl.func, ref.alloc, &marked_ir);
-        ref.low.program.dataImage = ref.wl.data;
-        vp.specs = train_profile.profile.buildSpecs(
+            marked_ir.insert(mutated.low.irIdOfStatic[s]);
+        mutated.low = lower(mutated.wl.func, mutated.alloc, &marked_ir);
+        mutated.low.program.dataImage = mutated.wl.data;
+        vp.specs = train_profile->profile.buildSpecs(
             config.assist, config.profileThreshold);
+        ref = &mutated;
     } else if (config.scheme == VpScheme::DynamicRvp &&
                config.assist != AssistLevel::Same) {
-        vp.specs = train_profile.profile.buildSpecs(
+        vp.specs = train_profile->profile.buildSpecs(
             config.assist, config.profileThreshold);
     }
 
-    auto predictor = makePredictor(vp, ref.low.program);
-    Core core(config.core, ref.low.program, *predictor);
+    auto predictor = makePredictor(vp, ref->low.program);
+    Core core(config.core, ref->low.program, *predictor);
     CoreResult cr = core.run();
 
     ExperimentResult result;
     result.ipc = cr.ipc;
     result.cycles = cr.cycles;
     result.committed = cr.committed;
+    result.reallocFailed = realloc_failed;
     result.stats = cr.stats;
+    result.stats.merge(realloc_stats);
+    // vp.predictions / vp.correct count the committed path only (the
+    // core re-bases them at commit), so coverage can never exceed 1.
     double committed = static_cast<double>(cr.committed);
-    double predictions = cr.stats.get("vp.predictions");
+    double predictions = result.stats.get("vp.predictions");
     result.predictedFrac = committed > 0 ? predictions / committed : 0.0;
     result.accuracy =
-        predictions > 0 ? cr.stats.get("vp.correct") / predictions : 0.0;
+        predictions > 0 ? result.stats.get("vp.correct") / predictions
+                        : 0.0;
     return result;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config)
+{
+    return runExperiment(config, nullptr);
 }
 
 } // namespace rvp

@@ -5,6 +5,11 @@
  * register allocation) -> profile the *train* input -> configure a
  * value predictor (and optionally re-allocate registers per Section
  * 7.3) -> run the *ref* input through the out-of-order core.
+ *
+ * Compilation and profiling are deterministic functions of
+ * (workload, input[, profileInsts]), so a sweep over many experiment
+ * configurations can share them; see sim/sweep.hh for the memoizing
+ * parallel scheduler built on the hooks exposed here.
  */
 
 #ifndef RVP_SIM_RUNNER_HH
@@ -12,6 +17,8 @@
 
 #include <string>
 
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
 #include "profile/reuse_profiler.hh"
 #include "uarch/core.hh"
 #include "vp/oracle.hh"
@@ -66,10 +73,56 @@ struct ExperimentResult
     double predictedFrac = 0.0;
     /** Prediction accuracy (correct / predicted). */
     double accuracy = 0.0;
+    /**
+     * A requested Section-7.3 re-allocation could not colour the graph
+     * and the run silently kept the baseline allocation (so the
+     * numbers measure plain same-register dynamic RVP, not the
+     * re-allocated binary). Also recorded as the realloc.failed stat.
+     */
+    bool reallocFailed = false;
     StatSet stats;
 };
 
-/** Run one experiment end to end. */
+/** A compiled workload instance (immutable once built). */
+struct CompiledWorkload
+{
+    BuiltWorkload wl;
+    AllocResult alloc;
+    LowerResult low;
+};
+
+/** Profile + critical-path scores over one compiled workload. */
+struct ProfileRun
+{
+    ReuseProfile profile;
+    std::vector<double> cpScores;
+};
+
+/** Build + register-allocate + lower one workload input. */
+CompiledWorkload compileWorkload(const std::string &name, InputSet input);
+
+/** Run the reuse + critical-path profilers over a compiled workload. */
+ProfileRun profileCompiled(const CompiledWorkload &c, std::uint64_t insts);
+
+/**
+ * Fail fast (RVP_ASSERT) on contradictory experiment configurations —
+ * combinations the runner would otherwise silently reinterpret, such
+ * as realisticRealloc with a non-DynamicRvp scheme or StaticRvp with
+ * loadsOnly=false.
+ */
+void validateExperimentConfig(const ExperimentConfig &config);
+
+class WorkloadCache;   // sim/sweep.hh
+
+/**
+ * Run one experiment end to end. With a non-null cache, compilation
+ * and train-profiling are memoized across runs (bit-identical results;
+ * see sim/sweep.hh).
+ */
+ExperimentResult runExperiment(const ExperimentConfig &config,
+                               WorkloadCache *cache);
+
+/** Run one experiment end to end (no memoization). */
 ExperimentResult runExperiment(const ExperimentConfig &config);
 
 /**

@@ -1,0 +1,233 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Memoize build() under key in map: the first requester installs a
+ * shared_future and builds outside the lock; later requesters (racing
+ * or not) wait on the same future. hit/miss counters are updated
+ * under the lock.
+ */
+template <typename Map, typename Key, typename Build>
+std::invoke_result_t<Build>
+memoize(std::mutex &mutex, Map &map, const Key &key,
+        std::uint64_t &hits, std::uint64_t &misses, Build &&build)
+{
+    using Ptr = std::invoke_result_t<Build>;
+    std::promise<Ptr> promise;
+    std::shared_future<Ptr> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = map.find(key);
+        if (it == map.end()) {
+            future = promise.get_future().share();
+            map.emplace(key, future);
+            builder = true;
+            ++misses;
+        } else {
+            future = it->second;
+            ++hits;
+        }
+    }
+    if (builder) {
+        // Propagate a throwing build to every waiter instead of
+        // leaving them blocked on a never-satisfied future.
+        try {
+            promise.set_value(build());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+} // namespace
+
+const char *
+schemeName(VpScheme scheme)
+{
+    switch (scheme) {
+      case VpScheme::None:
+        return "none";
+      case VpScheme::Lvp:
+        return "lvp";
+      case VpScheme::StaticRvp:
+        return "srvp";
+      case VpScheme::DynamicRvp:
+        return "drvp";
+      case VpScheme::GabbayRp:
+        return "grp";
+    }
+    return "?";
+}
+
+const char *
+assistName(AssistLevel level)
+{
+    switch (level) {
+      case AssistLevel::Same:
+        return "same";
+      case AssistLevel::Dead:
+        return "dead";
+      case AssistLevel::Live:
+        return "live";
+      case AssistLevel::DeadLv:
+        return "dead_lv";
+      case AssistLevel::LiveLv:
+        return "live_lv";
+      case AssistLevel::DeadLvStride:
+        return "dead_lv_stride";
+    }
+    return "?";
+}
+
+std::string
+describeConfig(const ExperimentConfig &config)
+{
+    std::string s = config.workload;
+    s += '/';
+    s += schemeName(config.scheme);
+    if (config.scheme == VpScheme::StaticRvp ||
+        config.scheme == VpScheme::DynamicRvp) {
+        s += '-';
+        s += assistName(config.assist);
+    }
+    if (config.realisticRealloc)
+        s += "-realloc";
+    if (config.taggedRvp)
+        s += "-tagged";
+    s += config.loadsOnly ? "-loads" : "-all";
+    return s;
+}
+
+std::shared_ptr<const CompiledWorkload>
+WorkloadCache::compiled(const std::string &workload, InputSet input)
+{
+    CompileKey key{workload, static_cast<int>(input)};
+    return memoize(mutex_, compiled_, key, stats_.compileHits,
+                   stats_.compileMisses, [&]() -> CompiledPtr {
+                       return std::make_shared<const CompiledWorkload>(
+                           compileWorkload(workload, input));
+                   });
+}
+
+std::shared_ptr<const ProfileRun>
+WorkloadCache::profiled(const std::string &workload, InputSet input,
+                        std::uint64_t insts)
+{
+    // Resolve the compiled binary first so the profile build itself
+    // (outside the lock) never recursively takes the cache mutex.
+    CompiledPtr c = compiled(workload, input);
+    ProfileKey key{workload, static_cast<int>(input), insts};
+    return memoize(mutex_, profiled_, key, stats_.profileHits,
+                   stats_.profileMisses, [&]() -> ProfilePtr {
+                       return std::make_shared<const ProfileRun>(
+                           profileCompiled(*c, insts));
+                   });
+}
+
+WorkloadCacheStats
+WorkloadCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+unsigned
+defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+parallelFor(std::size_t count, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            body(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &configs,
+         const SweepOptions &options, SweepReport *report)
+{
+    unsigned jobs = options.jobs ? options.jobs : defaultJobs();
+
+    // Fail fast on a bad grid before spending any cycles on it.
+    for (const ExperimentConfig &config : configs)
+        validateExperimentConfig(config);
+
+    std::vector<ExperimentResult> results(configs.size());
+    std::vector<double> run_seconds(configs.size(), 0.0);
+    WorkloadCache cache;
+    std::atomic<std::size_t> completed{0};
+    std::mutex progress_mutex;
+    auto sweep_start = std::chrono::steady_clock::now();
+
+    parallelFor(configs.size(), jobs, [&](std::size_t i) {
+        auto run_start = std::chrono::steady_clock::now();
+        results[i] = runExperiment(configs[i], &cache);
+        run_seconds[i] = secondsSince(run_start);
+        std::size_t done = completed.fetch_add(1) + 1;
+        if (options.progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            std::fprintf(stderr, "  [%zu/%zu] %s: ipc %.3f (%.2fs)\n",
+                         done, configs.size(),
+                         describeConfig(configs[i]).c_str(),
+                         results[i].ipc, run_seconds[i]);
+        }
+    });
+
+    if (report) {
+        report->wallSeconds = secondsSince(sweep_start);
+        report->runSeconds = std::move(run_seconds);
+        report->jobs = jobs;
+        report->cache = cache.stats();
+    }
+    return results;
+}
+
+} // namespace rvp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parallel experiment scheduler with compile/profile memoization.
+ *
+ * The paper's evaluation is a grid of independent ExperimentConfigs
+ * (workload x predictor variant); every run used to recompile and
+ * re-profile its workload from scratch and the grid ran serially.
+ * runSweep() executes a grid on a pool of worker threads and shares
+ * one WorkloadCache across all runs, so each (workload, input) is
+ * compiled once and each (workload, input, profileInsts) is profiled
+ * once per sweep instead of once per config.
+ *
+ * Determinism guarantee: compilation, profiling, and simulation are
+ * pure functions of their configuration (no shared mutable state
+ * between runs — each run owns its Core/Emulator/predictor, and
+ * cached artifacts are immutable), so the results are bit-identical
+ * regardless of the job count or the order workers pick runs up.
+ */
+
+#ifndef RVP_SIM_SWEEP_HH
+#define RVP_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace rvp
+{
+
+/** Human-readable scheme name (stable, lowercase). */
+const char *schemeName(VpScheme scheme);
+
+/** Human-readable assist-level name (stable, lowercase). */
+const char *assistName(AssistLevel level);
+
+/** One-line description of a config for progress lines and reports. */
+std::string describeConfig(const ExperimentConfig &config);
+
+/** Snapshot of the cache-effectiveness counters. */
+struct WorkloadCacheStats
+{
+    std::uint64_t compileHits = 0;
+    std::uint64_t compileMisses = 0;
+    std::uint64_t profileHits = 0;
+    std::uint64_t profileMisses = 0;
+};
+
+/**
+ * Process-wide-shareable memo cache for compiled workloads and train
+ * profiles. Thread safe: concurrent requests for the same key block
+ * on one shared build (shared_future) instead of duplicating work.
+ * Cached artifacts are immutable — callers copy before mutating.
+ */
+class WorkloadCache
+{
+  public:
+    /** Compiled (workload, input), built at most once per cache. */
+    std::shared_ptr<const CompiledWorkload>
+    compiled(const std::string &workload, InputSet input);
+
+    /** ProfileRun of (workload, input, insts), built at most once. */
+    std::shared_ptr<const ProfileRun>
+    profiled(const std::string &workload, InputSet input,
+             std::uint64_t insts);
+
+    WorkloadCacheStats stats() const;
+
+  private:
+    using CompiledPtr = std::shared_ptr<const CompiledWorkload>;
+    using ProfilePtr = std::shared_ptr<const ProfileRun>;
+    using CompileKey = std::pair<std::string, int>;
+    using ProfileKey = std::tuple<std::string, int, std::uint64_t>;
+
+    mutable std::mutex mutex_;
+    std::map<CompileKey, std::shared_future<CompiledPtr>> compiled_;
+    std::map<ProfileKey, std::shared_future<ProfilePtr>> profiled_;
+    WorkloadCacheStats stats_;
+};
+
+/** Scheduler knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means defaultJobs(). */
+    unsigned jobs = 0;
+    /** Emit a per-run progress line to stderr. */
+    bool progress = true;
+};
+
+/** Per-sweep observability (timings and cache effectiveness). */
+struct SweepReport
+{
+    /** End-to-end sweep wall-clock, seconds. */
+    double wallSeconds = 0.0;
+    /** Per-config run wall-clock, seconds, in input order. */
+    std::vector<double> runSeconds;
+    unsigned jobs = 0;
+    WorkloadCacheStats cache;
+};
+
+/** Worker threads to use by default (hardware_concurrency, min 1). */
+unsigned defaultJobs();
+
+/**
+ * Run body(i) for every i in [0, count) on up to `jobs` threads
+ * (inline when jobs <= 1). Blocks until all iterations finish. The
+ * body must not throw; iteration order across threads is unspecified,
+ * so bodies must only touch disjoint state (e.g. results[i]).
+ */
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)> &body);
+
+/**
+ * Run every config in the grid and return results in input order.
+ * All configs are validated up front (fail fast before any work).
+ */
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &configs,
+         const SweepOptions &options = {}, SweepReport *report = nullptr);
+
+} // namespace rvp
+
+#endif // RVP_SIM_SWEEP_HH

@@ -230,6 +230,18 @@ Core::commitPhase()
             committedTag_[f.di.dest] = head.destTag;
             // The map may still point at this tag; that stays valid.
         }
+        // Committed-path prediction accounting. The predictor's own
+        // counters are taken at fetch and therefore also cover
+        // instructions that never commit (the in-flight tail when the
+        // budget expires); coverage/accuracy must be computed against
+        // what actually committed or Table-2 numbers are inflated.
+        if (f.vp.eligible) {
+            ++vpEligibleCommitted_;
+            if (f.vp.predicted) {
+                ++vpPredictedCommitted_;
+                vpCorrectCommitted_ += f.vp.correct;
+            }
+        }
         ++committed_;
         ++done;
         window_.pop_front();
@@ -763,6 +775,19 @@ Core::run()
     mem_.exportStats(stats_);
     bp_.exportStats(stats_);
     predictor_.exportStats(stats_);
+    // The canonical vp.* stats count the committed path only
+    // (predicted <= committed always holds); the predictor's raw
+    // fetch-time counts stay visible under vp.*_fetched.
+    stats_.set("vp.eligible_fetched", stats_.get("vp.eligible"));
+    stats_.set("vp.predictions_fetched", stats_.get("vp.predictions"));
+    stats_.set("vp.correct_fetched", stats_.get("vp.correct"));
+    stats_.set("vp.eligible", static_cast<double>(vpEligibleCommitted_));
+    stats_.set("vp.predictions",
+               static_cast<double>(vpPredictedCommitted_));
+    stats_.set("vp.correct", static_cast<double>(vpCorrectCommitted_));
+    stats_.set("vp.incorrect",
+               static_cast<double>(vpPredictedCommitted_ -
+                                   vpCorrectCommitted_));
     result.stats = stats_;
     return result;
 }

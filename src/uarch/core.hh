@@ -170,6 +170,10 @@ class Core
 
     std::uint64_t cycle_ = 0;
     std::uint64_t committed_ = 0;
+    /** Committed-path prediction counts (see commitPhase). */
+    std::uint64_t vpEligibleCommitted_ = 0;
+    std::uint64_t vpPredictedCommitted_ = 0;
+    std::uint64_t vpCorrectCommitted_ = 0;
     std::uint64_t fetchResumeCycle_ = 0;
     std::uint64_t pendingRedirectSeq_ = noSeq;
     std::uint64_t lastFetchLine_ = ~0ull;

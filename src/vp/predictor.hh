@@ -24,6 +24,8 @@ namespace rvp
 /** Outcome of consulting a predictor for one dynamic instruction. */
 struct VpDecision
 {
+    /** The instruction was a prediction candidate for this scheme. */
+    bool eligible = false;
     bool predicted = false;
     bool correct = false;
 };
@@ -79,6 +81,7 @@ class ValuePredictor
     {
         ++eligible_;
         VpDecision d;
+        d.eligible = true;
         d.predicted = predicted;
         d.correct = would_be_correct;
         predictions_ += predicted;

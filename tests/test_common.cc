@@ -80,6 +80,76 @@ TEST(ResettingCounter, StaysSaturated)
     EXPECT_TRUE(c.confident());
 }
 
+TEST(ResettingCounter, ThresholdEqualToMaxStillReachable)
+{
+    // threshold == max is the boundary the constructor's assert allows:
+    // confidence must still be reachable (saturation is not an
+    // off-by-one above the threshold).
+    ResettingCounter wide(3, 7);
+    for (int i = 0; i < 7; ++i)
+        wide.recordCorrect();
+    EXPECT_TRUE(wide.confident());
+    EXPECT_EQ(wide.value(), wide.threshold());
+
+    ResettingCounter one_bit(1, 1);
+    EXPECT_FALSE(one_bit.confident());
+    one_bit.recordCorrect();
+    EXPECT_TRUE(one_bit.confident());
+    EXPECT_EQ(one_bit.value(), 1u);
+    one_bit.recordCorrect();   // saturated: must not wrap past max
+    EXPECT_TRUE(one_bit.confident());
+    EXPECT_EQ(one_bit.value(), 1u);
+    one_bit.recordIncorrect();
+    EXPECT_FALSE(one_bit.confident());
+}
+
+TEST(ResettingCounter, ThresholdZeroIsAlwaysConfident)
+{
+    // Degenerate but legal: threshold 0 authorizes every prediction,
+    // even straight after a reset.
+    ResettingCounter c(3, 0);
+    EXPECT_TRUE(c.confident());
+    c.recordIncorrect();
+    EXPECT_TRUE(c.confident());
+}
+
+TEST(SaturatingCounter, OddBitWidths)
+{
+    // Widths with no midpoint pair: 1, 3, and 5 bits. max must be
+    // 2^bits - 1 and isSet() must flip strictly above max/2.
+    SaturatingCounter one(1);
+    EXPECT_EQ(one.max(), 1u);
+    EXPECT_FALSE(one.isSet());
+    one.increment();
+    EXPECT_EQ(one.value(), 1u);
+    EXPECT_TRUE(one.isSet());
+    one.increment();   // saturate, no wrap
+    EXPECT_EQ(one.value(), 1u);
+
+    SaturatingCounter three(3);
+    EXPECT_EQ(three.max(), 7u);
+    for (int i = 0; i < 3; ++i)
+        three.increment();
+    EXPECT_FALSE(three.isSet());   // 3 == max/2: lower half
+    three.increment();
+    EXPECT_TRUE(three.isSet());    // 4 > max/2
+    for (int i = 0; i < 10; ++i)
+        three.increment();
+    EXPECT_EQ(three.value(), 7u);
+
+    SaturatingCounter five(5, 31);
+    EXPECT_EQ(five.max(), 31u);
+    EXPECT_EQ(five.value(), 31u);
+    five.increment();              // saturated at construction
+    EXPECT_EQ(five.value(), 31u);
+    for (int i = 0; i < 16; ++i)
+        five.decrement();
+    EXPECT_FALSE(five.isSet());    // 15 == max/2: lower half
+    for (int i = 0; i < 20; ++i)
+        five.decrement();
+    EXPECT_EQ(five.value(), 0u);   // saturates at zero
+}
+
 TEST(Rng, Deterministic)
 {
     Rng a(42), b(42);

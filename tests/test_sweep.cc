@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests of the parallel sweep scheduler (sim/sweep.hh): parallel runs
+ * must be bit-identical to serial ones, results must come back in
+ * input order, the compile/profile memo cache must actually hit, the
+ * up-front configuration validation must fail fast on contradictions,
+ * and the committed-path prediction accounting must keep coverage a
+ * real fraction (predictions never exceed committed instructions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+#include "uarch/core.hh"
+#include "vp/oracle.hh"
+
+namespace rvp
+{
+namespace
+{
+
+ExperimentConfig
+smallConfig(const std::string &workload)
+{
+    ExperimentConfig config;
+    config.workload = workload;
+    config.core.maxInsts = 15'000;
+    config.profileInsts = 15'000;
+    return config;
+}
+
+/**
+ * A small grid that exercises every code path the scheduler treats
+ * differently: no prediction, LVP, static RVP (binary rewrite),
+ * dynamic RVP with profile assists, and the Figure-7 re-allocation.
+ */
+std::vector<ExperimentConfig>
+mixedGrid()
+{
+    std::vector<ExperimentConfig> configs;
+    for (const char *workload : {"go", "mgrid"}) {
+        ExperimentConfig base = smallConfig(workload);
+        configs.push_back(base);
+
+        ExperimentConfig lvp = base;
+        lvp.scheme = VpScheme::Lvp;
+        configs.push_back(lvp);
+
+        ExperimentConfig srvp = base;
+        srvp.scheme = VpScheme::StaticRvp;
+        srvp.assist = AssistLevel::Dead;
+        configs.push_back(srvp);
+
+        ExperimentConfig drvp = base;
+        drvp.scheme = VpScheme::DynamicRvp;
+        drvp.assist = AssistLevel::DeadLv;
+        drvp.loadsOnly = false;
+        configs.push_back(drvp);
+
+        ExperimentConfig realloc_cfg = base;
+        realloc_cfg.scheme = VpScheme::DynamicRvp;
+        realloc_cfg.realisticRealloc = true;
+        realloc_cfg.loadsOnly = false;
+        configs.push_back(realloc_cfg);
+    }
+    return configs;
+}
+
+void
+expectIdentical(const ExperimentResult &a, const ExperimentResult &b,
+                const std::string &label)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.committed, b.committed) << label;
+    EXPECT_EQ(a.reallocFailed, b.reallocFailed) << label;
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc) << label;
+    EXPECT_DOUBLE_EQ(a.predictedFrac, b.predictedFrac) << label;
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy) << label;
+    // Every stat, bit for bit — not just the headline numbers.
+    EXPECT_EQ(a.stats.values().size(), b.stats.values().size()) << label;
+    for (const auto &[name, value] : a.stats.values())
+        EXPECT_DOUBLE_EQ(value, b.stats.get(name)) << label << ": " << name;
+}
+
+TEST(Sweep, ParallelIsBitIdenticalToSerial)
+{
+    std::vector<ExperimentConfig> configs = mixedGrid();
+    SweepOptions serial;
+    serial.jobs = 1;
+    serial.progress = false;
+    SweepOptions parallel_opts;
+    parallel_opts.jobs = 8;
+    parallel_opts.progress = false;
+    std::vector<ExperimentResult> a = runSweep(configs, serial);
+    std::vector<ExperimentResult> b = runSweep(configs, parallel_opts);
+    ASSERT_EQ(a.size(), configs.size());
+    ASSERT_EQ(b.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        expectIdentical(a[i], b[i], describeConfig(configs[i]));
+}
+
+TEST(Sweep, CachedRunsMatchTheUncachedRunner)
+{
+    std::vector<ExperimentConfig> configs = mixedGrid();
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.progress = false;
+    std::vector<ExperimentResult> swept = runSweep(configs, opts);
+    ASSERT_EQ(swept.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        ExperimentResult direct = runExperiment(configs[i]);
+        expectIdentical(swept[i], direct, describeConfig(configs[i]));
+    }
+}
+
+TEST(Sweep, ResultsComeBackInInputOrder)
+{
+    // Distinct commit budgets mark each config; spacing exceeds any
+    // over-commit within the final cycle, so the budgets round-trip.
+    std::vector<ExperimentConfig> configs;
+    for (int i = 0; i < 6; ++i) {
+        ExperimentConfig config = smallConfig(i % 2 ? "go" : "mgrid");
+        config.core.maxInsts = 10'000 + 1'000u * static_cast<unsigned>(i);
+        configs.push_back(config);
+    }
+    SweepOptions opts;
+    opts.jobs = 8;
+    opts.progress = false;
+    std::vector<ExperimentResult> results = runSweep(configs, opts);
+    ASSERT_EQ(results.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_GE(results[i].committed, configs[i].core.maxInsts);
+        EXPECT_LT(results[i].committed, configs[i].core.maxInsts + 1'000u);
+    }
+}
+
+TEST(Sweep, CompileAndProfileAreMemoized)
+{
+    // Four dynamic-RVP runs of one workload: the train and ref binaries
+    // compile once each, the profile runs once, everything else hits.
+    std::vector<ExperimentConfig> configs;
+    for (unsigned threshold : {4u, 5u, 6u, 7u}) {
+        ExperimentConfig config = smallConfig("go");
+        config.scheme = VpScheme::DynamicRvp;
+        config.assist = AssistLevel::Dead;
+        config.counterThreshold = threshold;
+        configs.push_back(config);
+    }
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    SweepReport report;
+    runSweep(configs, opts, &report);
+    EXPECT_EQ(report.cache.compileMisses, 2u);   // train + ref
+    EXPECT_EQ(report.cache.profileMisses, 1u);
+    EXPECT_GT(report.cache.compileHits, 0u);
+    EXPECT_EQ(report.cache.profileHits, 3u);
+    EXPECT_EQ(report.jobs, 2u);
+    EXPECT_EQ(report.runSeconds.size(), configs.size());
+    EXPECT_GT(report.wallSeconds, 0.0);
+}
+
+TEST(Sweep, WorkloadCacheReturnsOneInstance)
+{
+    WorkloadCache cache;
+    auto a = cache.compiled("go", InputSet::Ref);
+    auto b = cache.compiled("go", InputSet::Ref);
+    EXPECT_EQ(a.get(), b.get());
+    auto p = cache.profiled("go", InputSet::Train, 5'000);
+    auto q = cache.profiled("go", InputSet::Train, 5'000);
+    EXPECT_EQ(p.get(), q.get());
+    // A different budget is a different profile.
+    auto r = cache.profiled("go", InputSet::Train, 6'000);
+    EXPECT_NE(p.get(), r.get());
+}
+
+TEST(SweepValidationDeathTest, ReallocRequiresDynamicRvp)
+{
+    ExperimentConfig config = smallConfig("go");
+    config.realisticRealloc = true;
+    config.scheme = VpScheme::Lvp;
+    EXPECT_DEATH(validateExperimentConfig(config), "re-colours");
+}
+
+TEST(SweepValidationDeathTest, StaticRvpIsLoadsOnly)
+{
+    ExperimentConfig config = smallConfig("go");
+    config.scheme = VpScheme::StaticRvp;
+    config.loadsOnly = false;
+    EXPECT_DEATH(validateExperimentConfig(config),
+                 "loadsOnly=false is contradictory");
+}
+
+TEST(SweepValidationDeathTest, UnknownWorkloadAndBadKnobs)
+{
+    ExperimentConfig config = smallConfig("go");
+    config.workload = "nonesuch";
+    EXPECT_DEATH(validateExperimentConfig(config), "unknown workload");
+
+    config = smallConfig("go");
+    config.counterThreshold = 9;
+    EXPECT_DEATH(validateExperimentConfig(config), "3-bit");
+
+    config = smallConfig("go");
+    config.tableEntries = 0;
+    EXPECT_DEATH(validateExperimentConfig(config), "at least one entry");
+
+    config = smallConfig("go");
+    config.profileThreshold = 1.5;
+    EXPECT_DEATH(validateExperimentConfig(config), "not a rate");
+}
+
+/**
+ * A loop whose every body instruction is value-stable (r_k = r_k + r31)
+ * — near-100% coverage for dynamic RVP, which makes the fetch-time
+ * overcount of the in-flight tail visible: with a small commit budget
+ * the core fetches (and "predicts") a window of instructions beyond the
+ * budget that never commit.
+ */
+Program
+stableLoop(unsigned body, std::int32_t iters)
+{
+    Program prog;
+    StaticInst init;
+    init.op = Opcode::LDA;
+    init.rc = 1;
+    init.ra = zeroReg;
+    init.useImm = true;
+    init.imm = iters;
+    prog.insts.push_back(init);
+    for (unsigned i = 0; i < body; ++i) {
+        StaticInst add;
+        add.op = Opcode::ADDQ;
+        add.rc = static_cast<RegIndex>(2 + (i % 24));
+        add.ra = add.rc;
+        add.rb = zeroReg;
+        prog.insts.push_back(add);
+    }
+    StaticInst dec;
+    dec.op = Opcode::SUBQ;
+    dec.rc = 1;
+    dec.ra = 1;
+    dec.useImm = true;
+    dec.imm = 1;
+    prog.insts.push_back(dec);
+    StaticInst br;
+    br.op = Opcode::BNE;
+    br.ra = 1;
+    br.imm = -static_cast<std::int32_t>(body + 2);
+    prog.insts.push_back(br);
+    StaticInst halt;
+    halt.op = Opcode::HALT;
+    prog.insts.push_back(halt);
+    return prog;
+}
+
+TEST(CommittedPathStats, PredictionsNeverExceedCommitted)
+{
+    // Regression: vp.predictions used to count every fetched
+    // instruction the predictor fired on, including the in-flight tail
+    // past the commit budget — so "coverage" could exceed 100%.
+    Program prog = stableLoop(64, 2'000);
+    VpConfig vp;
+    vp.scheme = VpScheme::DynamicRvp;
+    vp.loadsOnly = false;
+    auto predictor = makePredictor(vp, prog);
+    CoreParams params = CoreParams::table1();
+    params.maxInsts = 3'000;
+    Core core(params, prog, *predictor);
+    CoreResult r = core.run();
+
+    double committed = static_cast<double>(r.committed);
+    EXPECT_LE(r.stats.get("vp.eligible"), committed);
+    EXPECT_LE(r.stats.get("vp.predictions"), r.stats.get("vp.eligible"));
+    EXPECT_LE(r.stats.get("vp.correct"), r.stats.get("vp.predictions"));
+    // The fetch-time counts remain visible and bound the committed ones.
+    EXPECT_GE(r.stats.get("vp.predictions_fetched"),
+              r.stats.get("vp.predictions"));
+    EXPECT_GE(r.stats.get("vp.eligible_fetched"),
+              r.stats.get("vp.eligible"));
+    // The loop really is highly predictable (the gap to 100% is the
+    // confidence warm-up), so the invariant is load-bearing here: the
+    // in-flight tail past the budget is fetched, predicted, and never
+    // committed — fetch-time counting strictly overshoots.
+    EXPECT_GT(r.stats.get("vp.predictions"), 0.7 * committed);
+    EXPECT_GT(r.stats.get("vp.predictions_fetched"),
+              r.stats.get("vp.predictions"));
+}
+
+TEST(CommittedPathStats, ExperimentCoverageIsAFraction)
+{
+    ExperimentConfig config = smallConfig("m88ksim");
+    config.scheme = VpScheme::DynamicRvp;
+    config.assist = AssistLevel::DeadLv;
+    config.loadsOnly = false;
+    ExperimentResult r = runExperiment(config);
+    EXPECT_GE(r.predictedFrac, 0.0);
+    EXPECT_LE(r.predictedFrac, 1.0);
+    EXPECT_GE(r.accuracy, 0.0);
+    EXPECT_LE(r.accuracy, 1.0);
+}
+
+TEST(ReallocStats, SuccessPathIsRecorded)
+{
+    ExperimentConfig config = smallConfig("hydro2d");
+    config.scheme = VpScheme::DynamicRvp;
+    config.realisticRealloc = true;
+    config.loadsOnly = false;
+    ExperimentResult r = runExperiment(config);
+    EXPECT_DOUBLE_EQ(r.stats.get("realloc.attempted"), 1.0);
+    EXPECT_DOUBLE_EQ(r.stats.get("realloc.failed"), 0.0);
+    EXPECT_FALSE(r.reallocFailed);
+    EXPECT_GT(r.stats.get("realloc.candidates"), 0.0);
+    EXPECT_GE(r.stats.get("realloc.honored"), 0.0);
+}
+
+TEST(ReallocStats, NonReallocRunsCarryNoReallocStats)
+{
+    ExperimentResult r = runExperiment(smallConfig("go"));
+    EXPECT_DOUBLE_EQ(r.stats.get("realloc.attempted"), 0.0);
+    EXPECT_FALSE(r.reallocFailed);
+}
+
+TEST(Sweep, DescribeConfigNamesTheVariant)
+{
+    ExperimentConfig config = smallConfig("go");
+    config.scheme = VpScheme::DynamicRvp;
+    config.assist = AssistLevel::DeadLv;
+    config.loadsOnly = false;
+    std::string desc = describeConfig(config);
+    EXPECT_NE(desc.find("go"), std::string::npos);
+    EXPECT_NE(desc.find("drvp"), std::string::npos);
+}
+
+TEST(Sweep, ParallelForCoversEveryIndexOnce)
+{
+    std::vector<int> hits(100, 0);
+    parallelFor(hits.size(), 8,
+                [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << i;
+    // Serial fallback path.
+    std::vector<int> serial_hits(5, 0);
+    parallelFor(serial_hits.size(), 1,
+                [&](std::size_t i) { serial_hits[i] += 1; });
+    for (int h : serial_hits)
+        EXPECT_EQ(h, 1);
+}
+
+} // namespace
+} // namespace rvp

@@ -174,6 +174,11 @@ main(int argc, char **argv)
         known |= spec.name == config.workload;
     if (!known)
         die("unknown workload '" + config.workload + "'");
+    if (config.realisticRealloc && config.scheme != VpScheme::DynamicRvp)
+        die("--realloc re-colours the registers for dynamic RVP; "
+            "combine it with --scheme drvp");
+    if (config.scheme == VpScheme::StaticRvp && !config.loadsOnly)
+        die("static RVP marks loads only; --all needs --scheme drvp");
 
     if (disasm_only) {
         BuiltWorkload wl = buildWorkload(config.workload, InputSet::Ref);

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * sweep_all — run the full paper evaluation (Figures 3-8, Table 2,
+ * and the stride-extension ablation) as one parallel sweep and emit a
+ * single JSON results file. Every grid entry is an independent
+ * ExperimentConfig; compilation and train-profiling are memoized
+ * across the whole sweep, and results are bit-identical for any
+ * --jobs value (see sim/sweep.hh).
+ *
+ *   sweep_all --jobs 8 --out results.json
+ *   sweep_all --insts 50000 --profile-insts 50000 --figures fig05,table2
+ *
+ * Run `sweep_all --help` for the full option set.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace rvp;
+
+namespace
+{
+
+struct Options
+{
+    unsigned jobs = 0;
+    std::string out = "sweep_results.json";
+    std::uint64_t insts = 400'000;
+    std::uint64_t profileInsts = 300'000;
+    std::vector<std::string> workloads;   // empty = all nine
+    std::vector<std::string> figures;     // empty = all
+    bool fullStats = false;
+    bool quiet = false;
+};
+
+/** One grid entry: a figure's variant applied to one workload. */
+struct GridEntry
+{
+    std::string figure;
+    std::string variant;
+    ExperimentConfig config;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "sweep_all — full paper evaluation on the parallel sweep "
+        "scheduler\n"
+        "\n"
+        "  --jobs N, -j N      worker threads (default: all cores)\n"
+        "  --out FILE          JSON output path (sweep_results.json)\n"
+        "  --insts N           committed instructions per run (400000)\n"
+        "  --profile-insts N   profiling budget per workload (300000)\n"
+        "  --workloads CSV     workload filter (default: all nine)\n"
+        "  --figures CSV       figure filter: fig03,fig04,fig05,fig06,\n"
+        "                      fig07,fig08,table2,stride (default: all)\n"
+        "  --full-stats        embed the complete per-run stat dumps\n"
+        "  --quiet             suppress per-run progress lines\n";
+}
+
+[[noreturn]] void
+die(const std::string &message)
+{
+    std::cerr << "sweep_all: " << message << " (try --help)\n";
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+wants(const Options &opts, const std::string &figure)
+{
+    if (opts.figures.empty())
+        return true;
+    for (const std::string &f : opts.figures)
+        if (f == figure)
+            return true;
+    return false;
+}
+
+/** The per-figure variant lists, mirroring the bench/ binaries. */
+struct FigureSpec
+{
+    const char *figure;
+    /** Workload filter for the figure (empty = the sweep's set). */
+    std::vector<std::string> workloads;
+    std::vector<std::pair<std::string,
+                          std::function<void(ExperimentConfig &)>>>
+        variants;
+};
+
+std::vector<FigureSpec>
+paperGrid()
+{
+    using C = ExperimentConfig;
+    auto selective = [](C &c) {
+        c.core.recovery = RecoveryPolicy::Selective;
+    };
+    auto lvp = [](C &c) { c.scheme = VpScheme::Lvp; };
+    auto grp = [](C &c) { c.scheme = VpScheme::GabbayRp; };
+    auto srvp = [](AssistLevel a) {
+        return [a](C &c) {
+            c.scheme = VpScheme::StaticRvp;
+            c.assist = a;
+        };
+    };
+    auto drvp = [](AssistLevel a) {
+        return [a](C &c) {
+            c.scheme = VpScheme::DynamicRvp;
+            c.assist = a;
+        };
+    };
+    auto all_insts = [](C &c) { c.loadsOnly = false; };
+    auto compose = [](std::vector<std::function<void(C &)>> fns) {
+        return [fns](C &c) {
+            for (const auto &fn : fns)
+                fn(c);
+        };
+    };
+
+    std::vector<FigureSpec> grid;
+
+    // Figure 3: static RVP, selective reissue, 80% threshold.
+    auto thresh80 = [](C &c) { c.profileThreshold = 0.8; };
+    auto fig03_base = compose({selective, thresh80});
+    grid.push_back(
+        {"fig03",
+         {},
+         {{"no_predict", fig03_base},
+          {"lvp", compose({fig03_base, lvp})},
+          {"srvp_same", compose({fig03_base, srvp(AssistLevel::Same)})},
+          {"srvp_dead", compose({fig03_base, srvp(AssistLevel::Dead)})},
+          {"srvp_live", compose({fig03_base, srvp(AssistLevel::Live)})},
+          {"srvp_live_lv",
+           compose({fig03_base, srvp(AssistLevel::LiveLv)})}}});
+
+    // Figure 4: recovery mechanisms, srvp_dead, 90% threshold.
+    auto thresh90 = [](C &c) { c.profileThreshold = 0.9; };
+    auto recovery = [](RecoveryPolicy p) {
+        return [p](C &c) { c.core.recovery = p; };
+    };
+    grid.push_back(
+        {"fig04",
+         {},
+         {{"no_predict", thresh90},
+          {"srvp_refetch",
+           compose({thresh90, srvp(AssistLevel::Dead),
+                    recovery(RecoveryPolicy::Refetch)})},
+          {"srvp_reissue",
+           compose({thresh90, srvp(AssistLevel::Dead),
+                    recovery(RecoveryPolicy::Reissue)})},
+          {"srvp_selective",
+           compose({thresh90, srvp(AssistLevel::Dead), selective})}}});
+
+    // Figure 5: dynamic RVP, loads only.
+    grid.push_back(
+        {"fig05",
+         {},
+         {{"no_predict", selective},
+          {"lvp", compose({selective, lvp})},
+          {"drvp", compose({selective, drvp(AssistLevel::Same)})},
+          {"drvp_dead", compose({selective, drvp(AssistLevel::Dead)})},
+          {"drvp_dead_lv",
+           compose({selective, drvp(AssistLevel::DeadLv)})}}});
+
+    // Figure 6: dynamic RVP, all register-writing instructions.
+    grid.push_back(
+        {"fig06",
+         {},
+         {{"no_predict", compose({selective, all_insts})},
+          {"lvp_all", compose({selective, all_insts, lvp})},
+          {"grp_all", compose({selective, all_insts, grp})},
+          {"drvp_all",
+           compose({selective, all_insts, drvp(AssistLevel::Same)})},
+          {"drvp_all_dead",
+           compose({selective, all_insts, drvp(AssistLevel::Dead)})},
+          {"drvp_all_dead_lv",
+           compose({selective, all_insts, drvp(AssistLevel::DeadLv)})}}});
+
+    // Table 2: coverage/accuracy, all instructions.
+    grid.push_back(
+        {"table2",
+         {},
+         {{"drvp_dead",
+           compose({selective, all_insts, drvp(AssistLevel::Dead)})},
+          {"drvp_dead_lv",
+           compose({selective, all_insts, drvp(AssistLevel::DeadLv)})},
+          {"lvp", compose({selective, all_insts, lvp})},
+          {"grp", compose({selective, all_insts, grp})}}});
+
+    // Figure 7: realistic re-allocation (paper's four workloads).
+    auto realloc_cfg = [](C &c) {
+        c.scheme = VpScheme::DynamicRvp;
+        c.realisticRealloc = true;
+    };
+    grid.push_back(
+        {"fig07",
+         {"hydro2d", "li", "mgrid", "su2cor"},
+         {{"no_predict", compose({selective, all_insts})},
+          {"lvp", compose({selective, all_insts, lvp})},
+          {"drvp_all_noreallocate",
+           compose({selective, all_insts, drvp(AssistLevel::Same)})},
+          {"drvp_all_dead_lv_realloc",
+           compose({selective, all_insts, realloc_cfg})},
+          {"drvp_all_dead_lv_ideal",
+           compose({selective, all_insts, drvp(AssistLevel::DeadLv)})}}});
+
+    // Figure 8: the aggressive 16-wide core.
+    auto wide = [](C &c) {
+        std::uint64_t budget = c.core.maxInsts;
+        c.core = CoreParams::aggressive16();
+        c.core.maxInsts = budget;
+        c.core.recovery = RecoveryPolicy::Selective;
+        c.loadsOnly = false;
+    };
+    grid.push_back(
+        {"fig08",
+         {},
+         {{"no_predict", wide},
+          {"lvp_all", compose({wide, lvp})},
+          {"drvp_all", compose({wide, drvp(AssistLevel::Same)})},
+          {"drvp_all_dead_lv",
+           compose({wide, drvp(AssistLevel::DeadLv)})}}});
+
+    // Stride extension ablation.
+    grid.push_back(
+        {"stride",
+         {},
+         {{"no_predict", compose({selective, all_insts})},
+          {"drvp_dead_lv",
+           compose({selective, all_insts, drvp(AssistLevel::DeadLv)})},
+          {"drvp_dead_lv_stride",
+           compose(
+               {selective, all_insts,
+                drvp(AssistLevel::DeadLvStride)})}}});
+
+    return grid;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON writer (no external dependencies).
+// ---------------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+jsonNum(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                die("missing value for " + arg);
+            return argv[++i];
+        };
+        auto nextU64 = [&]() -> std::uint64_t {
+            std::string value = next();
+            try {
+                std::size_t used = 0;
+                std::uint64_t n = std::stoull(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+                return n;
+            } catch (const std::exception &) {
+                die("'" + value + "' is not a number (for " + arg + ")");
+            }
+        };
+        if (arg == "--jobs" || arg == "-j")
+            opts.jobs = static_cast<unsigned>(nextU64());
+        else if (arg == "--out")
+            opts.out = next();
+        else if (arg == "--insts")
+            opts.insts = nextU64();
+        else if (arg == "--profile-insts")
+            opts.profileInsts = nextU64();
+        else if (arg == "--workloads")
+            opts.workloads = splitCsv(next());
+        else if (arg == "--figures")
+            opts.figures = splitCsv(next());
+        else if (arg == "--full-stats")
+            opts.fullStats = true;
+        else if (arg == "--quiet")
+            opts.quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            die("unknown argument '" + arg + "'");
+        }
+    }
+
+    std::vector<std::string> all_names;
+    for (const WorkloadSpec &spec : allWorkloads())
+        all_names.push_back(spec.name);
+    if (opts.workloads.empty()) {
+        opts.workloads = all_names;
+    } else {
+        for (const std::string &w : opts.workloads) {
+            bool known = false;
+            for (const std::string &name : all_names)
+                known |= name == w;
+            if (!known)
+                die("unknown workload '" + w + "'");
+        }
+    }
+
+    // Build the flat grid.
+    std::vector<GridEntry> entries;
+    for (const FigureSpec &fig : paperGrid()) {
+        if (!wants(opts, fig.figure))
+            continue;
+        const std::vector<std::string> &fig_workloads =
+            fig.workloads.empty() ? opts.workloads : fig.workloads;
+        for (const std::string &workload : fig_workloads) {
+            bool selected = false;
+            for (const std::string &w : opts.workloads)
+                selected |= w == workload;
+            if (!selected)
+                continue;
+            for (const auto &[name, apply] : fig.variants) {
+                GridEntry entry;
+                entry.figure = fig.figure;
+                entry.variant = name;
+                entry.config.workload = workload;
+                entry.config.core.maxInsts = opts.insts;
+                entry.config.profileInsts = opts.profileInsts;
+                apply(entry.config);
+                entries.push_back(std::move(entry));
+            }
+        }
+    }
+    if (entries.empty())
+        die("the grid is empty (check --figures / --workloads)");
+
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(entries.size());
+    for (const GridEntry &entry : entries)
+        configs.push_back(entry.config);
+
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = opts.jobs;
+    sweep_opts.progress = !opts.quiet;
+    SweepReport report;
+    std::cerr << "sweep_all: " << entries.size() << " runs, jobs="
+              << (opts.jobs ? opts.jobs : defaultJobs()) << "\n";
+    std::vector<ExperimentResult> results =
+        runSweep(configs, sweep_opts, &report);
+
+    // Emit the JSON report.
+    std::ofstream os(opts.out);
+    if (!os)
+        die("cannot open output file " + opts.out);
+    os << "{\n"
+       << "  \"tool\": \"sweep_all\",\n"
+       << "  \"jobs\": " << report.jobs << ",\n"
+       << "  \"insts\": " << opts.insts << ",\n"
+       << "  \"profile_insts\": " << opts.profileInsts << ",\n"
+       << "  \"wall_seconds\": " << jsonNum(report.wallSeconds) << ",\n"
+       << "  \"cache\": {\"compile_hits\": " << report.cache.compileHits
+       << ", \"compile_misses\": " << report.cache.compileMisses
+       << ", \"profile_hits\": " << report.cache.profileHits
+       << ", \"profile_misses\": " << report.cache.profileMisses
+       << "},\n"
+       << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const GridEntry &entry = entries[i];
+        const ExperimentResult &r = results[i];
+        os << "    {\"figure\": \"" << jsonEscape(entry.figure)
+           << "\", \"variant\": \"" << jsonEscape(entry.variant)
+           << "\", \"workload\": \"" << jsonEscape(entry.config.workload)
+           << "\", \"scheme\": \"" << schemeName(entry.config.scheme)
+           << "\", \"assist\": \"" << assistName(entry.config.assist)
+           << "\", \"loads_only\": "
+           << (entry.config.loadsOnly ? "true" : "false")
+           << ", \"realloc\": "
+           << (entry.config.realisticRealloc ? "true" : "false")
+           << ", \"ipc\": " << jsonNum(r.ipc)
+           << ", \"cycles\": " << r.cycles
+           << ", \"committed\": " << r.committed
+           << ", \"predicted_frac\": " << jsonNum(r.predictedFrac)
+           << ", \"accuracy\": " << jsonNum(r.accuracy)
+           << ", \"realloc_failed\": "
+           << (r.reallocFailed ? "true" : "false")
+           << ", \"run_seconds\": " << jsonNum(report.runSeconds[i]);
+        if (opts.fullStats) {
+            os << ", \"stats\": {";
+            bool first = true;
+            for (const auto &[name, value] : r.stats.values()) {
+                if (!first)
+                    os << ", ";
+                first = false;
+                os << "\"" << jsonEscape(name)
+                   << "\": " << jsonNum(value);
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    os.close();
+
+    std::cerr << "sweep_all: wrote " << entries.size() << " results to "
+              << opts.out << " in " << report.wallSeconds
+              << "s (compile cache " << report.cache.compileHits
+              << "/" << report.cache.compileHits + report.cache.compileMisses
+              << " hits, profile cache " << report.cache.profileHits
+              << "/" << report.cache.profileHits + report.cache.profileMisses
+              << " hits)\n";
+    return 0;
+}
