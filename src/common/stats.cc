@@ -5,6 +5,29 @@
 namespace rvp
 {
 
+StatSet::Counter &
+StatSet::counter(const std::string &name)
+{
+    auto it = counterIndex_.find(name);
+    if (it != counterIndex_.end())
+        return counters_[it->second];
+    counterIndex_.emplace(name, counters_.size());
+    counters_.push_back(Counter(name));
+    return counters_.back();
+}
+
+void
+StatSet::fold() const
+{
+    for (Counter &c : counters_) {
+        if (!c.touched_)
+            continue;
+        values_[c.name_] += c.value_;
+        c.value_ = 0.0;
+        c.touched_ = false;
+    }
+}
+
 void
 StatSet::add(const std::string &name, double delta)
 {
@@ -14,12 +37,16 @@ StatSet::add(const std::string &name, double delta)
 void
 StatSet::set(const std::string &name, double value)
 {
+    // Fold first so a pending interned accumulation cannot later be
+    // added on top of the overwritten value.
+    fold();
     values_[name] = value;
 }
 
 double
 StatSet::get(const std::string &name) const
 {
+    fold();
     auto it = values_.find(name);
     return it == values_.end() ? 0.0 : it->second;
 }
@@ -27,6 +54,7 @@ StatSet::get(const std::string &name) const
 bool
 StatSet::has(const std::string &name) const
 {
+    fold();
     return values_.count(name) != 0;
 }
 
@@ -40,13 +68,15 @@ StatSet::ratio(const std::string &numer, const std::string &denom) const
 void
 StatSet::merge(const StatSet &other)
 {
-    for (const auto &[name, value] : other.values_)
+    fold();
+    for (const auto &[name, value] : other.values())
         values_[name] += value;
 }
 
 void
 StatSet::dump(std::ostream &os) const
 {
+    fold();
     for (const auto &[name, value] : values_) {
         os << std::left << std::setw(40) << name << " "
            << std::setprecision(6) << value << "\n";

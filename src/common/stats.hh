@@ -4,12 +4,30 @@
  * and formulas; the simulation driver dumps them in a stable order.
  * This is deliberately much smaller than gem5's stats package — just
  * enough to make every experiment's raw numbers inspectable.
+ *
+ * Two write paths share one namespace:
+ *
+ *  - add(name, delta) / set(name, value): by-name access, a map lookup
+ *    per call. Fine for cold paths (end-of-run exports, per-experiment
+ *    bookkeeping).
+ *  - counter(name) -> Counter&: an *interned handle*. Registration
+ *    resolves the name once; every subsequent Counter::add() is a
+ *    single inlined double accumulation with no lookup and no
+ *    allocation. This is what per-pipeline-event stats use (the core
+ *    fires ~10 of these per simulated cycle).
+ *
+ * Handle-backed counters are folded into the named map lazily, on the
+ * first read (get/dump/values/merge), so readers always see one
+ * coherent map. A counter appears in the map only once add() has been
+ * called on it — exactly matching the by-name behaviour, where the
+ * first add(name, 0) materializes the stat at zero.
  */
 
 #ifndef RVP_COMMON_STATS_HH
 #define RVP_COMMON_STATS_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <ostream>
 #include <string>
@@ -21,6 +39,46 @@ namespace rvp
 class StatSet
 {
   public:
+    /**
+     * Interned counter handle. Obtained once from counter(); add() is
+     * then lookup-free. The reference stays valid for the lifetime of
+     * the owning StatSet (but is not carried across copies — a copied
+     * StatSet re-interns, and its counters start from the copied
+     * values).
+     */
+    class Counter
+    {
+      public:
+        /** Add delta (materializes the stat even when delta is 0). */
+        void
+        add(double delta = 1.0)
+        {
+            value_ += delta;
+            touched_ = true;
+        }
+
+      private:
+        friend class StatSet;
+        explicit Counter(std::string name) : name_(std::move(name)) {}
+
+        std::string name_;
+        double value_ = 0.0;
+        /** add() was called at least once since the last fold. */
+        bool touched_ = false;
+    };
+
+    StatSet() = default;
+    StatSet(const StatSet &) = default;
+    StatSet &operator=(const StatSet &) = default;
+
+    /**
+     * Intern a dense counter for `name` (register-once: the same name
+     * returns the same handle). The counter's accumulated value is
+     * resolved into the named map at the first read after it was
+     * touched.
+     */
+    Counter &counter(const std::string &name);
+
     /** Add delta to the named counter (creating it at zero). */
     void add(const std::string &name, double delta = 1.0);
 
@@ -42,10 +100,22 @@ class StatSet
     /** Dump "name value" lines in lexicographic order. */
     void dump(std::ostream &os) const;
 
-    const std::map<std::string, double> &values() const { return values_; }
+    const std::map<std::string, double> &
+    values() const
+    {
+        fold();
+        return values_;
+    }
 
   private:
-    std::map<std::string, double> values_;
+    /** Resolve touched interned counters into the named map. */
+    void fold() const;
+
+    mutable std::map<std::string, double> values_;
+    /** Interned counters; deque for stable Counter& across interning. */
+    mutable std::deque<Counter> counters_;
+    /** Registration index (name -> position in counters_). */
+    std::map<std::string, std::size_t> counterIndex_;
 };
 
 } // namespace rvp

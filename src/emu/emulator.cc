@@ -64,8 +64,9 @@ Emulator::step(DynInst &out)
                                 : state_.read(si.rb);
     std::int64_t sa = static_cast<std::int64_t>(a);
     std::int64_t sb = static_cast<std::int64_t>(b);
-    double fa = asDouble(a);
-    double fb = asDouble(b);
+    // FP views are computed lazily inside the FP cases: integer ops
+    // dominate every workload, and the bit reinterpretation is pure
+    // overhead for them.
 
     std::uint64_t result = 0;
     bool writes = info.writesRc;
@@ -113,8 +114,8 @@ Emulator::step(DynInst &out)
       case Opcode::BLE: out.isTaken = (sa <= 0); break;
       case Opcode::BGT: out.isTaken = (sa > 0); break;
       case Opcode::BGE: out.isTaken = (sa >= 0); break;
-      case Opcode::FBEQ: out.isTaken = (fa == 0.0); break;
-      case Opcode::FBNE: out.isTaken = (fa != 0.0); break;
+      case Opcode::FBEQ: out.isTaken = (asDouble(a) == 0.0); break;
+      case Opcode::FBNE: out.isTaken = (asDouble(a) != 0.0); break;
       case Opcode::BR:  out.isTaken = true; break;
       case Opcode::JSR:
         out.isTaken = true;
@@ -126,17 +127,23 @@ Emulator::step(DynInst &out)
         out.nextPc = a;
         break;
 
-      case Opcode::ADDT: result = asBits(fa + fb); break;
-      case Opcode::SUBT: result = asBits(fa - fb); break;
-      case Opcode::MULT: result = asBits(fa * fb); break;
-      case Opcode::DIVT: result = asBits(fa / fb); break;
-      case Opcode::CMPTEQ: result = asBits(fa == fb ? 1.0 : 0.0); break;
-      case Opcode::CMPTLT: result = asBits(fa < fb ? 1.0 : 0.0); break;
-      case Opcode::CMPTLE: result = asBits(fa <= fb ? 1.0 : 0.0); break;
+      case Opcode::ADDT: result = asBits(asDouble(a) + asDouble(b)); break;
+      case Opcode::SUBT: result = asBits(asDouble(a) - asDouble(b)); break;
+      case Opcode::MULT: result = asBits(asDouble(a) * asDouble(b)); break;
+      case Opcode::DIVT: result = asBits(asDouble(a) / asDouble(b)); break;
+      case Opcode::CMPTEQ:
+        result = asBits(asDouble(a) == asDouble(b) ? 1.0 : 0.0);
+        break;
+      case Opcode::CMPTLT:
+        result = asBits(asDouble(a) < asDouble(b) ? 1.0 : 0.0);
+        break;
+      case Opcode::CMPTLE:
+        result = asBits(asDouble(a) <= asDouble(b) ? 1.0 : 0.0);
+        break;
       case Opcode::CVTQT: result = asBits(static_cast<double>(sa)); break;
       case Opcode::CVTTQ:
         result = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(std::trunc(fa)));
+            static_cast<std::int64_t>(std::trunc(asDouble(a))));
         break;
 
       case Opcode::CPYS:

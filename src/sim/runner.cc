@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include <chrono>
 #include <memory>
 #include <unordered_set>
 
@@ -249,13 +250,21 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
 
     auto predictor = makePredictor(vp, ref->low.program);
     Core core(config.core, ref->low.program, *predictor);
+    auto t0 = std::chrono::steady_clock::now();
     CoreResult cr = core.run();
+    auto t1 = std::chrono::steady_clock::now();
 
     ExperimentResult result;
     result.ipc = cr.ipc;
     result.cycles = cr.cycles;
     result.committed = cr.committed;
     result.reallocFailed = realloc_failed;
+    result.hostSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.kips = result.hostSeconds > 0.0
+                      ? static_cast<double>(cr.committed) /
+                            result.hostSeconds / 1000.0
+                      : 0.0;
     result.stats = cr.stats;
     result.stats.merge(realloc_stats);
     // vp.predictions / vp.correct count the committed path only (the

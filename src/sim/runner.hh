@@ -80,6 +80,15 @@ struct ExperimentResult
      * re-allocated binary). Also recorded as the realloc.failed stat.
      */
     bool reallocFailed = false;
+    /** Host wall-clock seconds spent inside Core::run(). */
+    double hostSeconds = 0.0;
+    /**
+     * Simulator throughput: committed kilo-instructions per host
+     * second. Deliberately NOT a StatSet entry — stat maps are
+     * compared bit-for-bit across runs (golden snapshots, parallel
+     * vs. serial sweeps) and host timing is nondeterministic.
+     */
+    double kips = 0.0;
     StatSet stats;
 };
 

@@ -10,24 +10,62 @@
 namespace rvp
 {
 
+Core::Counters::Counters(StatSet &stats)
+    : branchMispredicts(stats.counter("core.branch_mispredicts")),
+      valueMispredicts(stats.counter("core.value_mispredicts")),
+      reissues(stats.counter("core.reissues")),
+      valueRefetches(stats.counter("core.value_refetches")),
+      commitCyclesUsed(stats.counter("core.commit_cycles_used")),
+      holdAfterDoneCycles(stats.counter("core.hold_after_done_cycles")),
+      holdsReleased(stats.counter("core.holds_released")),
+      storeForwards(stats.counter("core.store_forwards")),
+      issued(stats.counter("core.issued")),
+      iqOccupancyInt(stats.counter("core.iq_occupancy_int")),
+      iqOccupancyFp(stats.counter("core.iq_occupancy_fp")),
+      iqFullStalls(stats.counter("core.iq_full_stalls")),
+      physRegStalls(stats.counter("core.phys_reg_stalls")),
+      lsqFullStalls(stats.counter("core.lsq_full_stalls")),
+      predictedValueUses(stats.counter("core.predicted_value_uses")),
+      predictionsDispatched(stats.counter("core.predictions_dispatched")),
+      fetchStallCycles(stats.counter("core.fetch_stall_cycles")),
+      robFullStalls(stats.counter("core.rob_full_stalls")),
+      icacheMissStalls(stats.counter("core.icache_miss_stalls")),
+      fetched(stats.counter("core.fetched")),
+      squashed(stats.counter("core.squashed"))
+{
+}
+
 Core::Core(const CoreParams &params, const Program &prog,
            ValuePredictor &predictor)
     : params_(params), prog_(prog), predictor_(predictor), emu_(prog),
-      mem_(params.mem), bp_(params.bp)
+      mem_(params.mem), bp_(params.bp), ctr_(stats_)
 {
     // Tag 0 is the always-ready sentinel (committed/initial values).
     readyAt_.push_back(0);
     tagProducer_.push_back(noSeq);
     lastInstanceTag_.assign(prog.size(), 0);
     lastInstanceSeq_.assign(prog.size(), noSeq);
+
+    // Size the completion wheel to the longest possible issue-to-
+    // complete delay: the worst-case load (address generation + L1 +
+    // both miss penalties) plus a generous bound on static op
+    // latencies. scheduleCompletion() asserts the invariant.
+    std::uint64_t span = 2 + params.mem.l1HitLatency +
+                         params.mem.l1MissPenalty +
+                         params.mem.l2MissPenalty + 64;
+    std::uint64_t size = 1;
+    while (size < span)
+        size <<= 1;
+    wheel_.assign(size, {});
+    wheelMask_ = size - 1;
 }
 
 // ---------------------------------------------------------------------
 // Small helpers
 // ---------------------------------------------------------------------
 
-Core::Inflight *
-Core::findSeq(std::uint64_t seq)
+const Core::Inflight *
+Core::findSeq(std::uint64_t seq) const
 {
     if (window_.empty())
         return nullptr;
@@ -35,6 +73,13 @@ Core::findSeq(std::uint64_t seq)
     if (seq < base || seq >= base + window_.size())
         return nullptr;
     return &window_[seq - base];
+}
+
+Core::Inflight *
+Core::findSeq(std::uint64_t seq)
+{
+    return const_cast<Inflight *>(
+        static_cast<const Core *>(this)->findSeq(seq));
 }
 
 const Core::Fetched &
@@ -48,7 +93,7 @@ Core::fetchedOf(std::uint64_t seq) const
 bool
 Core::predUnresolved(std::uint64_t seq) const
 {
-    const Inflight *inst = const_cast<Core *>(this)->findSeq(seq);
+    const Inflight *inst = findSeq(seq);
     return inst && inst->isPredicted && !inst->resolved;
 }
 
@@ -87,35 +132,53 @@ Core::inheritSpec(Inflight &inst, std::uint64_t tag)
     }
 }
 
-unsigned
-Core::iqCount(bool fp) const
+void
+Core::scheduleCompletion(std::uint64_t seq, std::uint64_t when)
 {
-    unsigned count = 0;
-    for (const Inflight &inst : window_)
-        count += inst.inIq && inst.usesFpQueue == fp;
-    return count;
+    RVP_ASSERT(when > cycle_ && when - cycle_ <= wheel_.size(),
+               "completion delay %llu overflows the event wheel (%zu)",
+               static_cast<unsigned long long>(when - cycle_),
+               wheel_.size());
+    wheel_[when & wheelMask_].push_back(seq);
 }
 
-unsigned
-Core::physInUse(bool fp) const
+/**
+ * Retire an instruction from every incremental structure: occupancy
+ * counters, the unresolved-prediction list, and the in-flight store
+ * index. Used by both commit (pops the oldest) and squash (pops the
+ * youngest); the completion wheel needs no cleanup because its entries
+ * are validated when popped.
+ */
+void
+Core::dropFromScoreboard(const Inflight &inst, const Fetched &f)
 {
-    unsigned count = 0;
-    for (const Inflight &inst : window_) {
-        if (inst.state == Inflight::St::WaitDispatch)
-            continue;
-        RegIndex dest = fetchedOf(inst.seq).di.dest;
-        count += dest != regNone && isFpReg(dest) == fp;
+    if (inst.inIq)
+        --iqOcc_[inst.usesFpQueue];
+    if (inst.state != Inflight::St::WaitDispatch) {
+        if (f.di.dest != regNone)
+            --physOcc_[isFpReg(f.di.dest)];
+        if (inst.isMemOp)
+            --lsqOcc_;
     }
-    return count;
-}
-
-unsigned
-Core::lsqInUse() const
-{
-    unsigned count = 0;
-    for (const Inflight &inst : window_)
-        count += inst.isMemOp && inst.state != Inflight::St::WaitDispatch;
-    return count;
+    if (inst.isPredicted && !inst.resolved) {
+        auto it = std::lower_bound(unresolvedPreds_.begin(),
+                                   unresolvedPreds_.end(), inst.seq);
+        RVP_ASSERT(it != unresolvedPreds_.end() && *it == inst.seq);
+        unresolvedPreds_.erase(it);
+    }
+    if (f.di.isStore()) {
+        auto it = storesByAddr_.find(f.di.effAddr);
+        RVP_ASSERT(it != storesByAddr_.end() && !it->second.empty());
+        std::vector<std::uint64_t> &seqs = it->second;
+        if (seqs.back() == inst.seq)
+            seqs.pop_back();            // squash removes the youngest
+        else {
+            RVP_ASSERT(seqs.front() == inst.seq);
+            seqs.erase(seqs.begin());   // commit removes the oldest
+        }
+        if (seqs.empty())
+            storesByAddr_.erase(it);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -125,12 +188,21 @@ Core::lsqInUse() const
 void
 Core::completePhase()
 {
-    for (std::size_t i = 0; i < window_.size(); ++i) {
-        Inflight &inst = window_[i];
-        if (inst.state != Inflight::St::Issued ||
-            inst.completeCycle != cycle_) {
-            continue;
+    std::vector<std::uint64_t> &bucket = wheel_[cycle_ & wheelMask_];
+    if (bucket.empty())
+        return;
+    // Process in window (= seq) order, like the seed's full scan: an
+    // older instruction's recovery squashes or resets younger ones
+    // before they are looked at, and the state/cycle check below then
+    // skips their stale entries.
+    std::sort(bucket.begin(), bucket.end());
+    for (std::uint64_t seq : bucket) {
+        Inflight *ip = findSeq(seq);
+        if (!ip || ip->state != Inflight::St::Issued ||
+            ip->completeCycle != cycle_) {
+            continue;   // stale: squashed, reset, or rescheduled
         }
+        Inflight &inst = *ip;
         inst.state = Inflight::St::Done;
         const Fetched &f = fetchedOf(inst.seq);
 
@@ -140,17 +212,31 @@ Core::completePhase()
             pendingRedirectSeq_ = noSeq;
             fetchResumeCycle_ = cycle_ + 1;
             lastFetchLine_ = ~0ull;
-            stats_.add("core.branch_mispredicts");
+            ctr_.branchMispredicts.add();
         }
 
         if (inst.isPredicted) {
-            inst.resolved = true;
+            // A predicted instruction can complete more than once: a
+            // reissue recovery resets it to InIQ but leaves `resolved`
+            // set, so only the first completion removes it from the
+            // unresolved list. The misprediction handling below runs
+            // on every completion, as it always has.
+            if (!inst.resolved) {
+                inst.resolved = true;
+                auto it = std::lower_bound(unresolvedPreds_.begin(),
+                                           unresolvedPreds_.end(),
+                                           inst.seq);
+                RVP_ASSERT(it != unresolvedPreds_.end() &&
+                           *it == inst.seq);
+                unresolvedPreds_.erase(it);
+            }
             if (!f.vp.correct) {
-                stats_.add("core.value_mispredicts");
+                ctr_.valueMispredicts.add();
                 recoverFromValueMispredict(inst);
             }
         }
     }
+    bucket.clear();   // keeps its capacity: allocation-free steady state
 }
 
 void
@@ -166,6 +252,8 @@ Core::resetIssuedDependent(Inflight &inst, const Inflight &pred)
     if (inst.state == Inflight::St::Issued ||
         inst.state == Inflight::St::Done) {
         RVP_ASSERT(inst.inIq);   // held by the recovery policy
+        // Still in releasePending_ (it was never released); the
+        // release pass keeps InIQ entries until they issue again.
         inst.state = Inflight::St::InIQ;
         inst.completeCycle = farFuture;
         // "A dependent instruction will issue one cycle later after a
@@ -174,7 +262,7 @@ Core::resetIssuedDependent(Inflight &inst, const Inflight &pred)
         inst.earliestIssue = cycle_ + 1;
         if (inst.destTag)
             readyAt_[inst.destTag] = farFuture;
-        stats_.add("core.reissues");
+        ctr_.reissues.add();
     }
 }
 
@@ -183,7 +271,7 @@ Core::recoverFromValueMispredict(Inflight &pred)
 {
     if (params_.recovery == RecoveryPolicy::Refetch) {
         if (pred.firstUseSeq != noSeq && findSeq(pred.firstUseSeq)) {
-            stats_.add("core.value_refetches");
+            ctr_.valueRefetches.add();
             squashFrom(pred.firstUseSeq);
             fetchResumeCycle_ = cycle_ + 1;
         } else if (map_[fetchedOf(pred.seq).di.dest].predSeq == pred.seq) {
@@ -242,13 +330,17 @@ Core::commitPhase()
                 vpCorrectCommitted_ += f.vp.correct;
             }
         }
+        dropFromScoreboard(head, f);
         ++committed_;
         ++done;
         window_.pop_front();
         buffer_.pop_front();
         ++bufferBase_;
     }
-    stats_.add("core.commit_cycles_used", done > 0 ? 1 : 0);
+    // Idle commit cycles add nothing (and the stat exists from the
+    // first cycle that does commit), so skip the no-op accumulate.
+    if (done > 0)
+        ctr_.commitCyclesUsed.add(1);
 }
 
 // ---------------------------------------------------------------------
@@ -262,21 +354,38 @@ Core::iqReleasePhase()
     // prediction; everything at or after it is held in the queues.
     std::uint64_t hold_from = noSeq;
     if (params_.recovery == RecoveryPolicy::Reissue) {
-        for (const Inflight &inst : window_) {
-            if (inst.isPredicted && !inst.resolved &&
-                inst.firstUseSeq != noSeq) {
-                hold_from = std::min(hold_from, inst.firstUseSeq);
-            }
+        for (std::uint64_t pred_seq : unresolvedPreds_) {
+            const Inflight *pred = findSeq(pred_seq);
+            RVP_ASSERT(pred);
+            if (pred->firstUseSeq != noSeq)
+                hold_from = std::min(hold_from, pred->firstUseSeq);
         }
     }
 
-    for (Inflight &inst : window_) {
-        // Drop resolved predictions from speculation sets as we go.
+    // Only instructions that issued while holding their IQ slot can be
+    // released; everything else in the window is untouched. (The seed
+    // pruned every instruction's specOn each cycle; only release
+    // decisions read specOn emptiness, and inheritSpec re-filters per
+    // element, so pruning at evaluation here is timing-identical.)
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < releasePending_.size(); ++i) {
+        std::uint64_t seq = releasePending_[i];
+        Inflight *ip = findSeq(seq);
+        if (!ip || !ip->inIq) {
+            // Committed or squashed since it was queued; a replayed
+            // instruction with the same seq starts with a fresh flag.
+            continue;
+        }
+        Inflight &inst = *ip;
+        if (inst.state == Inflight::St::InIQ) {
+            // Reset by a value mispredict: back in the queue, waiting
+            // to issue again. Keep the entry for that reissue.
+            releasePending_[kept++] = seq;
+            continue;
+        }
         std::erase_if(inst.specOn, [&](std::uint64_t s) {
             return !predUnresolved(s);
         });
-        if (!inst.inIq || inst.state == Inflight::St::InIQ)
-            continue;
         bool release = false;
         switch (params_.recovery) {
           case RecoveryPolicy::Refetch:
@@ -289,17 +398,21 @@ Core::iqReleasePhase()
             release = inst.seq < hold_from;
             break;
         }
-        if (release) {
-            inst.inIq = false;
-            if (inst.state == Inflight::St::Done &&
-                cycle_ > inst.completeCycle) {
-                stats_.add("core.hold_after_done_cycles",
-                           static_cast<double>(cycle_ -
-                                               inst.completeCycle));
-                stats_.add("core.holds_released");
-            }
+        if (!release) {
+            releasePending_[kept++] = seq;
+            continue;
+        }
+        inst.inIq = false;
+        inst.inReleaseList = false;
+        --iqOcc_[inst.usesFpQueue];
+        if (inst.state == Inflight::St::Done &&
+            cycle_ > inst.completeCycle) {
+            ctr_.holdAfterDoneCycles.add(
+                static_cast<double>(cycle_ - inst.completeCycle));
+            ctr_.holdsReleased.add();
         }
     }
+    releasePending_.resize(kept);
 }
 
 // ---------------------------------------------------------------------
@@ -310,30 +423,28 @@ bool
 Core::loadBlockedByStore(const Inflight &load) const
 {
     const Fetched &lf = fetchedOf(load.seq);
+    auto it = storesByAddr_.find(lf.di.effAddr);
+    if (it == storesByAddr_.end() || it->second.empty())
+        return false;
+    const std::vector<std::uint64_t> &seqs = it->second;
     // Youngest older store to the same address must have executed.
-    std::uint64_t base = window_.front().seq;
-    for (std::size_t i = load.seq - base; i-- > 0;) {
-        const Inflight &inst = window_[i];
-        const Fetched &f = fetchedOf(inst.seq);
-        if (!f.di.isStore() || f.di.effAddr != lf.di.effAddr)
-            continue;
-        return inst.state != Inflight::St::Done;
-    }
-    return false;
+    auto pos = std::lower_bound(seqs.begin(), seqs.end(), load.seq);
+    if (pos == seqs.begin())
+        return false;   // every same-address store is younger
+    const Inflight *store = findSeq(*(pos - 1));
+    RVP_ASSERT(store);
+    return store->state != Inflight::St::Done;
 }
 
 unsigned
 Core::loadLatencyFor(const Inflight &load)
 {
     const Fetched &lf = fetchedOf(load.seq);
-    std::uint64_t base = window_.front().seq;
-    for (std::size_t i = load.seq - base; i-- > 0;) {
-        const Inflight &inst = window_[i];
-        const Fetched &f = fetchedOf(inst.seq);
-        if (f.di.isStore() && f.di.effAddr == lf.di.effAddr) {
-            stats_.add("core.store_forwards");
-            return 1;   // store-to-load forward
-        }
+    auto it = storesByAddr_.find(lf.di.effAddr);
+    if (it != storesByAddr_.end() && !it->second.empty() &&
+        it->second.front() < load.seq) {
+        ctr_.storeForwards.add();
+        return 1;   // store-to-load forward
     }
     return mem_.loadLatency(lf.di.effAddr);
 }
@@ -383,6 +494,11 @@ Core::issuePhase()
 
         inst.state = Inflight::St::Issued;
         inst.completeCycle = cycle_ + latency;
+        scheduleCompletion(inst.seq, inst.completeCycle);
+        if (inst.inIq && !inst.inReleaseList) {
+            inst.inReleaseList = true;
+            releasePending_.push_back(inst.seq);
+        }
         if (inst.destTag)
             readyAt_[inst.destTag] = cycle_ + latency + 1;
         if (is_fp)
@@ -391,7 +507,7 @@ Core::issuePhase()
             ++int_used;
         if (is_mem)
             ++ldst_used;
-        stats_.add("core.issued");
+        ctr_.issued.add();
     }
 }
 
@@ -402,14 +518,8 @@ Core::issuePhase()
 void
 Core::dispatchPhase()
 {
-    unsigned int_iq = iqCount(false);
-    unsigned fp_iq = iqCount(true);
-    unsigned phys_int = physInUse(false);
-    unsigned phys_fp = physInUse(true);
-    unsigned lsq = lsqInUse();
-
-    stats_.add("core.iq_occupancy_int", int_iq);
-    stats_.add("core.iq_occupancy_fp", fp_iq);
+    ctr_.iqOccupancyInt.add(iqOcc_[0]);
+    ctr_.iqOccupancyFp.add(iqOcc_[1]);
 
     unsigned dispatched = 0;
     for (Inflight &inst : window_) {
@@ -430,25 +540,25 @@ Core::dispatchPhase()
 
         // Structural stalls (in-order: stop at the first blocked one).
         if (uses_iq) {
-            if (is_fp_queue ? fp_iq >= params_.fpIqEntries
-                            : int_iq >= params_.intIqEntries) {
-                stats_.add("core.iq_full_stalls");
+            if (is_fp_queue ? iqOcc_[1] >= params_.fpIqEntries
+                            : iqOcc_[0] >= params_.intIqEntries) {
+                ctr_.iqFullStalls.add();
                 break;
             }
         }
         if (f.di.dest != regNone) {
             bool fp_bank = isFpReg(f.di.dest);
-            unsigned in_use = fp_bank ? phys_fp : phys_int;
+            unsigned in_use = physOcc_[fp_bank];
             unsigned limit = (fp_bank ? params_.physFpRegs
                                       : params_.physIntRegs) -
                              numIntRegs;
             if (in_use >= limit) {
-                stats_.add("core.phys_reg_stalls");
+                ctr_.physRegStalls.add();
                 break;
             }
         }
-        if (is_mem && lsq >= params_.lsqEntries) {
-            stats_.add("core.lsq_full_stalls");
+        if (is_mem && lsqOcc_ >= params_.lsqEntries) {
+            ctr_.lsqFullStalls.add();
             break;
         }
 
@@ -470,7 +580,7 @@ Core::dispatchPhase()
                     inst.specOn.push_back(entry.predSeq);
                 noteFirstUse(entry.predSeq, inst.seq);
                 inheritSpec(inst, entry.oldTag);
-                stats_.add("core.predicted_value_uses");
+                ctr_.predictedValueUses.add();
             } else {
                 inst.srcTag[s] = entry.tag;
                 inheritSpec(inst, entry.tag);
@@ -482,6 +592,9 @@ Core::dispatchPhase()
             inst.destTag = allocTag(inst.seq);
             if (f.vp.predicted) {
                 inst.isPredicted = true;
+                RVP_ASSERT(unresolvedPreds_.empty() ||
+                           unresolvedPreds_.back() < inst.seq);
+                unresolvedPreds_.push_back(inst.seq);
                 // The *prior register value* consumers read. Which
                 // physical value that is depends on the compiler
                 // assumption behind the prediction: with
@@ -516,16 +629,13 @@ Core::dispatchPhase()
                 }
                 map_[f.di.dest] =
                     MapEntry{inst.destTag, inst.seq, inst.predOldTag};
-                stats_.add("core.predictions_dispatched");
+                ctr_.predictionsDispatched.add();
             } else {
                 map_[f.di.dest] = MapEntry{inst.destTag, noSeq, 0};
             }
             lastInstanceTag_[f.di.staticIndex] = inst.destTag;
             lastInstanceSeq_[f.di.staticIndex] = inst.seq;
-            if (isFpReg(f.di.dest))
-                ++phys_fp;
-            else
-                ++phys_int;
+            ++physOcc_[isFpReg(f.di.dest)];
         }
 
         // ---- queue insert ----
@@ -534,10 +644,7 @@ Core::dispatchPhase()
             inst.inIq = true;
             inst.usesIq = true;
             inst.usesFpQueue = is_fp_queue;
-            if (is_fp_queue)
-                ++fp_iq;
-            else
-                ++int_iq;
+            ++iqOcc_[is_fp_queue];
         } else {
             // NOP/HALT: completes immediately, consumes nothing.
             inst.state = Inflight::St::Done;
@@ -545,7 +652,7 @@ Core::dispatchPhase()
         }
         inst.isMemOp = is_mem;
         if (is_mem)
-            ++lsq;
+            ++lsqOcc_;
         ++dispatched;
     }
 }
@@ -559,7 +666,7 @@ Core::fetchPhase()
 {
     if (fetchHalted_ || cycle_ < fetchResumeCycle_ ||
         pendingRedirectSeq_ != noSeq) {
-        stats_.add("core.fetch_stall_cycles");
+        ctr_.fetchStallCycles.add();
         return;
     }
 
@@ -567,7 +674,7 @@ Core::fetchPhase()
     unsigned taken_branches = 0;
     while (fetched < params_.fetchWidth) {
         if (window_.size() >= params_.robEntries) {
-            stats_.add("core.rob_full_stalls");
+            ctr_.robFullStalls.add();
             break;
         }
 
@@ -611,7 +718,7 @@ Core::fetchPhase()
             if (lat > params_.mem.l1HitLatency) {
                 // Miss: the group arrives after the miss penalty.
                 fetchResumeCycle_ = cycle_ + (lat - 1);
-                stats_.add("core.icache_miss_stalls");
+                ctr_.icacheMissStalls.add();
                 break;
             }
         }
@@ -620,9 +727,11 @@ Core::fetchPhase()
         inst.seq = fetchSeq_;
         inst.fetchCycle = cycle_;
         window_.push_back(inst);
+        if (f.di.isStore())
+            storesByAddr_[f.di.effAddr].push_back(inst.seq);
         ++fetchSeq_;
         ++fetched;
-        stats_.add("core.fetched");
+        ctr_.fetched.add();
 
         if (f.di.op == Opcode::HALT) {
             fetchHalted_ = true;
@@ -651,7 +760,9 @@ void
 Core::squashFrom(std::uint64_t first_bad_seq)
 {
     while (!window_.empty() && window_.back().seq >= first_bad_seq) {
-        stats_.add("core.squashed");
+        const Inflight &inst = window_.back();
+        dropFromScoreboard(inst, fetchedOf(inst.seq));
+        ctr_.squashed.add();
         window_.pop_back();
     }
     fetchSeq_ = first_bad_seq;

@@ -27,6 +27,7 @@
 #define RVP_UARCH_CORE_HH
 
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "branch/gshare.hh"
@@ -99,6 +100,8 @@ class Core
         bool usesFpQueue = false;
         bool usesIq = false;
         bool isMemOp = false;
+        /** Tracked by releasePending_ (issued but still holding IQ). */
+        bool inReleaseList = false;
 
         // Prediction bookkeeping (when this instruction is predicted).
         bool isPredicted = false;
@@ -125,20 +128,20 @@ class Core
 
     // ---- helpers ----
     Inflight *findSeq(std::uint64_t seq);
+    const Inflight *findSeq(std::uint64_t seq) const;
     const Fetched &fetchedOf(std::uint64_t seq) const;
     bool predUnresolved(std::uint64_t seq) const;
     void recoverFromValueMispredict(Inflight &pred);
     void squashFrom(std::uint64_t first_bad_seq);
     void rebuildRenameMap();
     void resetIssuedDependent(Inflight &inst, const Inflight &pred);
-    unsigned iqCount(bool fp) const;
-    unsigned physInUse(bool fp) const;
-    unsigned lsqInUse() const;
     bool loadBlockedByStore(const Inflight &load) const;
     unsigned loadLatencyFor(const Inflight &load);
     std::uint64_t allocTag(std::uint64_t producer_seq);
     void noteFirstUse(std::uint64_t pred_seq, std::uint64_t user_seq);
     void inheritSpec(Inflight &inst, std::uint64_t tag);
+    void scheduleCompletion(std::uint64_t seq, std::uint64_t when);
+    void dropFromScoreboard(const Inflight &inst, const Fetched &f);
 
     const CoreParams params_;
     const Program &prog_;
@@ -168,6 +171,48 @@ class Core
     std::vector<std::uint64_t> lastInstanceTag_;
     std::vector<std::uint64_t> lastInstanceSeq_;
 
+    // ---- O(1) scoreboarding (docs/INTERNALS.md, "Simulator
+    // performance"): every per-cycle full-window rescan of the seed
+    // implementation is replaced by state maintained incrementally at
+    // dispatch / issue / release / commit / squash. ----
+
+    /** Instructions holding an IQ slot (inIq), indexed by [fp]. */
+    unsigned iqOcc_[2] = {0, 0};
+    /** Renamed destination registers in flight, indexed by [fp]. */
+    unsigned physOcc_[2] = {0, 0};
+    /** Dispatched memory operations in flight (LSQ entries). */
+    unsigned lsqOcc_ = 0;
+
+    /**
+     * Completion event wheel: bucket (cycle & wheelMask_) holds the
+     * seqs scheduled to complete at that cycle. Entries are validated
+     * at pop (state == Issued && completeCycle == now), so squashes
+     * and reissues simply leave stale entries behind instead of
+     * requiring removal.
+     */
+    std::vector<std::vector<std::uint64_t>> wheel_;
+    std::uint64_t wheelMask_ = 0;
+
+    /**
+     * Seqs of in-window predicted instructions not yet resolved,
+     * ascending. Dispatch happens in seq order (replays re-dispatch
+     * above every surviving entry), so inserts are push_backs; the
+     * Reissue hold scan iterates this instead of the whole window.
+     */
+    std::vector<std::uint64_t> unresolvedPreds_;
+
+    /**
+     * Seqs with inIq set whose state has left InIQ — the only
+     * instructions iqReleasePhase can release. Self-cleaning: entries
+     * whose instruction was squashed or released are dropped on the
+     * next pass (inReleaseList guards against duplicates).
+     */
+    std::vector<std::uint64_t> releasePending_;
+
+    /** In-window store seqs (ascending) per effective address. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+        storesByAddr_;
+
     std::uint64_t cycle_ = 0;
     std::uint64_t committed_ = 0;
     /** Committed-path prediction counts (see commitPhase). */
@@ -180,6 +225,40 @@ class Core
     bool fetchHalted_ = false;
 
     StatSet stats_;
+
+    /**
+     * Interned per-event stat handles (StatSet::counter): one
+     * registration in the constructor, then every pipeline event is a
+     * lookup-free accumulate. Declared after stats_ (initialization
+     * order) and intentionally named like the stats they back.
+     */
+    struct Counters
+    {
+        explicit Counters(StatSet &stats);
+
+        StatSet::Counter &branchMispredicts;
+        StatSet::Counter &valueMispredicts;
+        StatSet::Counter &reissues;
+        StatSet::Counter &valueRefetches;
+        StatSet::Counter &commitCyclesUsed;
+        StatSet::Counter &holdAfterDoneCycles;
+        StatSet::Counter &holdsReleased;
+        StatSet::Counter &storeForwards;
+        StatSet::Counter &issued;
+        StatSet::Counter &iqOccupancyInt;
+        StatSet::Counter &iqOccupancyFp;
+        StatSet::Counter &iqFullStalls;
+        StatSet::Counter &physRegStalls;
+        StatSet::Counter &lsqFullStalls;
+        StatSet::Counter &predictedValueUses;
+        StatSet::Counter &predictionsDispatched;
+        StatSet::Counter &fetchStallCycles;
+        StatSet::Counter &robFullStalls;
+        StatSet::Counter &icacheMissStalls;
+        StatSet::Counter &fetched;
+        StatSet::Counter &squashed;
+    };
+    Counters ctr_;
 };
 
 } // namespace rvp

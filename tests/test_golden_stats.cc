@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Golden end-to-end stat snapshot: one workload run through
+ * {baseline, static RVP, dynamic RVP} x {refetch, selective, reissue}
+ * with the *entire* stat map pinned against a committed golden file,
+ * full double precision. IPC-identity is far too weak a check for
+ * timing-model refactors — two different cores can agree on IPC while
+ * disagreeing on every occupancy and stall counter — so this test is
+ * the bit-identity oracle for the event-driven core hot path (and for
+ * any future core rework).
+ *
+ * Regenerate after an *intentional* stat change with:
+ *
+ *   RVP_UPDATE_GOLDEN=1 ./test_golden_stats
+ *
+ * and review the golden diff like code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+
+namespace rvp
+{
+namespace
+{
+
+/** The pinned grid: every recovery policy against every scheme kind. */
+std::vector<std::pair<std::string, ExperimentConfig>>
+goldenGrid()
+{
+    std::vector<std::pair<std::string, ExperimentConfig>> grid;
+    for (auto [rname, policy] :
+         {std::pair{"refetch", RecoveryPolicy::Refetch},
+          std::pair{"selective", RecoveryPolicy::Selective},
+          std::pair{"reissue", RecoveryPolicy::Reissue}}) {
+        ExperimentConfig base;
+        base.workload = "go";
+        base.core.maxInsts = 15'000;
+        base.profileInsts = 15'000;
+        base.core.recovery = policy;
+
+        ExperimentConfig none = base;
+        grid.emplace_back(std::string("baseline-") + rname, none);
+
+        ExperimentConfig srvp = base;
+        srvp.scheme = VpScheme::StaticRvp;
+        srvp.assist = AssistLevel::Dead;
+        grid.emplace_back(std::string("srvp-") + rname, srvp);
+
+        ExperimentConfig drvp = base;
+        drvp.scheme = VpScheme::DynamicRvp;
+        drvp.assist = AssistLevel::DeadLv;
+        drvp.loadsOnly = false;
+        grid.emplace_back(std::string("drvp-") + rname, drvp);
+    }
+    return grid;
+}
+
+std::string
+goldenPath()
+{
+    // The test binary runs from an arbitrary build directory; the
+    // golden file is addressed relative to this source file.
+    std::string src = __FILE__;
+    return src.substr(0, src.rfind('/')) + "/golden/core_stats.txt";
+}
+
+std::string
+formatValue(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+/** label -> (stat name -> formatted value), exactly as serialized. */
+using Snapshot = std::map<std::string, std::map<std::string, std::string>>;
+
+Snapshot
+runGrid()
+{
+    Snapshot snap;
+    for (const auto &[label, config] : goldenGrid()) {
+        ExperimentResult r = runExperiment(config);
+        std::map<std::string, std::string> &stats = snap[label];
+        for (const auto &[name, value] : r.stats.values())
+            stats[name] = formatValue(value);
+    }
+    return snap;
+}
+
+void
+writeGolden(const Snapshot &snap, const std::string &path)
+{
+    std::ofstream os(path);
+    ASSERT_TRUE(os) << "cannot write " << path;
+    os << "# Full stat maps for the golden core grid; regenerate with\n"
+          "# RVP_UPDATE_GOLDEN=1 ./test_golden_stats (review the diff).\n";
+    for (const auto &[label, stats] : snap)
+        for (const auto &[name, value] : stats)
+            os << label << " " << name << " " << value << "\n";
+}
+
+Snapshot
+readGolden(const std::string &path)
+{
+    Snapshot snap;
+    std::ifstream is(path);
+    EXPECT_TRUE(is) << "missing golden file " << path
+                    << " (generate with RVP_UPDATE_GOLDEN=1)";
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string label, name, value;
+        EXPECT_TRUE(static_cast<bool>(ls >> label >> name >> value))
+            << line;
+        snap[label][name] = value;
+    }
+    return snap;
+}
+
+TEST(GoldenStats, FullStatMapsMatchTheCommittedSnapshot)
+{
+    Snapshot actual = runGrid();
+    if (std::getenv("RVP_UPDATE_GOLDEN")) {
+        writeGolden(actual, goldenPath());
+        GTEST_SKIP() << "golden file regenerated: " << goldenPath();
+    }
+    Snapshot golden = readGolden(goldenPath());
+    ASSERT_EQ(golden.size(), actual.size());
+    for (const auto &[label, stats] : golden) {
+        auto it = actual.find(label);
+        ASSERT_NE(it, actual.end()) << label;
+        // Key sets must match exactly: a stat appearing or vanishing
+        // is as much a regression as a changed value.
+        EXPECT_EQ(stats.size(), it->second.size()) << label;
+        for (const auto &[name, value] : stats) {
+            auto sit = it->second.find(name);
+            ASSERT_NE(sit, it->second.end()) << label << ": " << name;
+            EXPECT_EQ(value, sit->second) << label << ": " << name;
+        }
+        for (const auto &[name, value] : it->second)
+            EXPECT_TRUE(stats.count(name))
+                << label << ": unexpected new stat " << name;
+    }
+}
+
+} // namespace
+} // namespace rvp

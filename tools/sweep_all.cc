@@ -13,6 +13,7 @@
  * Run `sweep_all --help` for the full option set.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +36,7 @@ struct Options
 {
     unsigned jobs = 0;
     std::string out = "sweep_results.json";
+    std::string benchOut = "BENCH_perf.json";
     std::uint64_t insts = 400'000;
     std::uint64_t profileInsts = 300'000;
     std::vector<std::string> workloads;   // empty = all nine
@@ -60,6 +62,8 @@ usage()
         "\n"
         "  --jobs N, -j N      worker threads (default: all cores)\n"
         "  --out FILE          JSON output path (sweep_results.json)\n"
+        "  --bench-out FILE    simulator-throughput report path\n"
+        "                      (BENCH_perf.json)\n"
         "  --insts N           committed instructions per run (400000)\n"
         "  --profile-insts N   profiling budget per workload (300000)\n"
         "  --workloads CSV     workload filter (default: all nine)\n"
@@ -314,6 +318,8 @@ main(int argc, char **argv)
             opts.jobs = static_cast<unsigned>(nextU64());
         else if (arg == "--out")
             opts.out = next();
+        else if (arg == "--bench-out")
+            opts.benchOut = next();
         else if (arg == "--insts")
             opts.insts = nextU64();
         else if (arg == "--profile-insts")
@@ -426,7 +432,8 @@ main(int argc, char **argv)
            << ", \"accuracy\": " << jsonNum(r.accuracy)
            << ", \"realloc_failed\": "
            << (r.reallocFailed ? "true" : "false")
-           << ", \"run_seconds\": " << jsonNum(report.runSeconds[i]);
+           << ", \"run_seconds\": " << jsonNum(report.runSeconds[i])
+           << ", \"kips\": " << jsonNum(r.kips);
         if (opts.fullStats) {
             os << ", \"stats\": {";
             bool first = true;
@@ -443,6 +450,61 @@ main(int argc, char **argv)
     }
     os << "  ]\n}\n";
     os.close();
+
+    // Simulator-throughput report: the trail that tracks how fast the
+    // simulator itself is (docs/INTERNALS.md, "Simulator performance").
+    // Aggregates are computed over core-simulation time only, so the
+    // number is comparable across cache-hit-rate differences.
+    if (!opts.benchOut.empty()) {
+        double total_committed = 0.0;
+        double total_core_seconds = 0.0;
+        double min_kips = 0.0, max_kips = 0.0;
+        for (const ExperimentResult &r : results) {
+            total_committed += static_cast<double>(r.committed);
+            total_core_seconds += r.hostSeconds;
+            if (r.kips > 0.0 &&
+                (min_kips == 0.0 || r.kips < min_kips))
+                min_kips = r.kips;
+            max_kips = std::max(max_kips, r.kips);
+        }
+        double agg_kips = total_core_seconds > 0.0
+                              ? total_committed / total_core_seconds /
+                                    1000.0
+                              : 0.0;
+        std::ofstream bos(opts.benchOut);
+        if (!bos)
+            die("cannot open bench output file " + opts.benchOut);
+        bos << "{\n"
+            << "  \"tool\": \"sweep_all\",\n"
+            << "  \"runs\": " << entries.size() << ",\n"
+            << "  \"jobs\": " << report.jobs << ",\n"
+            << "  \"insts\": " << opts.insts << ",\n"
+            << "  \"profile_insts\": " << opts.profileInsts << ",\n"
+            << "  \"wall_seconds\": " << jsonNum(report.wallSeconds)
+            << ",\n"
+            << "  \"core_seconds\": " << jsonNum(total_core_seconds)
+            << ",\n"
+            << "  \"committed_insts\": " << jsonNum(total_committed)
+            << ",\n"
+            << "  \"aggregate_kips\": " << jsonNum(agg_kips) << ",\n"
+            << "  \"min_run_kips\": " << jsonNum(min_kips) << ",\n"
+            << "  \"max_run_kips\": " << jsonNum(max_kips) << ",\n"
+            << "  \"cache_hit_rates\": {\"compile\": "
+            << jsonNum(report.cache.compileHits + report.cache.compileMisses
+                           ? static_cast<double>(report.cache.compileHits) /
+                                 (report.cache.compileHits +
+                                  report.cache.compileMisses)
+                           : 0.0)
+            << ", \"profile\": "
+            << jsonNum(report.cache.profileHits + report.cache.profileMisses
+                           ? static_cast<double>(report.cache.profileHits) /
+                                 (report.cache.profileHits +
+                                  report.cache.profileMisses)
+                           : 0.0)
+            << "}\n}\n";
+        std::cerr << "sweep_all: throughput " << jsonNum(agg_kips)
+                  << " KIPS aggregate -> " << opts.benchOut << "\n";
+    }
 
     std::cerr << "sweep_all: wrote " << entries.size() << " results to "
               << opts.out << " in " << report.wallSeconds
