@@ -14,9 +14,9 @@ BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
 }
 
 unsigned
-BranchPredictor::phtIndex(std::uint64_t pc) const
+BranchPredictor::phtIndex(std::uint64_t pc, std::uint64_t history) const
 {
-    std::uint64_t hashed = (pc >> 2) ^ (history_ & mask(config_.historyBits));
+    std::uint64_t hashed = (pc >> 2) ^ (history & mask(config_.historyBits));
     return static_cast<unsigned>(hashed % config_.phtEntries);
 }
 
@@ -34,7 +34,7 @@ BranchPredictor::predict(std::uint64_t pc, const StaticInst &inst)
     BranchPrediction pred;
 
     if (info.isCondBranch) {
-        pred.taken = pht_[phtIndex(pc)].isSet();
+        pred.taken = pht_[phtIndex(pc, history_)].isSet();
         // Speculative history update; repaired on mispredict.
         history_ = (history_ << 1) | (pred.taken ? 1 : 0);
     } else {
@@ -82,9 +82,13 @@ BranchPredictor::update(std::uint64_t pc, const StaticInst &inst, bool taken,
         // before training so the PHT index stream stays consistent.
         if (direction_mispredicted)
             history_ ^= 1;
-        unsigned idx = static_cast<unsigned>(
-            ((pc >> 2) ^ ((history_ >> 1) & mask(config_.historyBits))) %
-            config_.phtEntries);
+        // history_ >> 1 undoes predict's speculative shift, so this is
+        // exactly the history predict hashed with — the shared
+        // phtIndex keeps the two sides structurally in agreement
+        // (update used to re-derive the index with its own copy of
+        // the hash, one masking drift away from training dead
+        // entries).
+        unsigned idx = phtIndex(pc, history_ >> 1);
         if (taken)
             pht_[idx].increment();
         else

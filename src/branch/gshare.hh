@@ -70,7 +70,17 @@ class BranchPredictor
         std::uint64_t target = 0;
     };
 
-    unsigned phtIndex(std::uint64_t pc) const;
+    /**
+     * gshare PHT index for pc under the given history value. predict
+     * and update MUST hash through this one function: predict passes
+     * the pre-prediction history, update passes the repaired history
+     * shifted back one bit (undoing the speculative shift predict
+     * applied), so both sides index the same entry for the same
+     * branch. A second hand-written hash in update once risked the
+     * two silently diverging — see test_branch.cc's
+     * PredictAndUpdateAgreeOnThePhtIndex regression.
+     */
+    unsigned phtIndex(std::uint64_t pc, std::uint64_t history) const;
     unsigned btbIndex(std::uint64_t pc) const;
 
     BranchPredictorConfig config_;

@@ -17,15 +17,31 @@
 namespace rvp
 {
 
+/**
+ * Maximum value of a `bits`-wide counter, validating the width first.
+ * Both counter classes funnel through this so the bound is enforced
+ * *before* the shift: `1u << bits` is undefined behaviour at bits >=
+ * 32, and a member-initializer-list shift would run before any assert
+ * in the constructor body could catch it.
+ */
+inline unsigned
+counterMax(unsigned bits)
+{
+    RVP_ASSERT(bits >= 1 && bits <= 16,
+               "counter width %u outside [1, 16]", bits);
+    return (1u << bits) - 1;
+}
+
 /** Classic n-bit saturating up/down counter (branch-predictor style). */
 class SaturatingCounter
 {
   public:
     explicit SaturatingCounter(unsigned bits = 2, unsigned initial = 0)
-        : max_((1u << bits) - 1), value_(initial)
+        : max_(counterMax(bits)), value_(initial)
     {
-        RVP_ASSERT(bits >= 1 && bits <= 16);
-        RVP_ASSERT(initial <= max_);
+        RVP_ASSERT(initial <= max_,
+                   "initial value %u exceeds the %u-bit maximum %u",
+                   initial, bits, max_);
     }
 
     /** Move the counter one step toward its maximum. */
@@ -53,9 +69,11 @@ class ResettingCounter
 {
   public:
     explicit ResettingCounter(unsigned bits = 3, unsigned threshold = 7)
-        : max_((1u << bits) - 1), threshold_(threshold), value_(0)
+        : max_(counterMax(bits)), threshold_(threshold), value_(0)
     {
-        RVP_ASSERT(threshold_ <= max_);
+        RVP_ASSERT(threshold_ <= max_,
+                   "threshold %u exceeds the %u-bit maximum %u",
+                   threshold_, bits, max_);
     }
 
     /** Record a correct outcome. */

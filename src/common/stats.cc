@@ -1,9 +1,77 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <set>
 
 namespace rvp
 {
+
+namespace
+{
+
+/** Derived-scalar suffixes a distribution materializes, in order. */
+constexpr const char *distSuffixes[] = {
+    ".count", ".sum", ".mean", ".min", ".max", ".p50", ".p90", ".p99",
+};
+
+} // namespace
+
+std::size_t
+StatSet::Distribution::bucketOf(double value)
+{
+    if (value < 1.0)
+        return 0;
+    // floor(log2(v)) + 1, capped to the last bucket. Huge samples
+    // (beyond 2^62) all land in bucket 63.
+    std::size_t b = 1;
+    while (b < numBuckets - 1 && value >= static_cast<double>(1ull << b))
+        ++b;
+    return b;
+}
+
+double
+StatSet::Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return min_;
+    if (p >= 1.0)
+        return max_;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < numBuckets; ++b) {
+        cum += buckets_[b];
+        if (cum >= rank) {
+            // Upper edge of the bucket, clamped to the observed range.
+            double edge = b == 0
+                              ? 0.0
+                              : static_cast<double>((1ull << b) - 1);
+            return std::max(min_, std::min(edge, max_));
+        }
+    }
+    return max_;
+}
+
+void
+StatSet::Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t b = 0; b < numBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
 
 StatSet::Counter &
 StatSet::counter(const std::string &name)
@@ -16,6 +84,17 @@ StatSet::counter(const std::string &name)
     return counters_.back();
 }
 
+StatSet::Distribution &
+StatSet::distribution(const std::string &name)
+{
+    auto it = distIndex_.find(name);
+    if (it != distIndex_.end())
+        return distributions_[it->second];
+    distIndex_.emplace(name, distributions_.size());
+    distributions_.push_back(Distribution(name));
+    return distributions_.back();
+}
+
 void
 StatSet::fold() const
 {
@@ -25,6 +104,21 @@ StatSet::fold() const
         values_[c.name_] += c.value_;
         c.value_ = 0.0;
         c.touched_ = false;
+    }
+    // Distributions are not reset on fold: their derived scalars are
+    // recomputed wholesale (overwrite, not accumulate), so folding is
+    // idempotent and later samples simply refresh the same entries.
+    for (const Distribution &d : distributions_) {
+        if (d.count_ == 0)
+            continue;
+        values_[d.name_ + ".count"] = static_cast<double>(d.count_);
+        values_[d.name_ + ".sum"] = d.sum_;
+        values_[d.name_ + ".mean"] = d.mean();
+        values_[d.name_ + ".min"] = d.min_;
+        values_[d.name_ + ".max"] = d.max_;
+        values_[d.name_ + ".p50"] = d.percentile(0.50);
+        values_[d.name_ + ".p90"] = d.percentile(0.90);
+        values_[d.name_ + ".p99"] = d.percentile(0.99);
     }
 }
 
@@ -69,8 +163,23 @@ void
 StatSet::merge(const StatSet &other)
 {
     fold();
-    for (const auto &[name, value] : other.values())
+    // Distributions merge bucket-wise so percentiles over the combined
+    // sample set stay correct; their derived scalars in other.values()
+    // are skipped below (the next fold overwrites ours wholesale).
+    std::set<std::string> derived;
+    for (const auto &[name, index] : other.distIndex_) {
+        if (other.distributions_[index].count_ == 0)
+            continue;
+        distribution(name).merge(other.distributions_[index]);
+        for (const char *suffix : distSuffixes)
+            derived.insert(name + suffix);
+    }
+    for (const auto &[name, value] : other.values()) {
+        if (!derived.empty() && derived.count(name))
+            continue;
         values_[name] += value;
+    }
+    fold();
 }
 
 void

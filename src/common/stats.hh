@@ -21,11 +21,21 @@
  * coherent map. A counter appears in the map only once add() has been
  * called on it — exactly matching the by-name behaviour, where the
  * first add(name, 0) materializes the stat at zero.
+ *
+ * Distributions (fixed log2-bucket histograms) follow the same model:
+ * distribution(name) interns a handle whose sample() is lookup-free,
+ * and the first read materializes derived scalars (<name>.count, .sum,
+ * .mean, .min, .max, .p50, .p90, .p99) into the named map. A never-
+ * sampled distribution contributes nothing, so stat maps stay
+ * bit-identical when histogram collection is off. merge() combines
+ * the underlying buckets, not the derived scalars, so merged
+ * percentiles are computed over the union of samples.
  */
 
 #ifndef RVP_COMMON_STATS_HH
 #define RVP_COMMON_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -67,6 +77,62 @@ class StatSet
         bool touched_ = false;
     };
 
+    /**
+     * Fixed-size log2-bucket histogram. Bucket 0 holds samples < 1
+     * (occupancy zero, zero-cycle latencies); bucket b >= 1 holds
+     * [2^(b-1), 2^b). 64 buckets cover every uint64-sized sample, so
+     * recording never allocates and merging is bucket-wise addition.
+     * Percentiles are bucket-resolution estimates: the upper edge of
+     * the bucket containing the requested rank, clamped to the exact
+     * observed min/max.
+     */
+    class Distribution
+    {
+      public:
+        static constexpr std::size_t numBuckets = 64;
+
+        /** Record one sample (negative values clamp to 0). */
+        void
+        sample(double value)
+        {
+            if (value < 0.0)
+                value = 0.0;
+            ++buckets_[bucketOf(value)];
+            ++count_;
+            sum_ += value;
+            if (count_ == 1 || value < min_)
+                min_ = value;
+            if (count_ == 1 || value > max_)
+                max_ = value;
+        }
+
+        std::uint64_t count() const { return count_; }
+        double sum() const { return sum_; }
+        double mean() const { return count_ ? sum_ / count_ : 0.0; }
+        double min() const { return min_; }
+        double max() const { return max_; }
+
+        /** Bucket-resolution percentile estimate, p in [0, 1]. */
+        double percentile(double p) const;
+
+        /** Log2 bucket index of a (non-negative) sample. */
+        static std::size_t bucketOf(double value);
+
+        /** Add another distribution's samples into this one. */
+        void merge(const Distribution &other);
+
+      private:
+        friend class StatSet;
+        explicit Distribution(std::string name) : name_(std::move(name)) {}
+
+        std::string name_;
+        std::array<std::uint64_t, numBuckets> buckets_{};
+        std::uint64_t count_ = 0;
+        double sum_ = 0.0;
+        double min_ = 0.0;
+        double max_ = 0.0;
+    };
+
     StatSet() = default;
     StatSet(const StatSet &) = default;
     StatSet &operator=(const StatSet &) = default;
@@ -78,6 +144,13 @@ class StatSet
      * touched.
      */
     Counter &counter(const std::string &name);
+
+    /**
+     * Intern a histogram for `name` (register-once, like counter()).
+     * Its derived scalars are materialized under "<name>.<suffix>" at
+     * the first read after it holds at least one sample.
+     */
+    Distribution &distribution(const std::string &name);
 
     /** Add delta to the named counter (creating it at zero). */
     void add(const std::string &name, double delta = 1.0);
@@ -116,6 +189,10 @@ class StatSet
     mutable std::deque<Counter> counters_;
     /** Registration index (name -> position in counters_). */
     std::map<std::string, std::size_t> counterIndex_;
+    /** Interned histograms; deque for stable Distribution&. */
+    std::deque<Distribution> distributions_;
+    /** Registration index (name -> position in distributions_). */
+    std::map<std::string, std::size_t> distIndex_;
 };
 
 } // namespace rvp

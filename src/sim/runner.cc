@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <unordered_set>
 
@@ -9,6 +10,7 @@
 #include "compiler/rvp_realloc.hh"
 #include "profile/critical_path.hh"
 #include "sim/sweep.hh"
+#include "trace/tracer.hh"
 
 namespace rvp
 {
@@ -131,6 +133,12 @@ validateExperimentConfig(const ExperimentConfig &config)
                    config.profileThreshold <= 1.0,
                "profile selection threshold %g is not a rate in [0, 1]",
                config.profileThreshold);
+    RVP_ASSERT(config.traceOut.empty() || config.traceSample > 0,
+               "traceSample must be > 0 when tracing (it is the "
+               "sample divisor seq %% N == 0)");
+    validateCacheConfig(config.core.mem.l1i);
+    validateCacheConfig(config.core.mem.l1d);
+    validateCacheConfig(config.core.mem.l2);
 }
 
 ExperimentResult
@@ -249,10 +257,34 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
     }
 
     auto predictor = makePredictor(vp, ref->low.program);
-    Core core(config.core, ref->low.program, *predictor);
+    std::unique_ptr<PipelineTracer> tracer;
+    if (!config.traceOut.empty())
+        tracer = std::make_unique<PipelineTracer>(config.traceSample);
+    Core core(config.core, ref->low.program, *predictor, tracer.get());
     auto t0 = std::chrono::steady_clock::now();
     CoreResult cr = core.run();
     auto t1 = std::chrono::steady_clock::now();
+
+    if (tracer) {
+        std::ofstream out(config.traceOut,
+                          std::ios::out | std::ios::trunc);
+        RVP_ASSERT(out.is_open(), "cannot open trace output '%s'",
+                   config.traceOut.c_str());
+        const std::string &path = config.traceOut;
+        bool jsonl = path.size() >= 6 &&
+                     path.compare(path.size() - 6, 6, ".jsonl") == 0;
+        if (jsonl)
+            tracer->writeJsonl(out);
+        else
+            tracer->writeChromeJson(out);
+        // Trace bookkeeping goes into the stat map only when tracing
+        // is on, so a tracing-off run stays bit-identical to golden
+        // snapshots.
+        cr.stats.set("trace.records",
+                     static_cast<double>(tracer->recordedTotal()));
+        cr.stats.set("trace.sample_interval",
+                     static_cast<double>(config.traceSample));
+    }
 
     ExperimentResult result;
     result.ipc = cr.ipc;

@@ -61,6 +61,20 @@ struct ExperimentConfig
     unsigned tableEntries = 1024;
     /** Confidence threshold (paper: 7 on 3-bit resetting counters). */
     unsigned counterThreshold = 7;
+    /**
+     * Write a sampled pipeline-lifecycle trace of the timed run to
+     * this path (empty = tracing off; the core then pays a single
+     * predictable null-pointer branch per hook). A ".jsonl" suffix
+     * selects the line-delimited format, anything else gets Chrome
+     * trace-event JSON (load in chrome://tracing or ui.perfetto.dev).
+     */
+    std::string traceOut;
+    /**
+     * Trace every Nth dynamic instruction (by fetch sequence number,
+     * so the sample set is identical across job counts). Must be > 0
+     * when tracing is on.
+     */
+    std::uint64_t traceSample = 64;
 };
 
 /** Results of one experiment run. */
@@ -89,6 +103,14 @@ struct ExperimentResult
      * vs. serial sweeps) and host timing is nondeterministic.
      */
     double kips = 0.0;
+    /**
+     * The run body threw (set by runSweep's per-iteration containment,
+     * never by runExperiment itself, which propagates). A failed run
+     * keeps default-initialized metrics; `error` holds the exception
+     * message. Checked by sweep_all when writing result rows.
+     */
+    bool failed = false;
+    std::string error;
     StatSet stats;
 };
 

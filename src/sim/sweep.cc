@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <thread>
 
 #include "common/logging.hh"
@@ -209,15 +210,38 @@ runSweep(const std::vector<ExperimentConfig> &configs,
 
     parallelFor(configs.size(), jobs, [&](std::size_t i) {
         auto run_start = std::chrono::steady_clock::now();
-        results[i] = runExperiment(configs[i], &cache);
+        // parallelFor bodies must not throw (an escaping exception
+        // would std::terminate the worker thread and take the whole
+        // sweep down), so contain failures here: the run is recorded
+        // as failed and every other run proceeds.
+        try {
+            results[i] = options.runFn
+                             ? options.runFn(configs[i], cache)
+                             : runExperiment(configs[i], &cache);
+        } catch (const std::exception &e) {
+            results[i] = ExperimentResult{};
+            results[i].failed = true;
+            results[i].error = e.what();
+        } catch (...) {
+            results[i] = ExperimentResult{};
+            results[i].failed = true;
+            results[i].error = "unknown exception";
+        }
         run_seconds[i] = secondsSince(run_start);
         std::size_t done = completed.fetch_add(1) + 1;
         if (options.progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
-            std::fprintf(stderr, "  [%zu/%zu] %s: ipc %.3f (%.2fs)\n",
-                         done, configs.size(),
-                         describeConfig(configs[i]).c_str(),
-                         results[i].ipc, run_seconds[i]);
+            if (results[i].failed)
+                std::fprintf(stderr, "  [%zu/%zu] %s: FAILED: %s\n",
+                             done, configs.size(),
+                             describeConfig(configs[i]).c_str(),
+                             results[i].error.c_str());
+            else
+                std::fprintf(stderr,
+                             "  [%zu/%zu] %s: ipc %.3f (%.2fs)\n",
+                             done, configs.size(),
+                             describeConfig(configs[i]).c_str(),
+                             results[i].ipc, run_seconds[i]);
         }
     });
 

@@ -92,6 +92,15 @@ struct SweepOptions
     unsigned jobs = 0;
     /** Emit a per-run progress line to stderr. */
     bool progress = true;
+    /**
+     * The per-config run body; null means runExperiment. A seam for
+     * tests that need to exercise the scheduler itself (e.g. inject a
+     * throwing run and check the sweep contains it) without standing
+     * up a full simulation.
+     */
+    std::function<ExperimentResult(const ExperimentConfig &,
+                                   WorkloadCache &)>
+        runFn;
 };
 
 /** Per-sweep observability (timings and cache effectiveness). */
@@ -111,8 +120,11 @@ unsigned defaultJobs();
 /**
  * Run body(i) for every i in [0, count) on up to `jobs` threads
  * (inline when jobs <= 1). Blocks until all iterations finish. The
- * body must not throw; iteration order across threads is unspecified,
- * so bodies must only touch disjoint state (e.g. results[i]).
+ * body must not throw — an escaping exception would unwind a worker
+ * thread and std::terminate the process, so callers with fallible
+ * bodies must catch per iteration (as runSweep does). Iteration order
+ * across threads is unspecified, so bodies must only touch disjoint
+ * state (e.g. results[i]).
  */
 void parallelFor(std::size_t count, unsigned jobs,
                  const std::function<void(std::size_t)> &body);
@@ -120,6 +132,10 @@ void parallelFor(std::size_t count, unsigned jobs,
 /**
  * Run every config in the grid and return results in input order.
  * All configs are validated up front (fail fast before any work).
+ * A run body that throws does not take the sweep down: the exception
+ * is caught per iteration, the run's result comes back with
+ * failed=true and the message in error, and every other run completes
+ * normally.
  */
 std::vector<ExperimentResult>
 runSweep(const std::vector<ExperimentConfig> &configs,

@@ -1,0 +1,237 @@
+#include "trace/tracer.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+/** Serialize a stage cycle: unknown stages export as null. */
+std::string
+cycleField(std::uint64_t cycle)
+{
+    if (cycle == TraceRecord::unknownCycle)
+        return "null";
+    return std::to_string(cycle);
+}
+
+/** The record's lifetime end for span rendering: the last stage it
+ *  reached (a record open at run end spans to its last known cycle). */
+std::uint64_t
+lastKnownCycle(const TraceRecord &r)
+{
+    for (std::uint64_t c : {r.commitCycle, r.completeCycle, r.issueCycle,
+                            r.renameCycle, r.fetchCycle}) {
+        if (c != TraceRecord::unknownCycle)
+            return c;
+    }
+    return 0;
+}
+
+void
+writeArgs(std::ostream &os, const TraceRecord &r)
+{
+    os << "{\"seq\":" << r.seq << ",\"pc\":" << r.pc << ",\"opcode\":\""
+       << opcodeInfo(r.op).mnemonic << "\",\"fetch\":"
+       << cycleField(r.fetchCycle) << ",\"rename\":"
+       << cycleField(r.renameCycle) << ",\"issue\":"
+       << cycleField(r.issueCycle) << ",\"complete\":"
+       << cycleField(r.completeCycle) << ",\"commit\":"
+       << cycleField(r.commitCycle) << ",\"reissues\":" << r.reissues
+       << ",\"vp_eligible\":" << (r.vpEligible ? "true" : "false")
+       << ",\"vp_predicted\":" << (r.vpPredicted ? "true" : "false")
+       << ",\"vp_correct\":" << (r.vpCorrect ? "true" : "false")
+       << ",\"exit\":\"" << traceExitName(r.exit) << "\"}";
+}
+
+} // namespace
+
+const char *
+traceExitName(TraceExit exit)
+{
+    switch (exit) {
+      case TraceExit::InFlight:
+        return "in_flight";
+      case TraceExit::Committed:
+        return "committed";
+      case TraceExit::ValueSquash:
+        return "value_squash";
+    }
+    return "?";
+}
+
+PipelineTracer::PipelineTracer(std::uint64_t sample_interval,
+                               std::size_t capacity)
+    : sampleInterval_(sample_interval)
+{
+    RVP_ASSERT(sample_interval >= 1,
+               "trace sample interval must be at least 1");
+    RVP_ASSERT(capacity >= 1, "trace ring buffer cannot be empty");
+    ring_.resize(capacity);   // preallocated; slots overwritten in place
+    live_.reserve(64);
+}
+
+TraceRecord *
+PipelineTracer::findLive(std::uint64_t seq)
+{
+    for (TraceRecord &r : live_)
+        if (r.seq == seq)
+            return &r;
+    return nullptr;
+}
+
+void
+PipelineTracer::onFetch(std::uint64_t seq, std::uint64_t pc, Opcode op,
+                        std::uint64_t cycle, bool vp_eligible,
+                        bool vp_predicted, bool vp_correct)
+{
+    // A refetch recovery replays squashed seqs: the squashed instance
+    // was already finalized, so the replay opens a fresh record.
+    RVP_ASSERT(findLive(seq) == nullptr);
+    TraceRecord r;
+    r.seq = seq;
+    r.pc = pc;
+    r.op = op;
+    r.fetchCycle = cycle;
+    r.vpEligible = vp_eligible;
+    r.vpPredicted = vp_predicted;
+    r.vpCorrect = vp_correct;
+    live_.push_back(r);
+}
+
+void
+PipelineTracer::onRename(std::uint64_t seq, std::uint64_t cycle)
+{
+    if (TraceRecord *r = findLive(seq))
+        r->renameCycle = cycle;
+}
+
+void
+PipelineTracer::onIssue(std::uint64_t seq, std::uint64_t cycle)
+{
+    if (TraceRecord *r = findLive(seq))
+        r->issueCycle = cycle;
+}
+
+void
+PipelineTracer::onComplete(std::uint64_t seq, std::uint64_t cycle)
+{
+    if (TraceRecord *r = findLive(seq))
+        r->completeCycle = cycle;
+}
+
+void
+PipelineTracer::onReissue(std::uint64_t seq)
+{
+    if (TraceRecord *r = findLive(seq))
+        ++r->reissues;
+}
+
+void
+PipelineTracer::finalize(std::uint64_t seq, TraceExit exit,
+                         std::uint64_t cycle)
+{
+    TraceRecord *r = findLive(seq);
+    if (!r)
+        return;
+    r->exit = exit;
+    if (exit == TraceExit::Committed)
+        r->commitCycle = cycle;
+    ring_[ringNext_] = *r;
+    if (++ringNext_ == ring_.size()) {
+        ringNext_ = 0;
+        ringWrapped_ = true;
+    }
+    ++recordedTotal_;
+    // Swap-erase keeps finalize O(live) worst case; live_ order is
+    // irrelevant (export reads the ring).
+    *r = live_.back();
+    live_.pop_back();
+}
+
+void
+PipelineTracer::onCommit(std::uint64_t seq, std::uint64_t cycle)
+{
+    finalize(seq, TraceExit::Committed, cycle);
+}
+
+void
+PipelineTracer::onSquash(std::uint64_t seq, TraceExit cause)
+{
+    finalize(seq, cause, TraceRecord::unknownCycle);
+}
+
+void
+PipelineTracer::finish()
+{
+    // Drain oldest first so the ring stays ordered by pipeline age
+    // (finalize() swap-erases, so snapshot the seqs up front).
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(live_.size());
+    for (const TraceRecord &r : live_)
+        seqs.push_back(r.seq);
+    std::sort(seqs.begin(), seqs.end());
+    for (std::uint64_t seq : seqs)
+        finalize(seq, TraceExit::InFlight, TraceRecord::unknownCycle);
+}
+
+std::size_t
+PipelineTracer::size() const
+{
+    return ringWrapped_ ? ring_.size() : ringNext_;
+}
+
+std::vector<TraceRecord>
+PipelineTracer::records() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(size());
+    if (ringWrapped_)
+        for (std::size_t i = ringNext_; i < ring_.size(); ++i)
+            out.push_back(ring_[i]);
+    for (std::size_t i = 0; i < ringNext_; ++i)
+        out.push_back(ring_[i]);
+    return out;
+}
+
+void
+PipelineTracer::writeChromeJson(std::ostream &os) const
+{
+    std::vector<TraceRecord> recs = records();
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceRecord &r : recs) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        std::uint64_t end = lastKnownCycle(r);
+        std::uint64_t start =
+            r.fetchCycle == TraceRecord::unknownCycle ? end : r.fetchCycle;
+        // Lanes (tid) spread concurrent instructions vertically; 32
+        // lanes comfortably exceeds the per-cycle fetch width.
+        os << "{\"name\":\"" << opcodeInfo(r.op).mnemonic
+           << "\",\"cat\":\"" << traceExitName(r.exit)
+           << "\",\"ph\":\"X\",\"ts\":" << start
+           << ",\"dur\":" << (end >= start ? end - start : 0)
+           << ",\"pid\":0,\"tid\":" << (r.seq % 32) << ",\"args\":";
+        writeArgs(os, r);
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+void
+PipelineTracer::writeJsonl(std::ostream &os) const
+{
+    for (const TraceRecord &r : records()) {
+        writeArgs(os, r);
+        os << "\n";
+    }
+}
+
+} // namespace rvp

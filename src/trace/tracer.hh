@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Sampled pipeline-lifecycle tracing. The core records, for 1 out of
+ * every `sampleInterval` fetched instructions, the cycle at which the
+ * instruction passed each pipeline stage (fetch, rename, issue,
+ * complete, commit) together with its value-prediction outcome and how
+ * it left the pipeline (committed, squashed, still in flight). Records
+ * live in a preallocated ring buffer — tracing a long run keeps the
+ * most recent `capacity` records and counts the rest — and can be
+ * exported as Chrome trace-event JSON (load in chrome://tracing or
+ * ui.perfetto.dev) or as one-JSON-object-per-line JSONL.
+ *
+ * The tracer is strictly passive: it never changes timing, and the
+ * core's hook sites reduce to a single predictable null-pointer branch
+ * when tracing is off (pinned by tests/test_trace.cc and the golden
+ * stat snapshot).
+ *
+ * Sampling is by sequence number (`seq % sampleInterval == 0`), so the
+ * sampled set — and therefore every exported byte — is a deterministic
+ * function of the run configuration, independent of host timing or the
+ * sweep scheduler's job count.
+ */
+
+#ifndef RVP_TRACE_TRACER_HH
+#define RVP_TRACE_TRACER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "isa/opcodes.hh"
+
+namespace rvp
+{
+
+/** How a traced instruction left the pipeline. */
+enum class TraceExit : std::uint8_t
+{
+    InFlight,     ///< still in the window when the run ended
+    Committed,    ///< retired architecturally
+    ValueSquash,  ///< squashed by a value-misprediction refetch
+};
+
+/** Stable lowercase name for a TraceExit (export field). */
+const char *traceExitName(TraceExit exit);
+
+/** Lifecycle of one sampled dynamic instruction. Cycles use
+ *  `unknownCycle` until (unless) the stage is reached. */
+struct TraceRecord
+{
+    static constexpr std::uint64_t unknownCycle = ~0ull;
+
+    std::uint64_t seq = 0;
+    std::uint64_t pc = 0;
+    Opcode op = Opcode::NOP;
+
+    std::uint64_t fetchCycle = unknownCycle;
+    std::uint64_t renameCycle = unknownCycle;
+    std::uint64_t issueCycle = unknownCycle;    ///< last (re)issue
+    std::uint64_t completeCycle = unknownCycle; ///< last completion
+    std::uint64_t commitCycle = unknownCycle;
+
+    /** Times the instruction re-entered the queue after a value
+     *  mispredict it depended on (reissue/selective recovery). */
+    std::uint32_t reissues = 0;
+
+    // Value-prediction outcome, decided at fetch.
+    bool vpEligible = false;
+    bool vpPredicted = false;
+    bool vpCorrect = false;
+
+    TraceExit exit = TraceExit::InFlight;
+};
+
+/**
+ * Collects sampled TraceRecords. The core drives the on*() hooks; a
+ * record is opened at fetch (if the seq is sampled) and finalized at
+ * commit or squash into the ring buffer. The live set is tiny (window
+ * size / sampleInterval), so it is a linear-scanned vector.
+ */
+class PipelineTracer
+{
+  public:
+    /**
+     * @param sample_interval trace 1 of every N instructions (>= 1)
+     * @param capacity ring-buffer capacity (most recent records kept)
+     */
+    explicit PipelineTracer(std::uint64_t sample_interval,
+                            std::size_t capacity = 1u << 16);
+
+    /** True if seq is in the sampled subset. */
+    bool
+    sampled(std::uint64_t seq) const
+    {
+        return seq % sampleInterval_ == 0;
+    }
+
+    std::uint64_t sampleInterval() const { return sampleInterval_; }
+
+    // ---- lifecycle hooks (core-facing; seq must be sampled) ----
+    void onFetch(std::uint64_t seq, std::uint64_t pc, Opcode op,
+                 std::uint64_t cycle, bool vp_eligible, bool vp_predicted,
+                 bool vp_correct);
+    void onRename(std::uint64_t seq, std::uint64_t cycle);
+    void onIssue(std::uint64_t seq, std::uint64_t cycle);
+    void onComplete(std::uint64_t seq, std::uint64_t cycle);
+    void onReissue(std::uint64_t seq);
+    void onCommit(std::uint64_t seq, std::uint64_t cycle);
+    void onSquash(std::uint64_t seq, TraceExit cause);
+
+    /** Finalize still-open records (end of run) as InFlight. */
+    void finish();
+
+    /** Finalized records seen, including any evicted from the ring. */
+    std::uint64_t recordedTotal() const { return recordedTotal_; }
+
+    /** Finalized records currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Held records, oldest first. */
+    std::vector<TraceRecord> records() const;
+
+    /**
+     * Chrome trace-event JSON: an object with a "traceEvents" array of
+     * complete ("ph":"X") events, one per record, ts/dur in cycles
+     * (displayed as microseconds). Stage cycles and the VP outcome
+     * ride in each event's "args".
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** One JSON object per line, one line per record, oldest first. */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    void finalize(std::uint64_t seq, TraceExit exit, std::uint64_t cycle);
+    TraceRecord *findLive(std::uint64_t seq);
+
+    std::uint64_t sampleInterval_;
+    std::vector<TraceRecord> ring_;   ///< preallocated to capacity
+    std::size_t ringNext_ = 0;        ///< next slot to overwrite
+    bool ringWrapped_ = false;
+    std::uint64_t recordedTotal_ = 0;
+    std::vector<TraceRecord> live_;   ///< open records (fetched, not final)
+};
+
+} // namespace rvp
+
+#endif // RVP_TRACE_TRACER_HH

@@ -36,10 +36,18 @@ Core::Counters::Counters(StatSet &stats)
 }
 
 Core::Core(const CoreParams &params, const Program &prog,
-           ValuePredictor &predictor)
+           ValuePredictor &predictor, PipelineTracer *tracer)
     : params_(params), prog_(prog), predictor_(predictor), emu_(prog),
-      mem_(params.mem), bp_(params.bp), ctr_(stats_)
+      mem_(params.mem), bp_(params.bp), tracer_(tracer), ctr_(stats_)
 {
+    if (params.collectHist) {
+        histIssueToComplete_ =
+            &stats_.distribution("core.issue_to_complete");
+        histIqOccupancy_ = &stats_.distribution("core.iq_occupancy");
+        histLsqOccupancy_ = &stats_.distribution("core.lsq_occupancy");
+        histRecoveryPenalty_ =
+            &stats_.distribution("core.recovery_penalty");
+    }
     // Tag 0 is the always-ready sentinel (committed/initial values).
     readyAt_.push_back(0);
     tagProducer_.push_back(noSeq);
@@ -205,6 +213,8 @@ Core::completePhase()
         Inflight &inst = *ip;
         inst.state = Inflight::St::Done;
         const Fetched &f = fetchedOf(inst.seq);
+        if (tracer_ && tracer_->sampled(inst.seq))
+            tracer_->onComplete(inst.seq, cycle_);
 
         if (f.isBranch && f.branchMispredict &&
             pendingRedirectSeq_ == inst.seq) {
@@ -263,6 +273,8 @@ Core::resetIssuedDependent(Inflight &inst, const Inflight &pred)
         if (inst.destTag)
             readyAt_[inst.destTag] = farFuture;
         ctr_.reissues.add();
+        if (tracer_ && tracer_->sampled(inst.seq))
+            tracer_->onReissue(inst.seq);
     }
 }
 
@@ -270,19 +282,26 @@ void
 Core::recoverFromValueMispredict(Inflight &pred)
 {
     if (params_.recovery == RecoveryPolicy::Refetch) {
+        // Recovery cost = instructions thrown away and refetched.
+        std::size_t squashed = 0;
         if (pred.firstUseSeq != noSeq && findSeq(pred.firstUseSeq)) {
             ctr_.valueRefetches.add();
+            std::size_t before = window_.size();
             squashFrom(pred.firstUseSeq);
+            squashed = before - window_.size();
             fetchResumeCycle_ = cycle_ + 1;
         } else if (map_[fetchedOf(pred.seq).di.dest].predSeq == pred.seq) {
             // No consumer yet: future consumers read the real result.
             map_[fetchedOf(pred.seq).di.dest].predSeq = noSeq;
         }
+        if (histRecoveryPenalty_)
+            histRecoveryPenalty_->sample(static_cast<double>(squashed));
         return;
     }
 
     // Reissue / selective reissue: every (transitively) dependent
     // instruction re-executes with the correct value.
+    std::size_t affected = 0;   // recovery cost = re-executed work
     std::uint64_t base = window_.front().seq;
     for (std::size_t i = pred.seq - base + 1; i < window_.size(); ++i) {
         Inflight &inst = window_[i];
@@ -292,7 +311,10 @@ Core::recoverFromValueMispredict(Inflight &pred)
             continue;
         inst.specOn.erase(it);
         resetIssuedDependent(inst, pred);
+        ++affected;
     }
+    if (histRecoveryPenalty_)
+        histRecoveryPenalty_->sample(static_cast<double>(affected));
     RegIndex dest = fetchedOf(pred.seq).di.dest;
     if (map_[dest].predSeq == pred.seq)
         map_[dest].predSeq = noSeq;
@@ -330,6 +352,8 @@ Core::commitPhase()
                 vpCorrectCommitted_ += f.vp.correct;
             }
         }
+        if (tracer_ && tracer_->sampled(head.seq))
+            tracer_->onCommit(head.seq, cycle_);
         dropFromScoreboard(head, f);
         ++committed_;
         ++done;
@@ -495,6 +519,10 @@ Core::issuePhase()
         inst.state = Inflight::St::Issued;
         inst.completeCycle = cycle_ + latency;
         scheduleCompletion(inst.seq, inst.completeCycle);
+        if (histIssueToComplete_)
+            histIssueToComplete_->sample(static_cast<double>(latency));
+        if (tracer_ && tracer_->sampled(inst.seq))
+            tracer_->onIssue(inst.seq, cycle_);
         if (inst.inIq && !inst.inReleaseList) {
             inst.inReleaseList = true;
             releasePending_.push_back(inst.seq);
@@ -520,6 +548,11 @@ Core::dispatchPhase()
 {
     ctr_.iqOccupancyInt.add(iqOcc_[0]);
     ctr_.iqOccupancyFp.add(iqOcc_[1]);
+    if (histIqOccupancy_) {
+        histIqOccupancy_->sample(
+            static_cast<double>(iqOcc_[0] + iqOcc_[1]));
+        histLsqOccupancy_->sample(static_cast<double>(lsqOcc_));
+    }
 
     unsigned dispatched = 0;
     for (Inflight &inst : window_) {
@@ -654,6 +687,12 @@ Core::dispatchPhase()
         if (is_mem)
             ++lsqOcc_;
         ++dispatched;
+        if (tracer_ && tracer_->sampled(inst.seq)) {
+            tracer_->onRename(inst.seq, cycle_);
+            // NOP/HALT complete at rename (they never issue).
+            if (!uses_iq)
+                tracer_->onComplete(inst.seq, cycle_);
+        }
     }
 }
 
@@ -732,6 +771,10 @@ Core::fetchPhase()
         ++fetchSeq_;
         ++fetched;
         ctr_.fetched.add();
+        if (tracer_ && tracer_->sampled(inst.seq)) {
+            tracer_->onFetch(inst.seq, f.di.pc, f.di.op, cycle_,
+                             f.vp.eligible, f.vp.predicted, f.vp.correct);
+        }
 
         if (f.di.op == Opcode::HALT) {
             fetchHalted_ = true;
@@ -763,6 +806,8 @@ Core::squashFrom(std::uint64_t first_bad_seq)
         const Inflight &inst = window_.back();
         dropFromScoreboard(inst, fetchedOf(inst.seq));
         ctr_.squashed.add();
+        if (tracer_ && tracer_->sampled(inst.seq))
+            tracer_->onSquash(inst.seq, TraceExit::ValueSquash);
         window_.pop_back();
     }
     fetchSeq_ = first_bad_seq;
@@ -873,6 +918,9 @@ Core::run()
             }
         }
     }
+
+    if (tracer_)
+        tracer_->finish();   // records still in flight at the budget
 
     CoreResult result;
     result.cycles = cycle_;

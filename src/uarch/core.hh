@@ -33,6 +33,7 @@
 #include "branch/gshare.hh"
 #include "emu/emulator.hh"
 #include "mem/hierarchy.hh"
+#include "trace/tracer.hh"
 #include "uarch/params.hh"
 #include "vp/predictor.hh"
 
@@ -57,9 +58,12 @@ class Core
      * @param prog compiled program (with data image)
      * @param predictor value predictor (owned by caller; consulted in
      *        program order at first fetch)
+     * @param tracer optional pipeline-lifecycle tracer (owned by the
+     *        caller; null disables tracing at the cost of one
+     *        predictable branch per hook site)
      */
     Core(const CoreParams &params, const Program &prog,
-         ValuePredictor &predictor);
+         ValuePredictor &predictor, PipelineTracer *tracer = nullptr);
 
     /** Run to the committed-instruction budget (or HALT). */
     CoreResult run();
@@ -225,6 +229,19 @@ class Core
     bool fetchHalted_ = false;
 
     StatSet stats_;
+
+    /** Optional lifecycle tracer (see trace/tracer.hh); may be null. */
+    PipelineTracer *tracer_ = nullptr;
+
+    /**
+     * Interned histogram handles, non-null only when
+     * params.collectHist — the off state costs one predictable branch
+     * per sample site and emits no stats (golden maps unchanged).
+     */
+    StatSet::Distribution *histIssueToComplete_ = nullptr;
+    StatSet::Distribution *histIqOccupancy_ = nullptr;
+    StatSet::Distribution *histLsqOccupancy_ = nullptr;
+    StatSet::Distribution *histRecoveryPenalty_ = nullptr;
 
     /**
      * Interned per-event stat handles (StatSet::counter): one

@@ -57,6 +57,14 @@ struct CoreParams
 
     RecoveryPolicy recovery = RecoveryPolicy::Selective;
 
+    /**
+     * Collect latency/occupancy/recovery histograms into the stat
+     * dump (StatSet::Distribution). Off by default: the extra stats
+     * would break bit-identity with golden snapshots taken without
+     * them, and per-cycle sampling costs a little time.
+     */
+    bool collectHist = false;
+
     HierarchyConfig mem;
     BranchPredictorConfig bp;
 

@@ -77,6 +77,40 @@ TEST(BranchPredictor, LearnsAlternatingViaHistory)
     EXPECT_GT(correct, total * 9 / 10);
 }
 
+TEST(BranchPredictor, PredictAndUpdateAgreeOnThePhtIndex)
+{
+    // Regression for predict/update PHT-index divergence. predict
+    // hashes (pc, history) and then shifts the speculative outcome
+    // into the history register; update must train the entry predict
+    // consulted, i.e. hash with the *repaired* history shifted back
+    // one bit. Both sides now go through the shared phtIndex(pc,
+    // history) helper — if they ever drift (say update forgets the
+    // shift or the mispredict repair), training lands on dead entries,
+    // every history-dependent pattern stays unlearned, and this test's
+    // accuracy collapses to chance.
+    //
+    // A period-4 pattern (T,T,N,N) is only learnable through the
+    // history bits: per-PC 2-bit counters alone cannot exceed ~50%.
+    BranchPredictor bp;
+    StaticInst br = condBranch();
+    std::uint64_t pc = 0x5000, target = 0x4f00;
+    const bool pattern[4] = {true, true, false, false};
+    unsigned correct = 0, total = 0;
+    for (int i = 0; i < 800; ++i) {
+        bool taken = pattern[i % 4];
+        BranchPrediction pred = bp.predict(pc, br);
+        bool mispredict = pred.taken != taken;
+        if (i >= 400) {
+            ++total;
+            correct += !mispredict;
+        }
+        bp.update(pc, br, taken, taken ? target : pc + 4, mispredict);
+    }
+    EXPECT_GT(correct, total * 95 / 100)
+        << "update is training different PHT entries than predict "
+           "reads";
+}
+
 TEST(BranchPredictor, UnconditionalPredictedTaken)
 {
     BranchPredictor bp;

@@ -262,6 +262,142 @@ TEST(Bits, SignExtend)
     EXPECT_EQ(signExtend(0, 10), 0);
 }
 
+TEST(CounterWidth, RejectsDegenerateAndOversizedWidths)
+{
+    // Both counter classes compute their maximum as (1u << bits) - 1,
+    // which is undefined behaviour at bits >= 32. counterMax() bounds
+    // the width *before* the shift, so a bad width dies with a
+    // diagnostic instead of shifting out of range (the old code
+    // shifted in the member-initializer list, ahead of any assert in
+    // the constructor body).
+    EXPECT_DEATH(SaturatingCounter(0), "outside \\[1, 16\\]");
+    EXPECT_DEATH(SaturatingCounter(32), "outside \\[1, 16\\]");
+    EXPECT_DEATH(SaturatingCounter(33), "outside \\[1, 16\\]");
+    EXPECT_DEATH(ResettingCounter(0, 0), "outside \\[1, 16\\]");
+    EXPECT_DEATH(ResettingCounter(32, 7), "outside \\[1, 16\\]");
+    EXPECT_DEATH(ResettingCounter(64, 7), "outside \\[1, 16\\]");
+}
+
+TEST(CounterWidth, WidestAllowedWidthWorks)
+{
+    SaturatingCounter sat(16);
+    EXPECT_EQ(sat.max(), 65535u);
+    ResettingCounter conf(16, 65535);
+    EXPECT_EQ(conf.threshold(), 65535u);
+}
+
+TEST(CounterWidth, RejectsOutOfRangeInitialAndThreshold)
+{
+    EXPECT_DEATH(SaturatingCounter(2, 4), "exceeds the 2-bit maximum");
+    EXPECT_DEATH(ResettingCounter(3, 8), "exceeds the 3-bit maximum");
+}
+
+TEST(Distribution, BucketBoundariesAreLog2)
+{
+    using D = StatSet::Distribution;
+    EXPECT_EQ(D::bucketOf(0.0), 0u);     // < 1 -> bucket 0
+    EXPECT_EQ(D::bucketOf(0.5), 0u);
+    EXPECT_EQ(D::bucketOf(1.0), 1u);     // [1, 2)
+    EXPECT_EQ(D::bucketOf(1.9), 1u);
+    EXPECT_EQ(D::bucketOf(2.0), 2u);     // [2, 4)
+    EXPECT_EQ(D::bucketOf(3.0), 2u);
+    EXPECT_EQ(D::bucketOf(4.0), 3u);     // [4, 8)
+    EXPECT_EQ(D::bucketOf(1024.0), 11u); // [1024, 2048)
+    EXPECT_EQ(D::bucketOf(1e300), D::numBuckets - 1);
+}
+
+TEST(Distribution, CountSumMeanMinMax)
+{
+    StatSet stats;
+    StatSet::Distribution &d = stats.distribution("lat");
+    d.sample(3.0);
+    d.sample(1.0);
+    d.sample(8.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+}
+
+TEST(Distribution, PercentilesClampToObservedRange)
+{
+    StatSet stats;
+    StatSet::Distribution &d = stats.distribution("lat");
+    for (int i = 0; i < 90; ++i)
+        d.sample(1.0);
+    for (int i = 0; i < 10; ++i)
+        d.sample(100.0);
+    // p50 lands in the bucket of the 1.0 samples; p99 in the bucket
+    // holding 100.0 — bucket-resolution, but clamped to the exact
+    // observed max.
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+}
+
+TEST(Distribution, DerivedScalarsMaterializeOnRead)
+{
+    StatSet stats;
+    StatSet::Distribution &d = stats.distribution("core.lat");
+    d.sample(2.0);
+    d.sample(6.0);
+    const auto &values = stats.values();
+    EXPECT_EQ(values.at("core.lat.count"), 2.0);
+    EXPECT_EQ(values.at("core.lat.sum"), 8.0);
+    EXPECT_EQ(values.at("core.lat.mean"), 4.0);
+    EXPECT_EQ(values.at("core.lat.min"), 2.0);
+    EXPECT_EQ(values.at("core.lat.max"), 6.0);
+    EXPECT_TRUE(values.count("core.lat.p50"));
+    EXPECT_TRUE(values.count("core.lat.p90"));
+    EXPECT_TRUE(values.count("core.lat.p99"));
+}
+
+TEST(Distribution, NeverSampledEmitsNothing)
+{
+    // Golden snapshots are compared as exact stat maps, so an interned
+    // but unused histogram must not add keys.
+    StatSet stats;
+    stats.distribution("quiet");
+    stats.add("other", 1.0);
+    EXPECT_EQ(stats.values().size(), 1u);
+    EXPECT_FALSE(stats.has("quiet.count"));
+}
+
+TEST(Distribution, MergeCombinesSamplesNotScalars)
+{
+    StatSet a, b;
+    StatSet::Distribution &da = a.distribution("lat");
+    StatSet::Distribution &db = b.distribution("lat");
+    for (int i = 0; i < 10; ++i)
+        da.sample(1.0);
+    for (int i = 0; i < 10; ++i)
+        db.sample(64.0);
+    // Force both sides to materialize first: a correct merge must
+    // combine buckets and recompute, not sum the derived scalars.
+    (void)a.values();
+    (void)b.values();
+    a.merge(b);
+    const auto &values = a.values();
+    EXPECT_EQ(values.at("lat.count"), 20.0);
+    EXPECT_EQ(values.at("lat.sum"), 650.0);
+    EXPECT_EQ(values.at("lat.min"), 1.0);
+    EXPECT_EQ(values.at("lat.max"), 64.0);
+    // The merged p99 must reflect b's samples, not a's old p99.
+    EXPECT_EQ(values.at("lat.p99"), 64.0);
+}
+
+TEST(Distribution, NegativeSamplesClampToZero)
+{
+    StatSet stats;
+    StatSet::Distribution &d = stats.distribution("neg");
+    d.sample(-5.0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+}
+
 TEST(Bits, PowerOf2AndLog)
 {
     EXPECT_TRUE(isPowerOf2(1));

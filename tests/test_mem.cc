@@ -121,6 +121,54 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair(4096u, 4u), std::make_pair(32768u, 4u),
                       std::make_pair(524288u, 2u)));
 
+TEST(CacheGeometryValidation, AcceptsWellFormedConfigs)
+{
+    // Table-1 shapes and a couple of odd-but-valid ones.
+    validateCacheConfig({"l1", 32 * 1024, 4, 64});
+    validateCacheConfig({"l2", 512 * 1024, 2, 64});
+    validateCacheConfig({"tiny", 128, 1, 32});      // 4 sets
+    validateCacheConfig({"full", 3 * 64, 3, 64});   // 1 set, assoc 3
+}
+
+TEST(CacheGeometryValidation, RejectsNonPowerOfTwoLine)
+{
+    // The set index is addr >> log2(lineBytes): a 48-byte line cannot
+    // be indexed with a shift and used to silently misplace lines.
+    EXPECT_DEATH(Cache({"bad", 32 * 1024, 4, 48}),
+                 "not a power of two");
+    EXPECT_DEATH(validateCacheConfig({"bad", 32 * 1024, 4, 48}),
+                 "not a power of two");
+}
+
+TEST(CacheGeometryValidation, RejectsSizeNotMultipleOfWayBytes)
+{
+    // 65636 / (4*64) = 256.39...: numSets() would round down to 256
+    // sets and the "64KB-ish" cache would silently behave as 64KB.
+    EXPECT_DEATH(validateCacheConfig({"bad", 65636, 4, 64}),
+                 "silently");
+}
+
+TEST(CacheGeometryValidation, RejectsNonPowerOfTwoSets)
+{
+    // 96KB / (4 * 64) = 384 sets: divisible, but the set *mask*
+    // (numSets - 1) would alias distinct sets.
+    EXPECT_DEATH(validateCacheConfig({"bad", 96 * 1024, 4, 64}),
+                 "power of two");
+}
+
+TEST(CacheGeometryValidation, RejectsZeroSets)
+{
+    // Smaller than one way: numSets() == 0, and the constructor would
+    // otherwise allocate no lines and index out of bounds.
+    EXPECT_DEATH(validateCacheConfig({"bad", 64, 4, 64}), "");
+}
+
+TEST(CacheGeometryValidation, RejectsZeroAssoc)
+{
+    EXPECT_DEATH(validateCacheConfig({"bad", 32 * 1024, 0, 64}),
+                 "at least one way");
+}
+
 TEST(Hierarchy, Table1Latencies)
 {
     MemoryHierarchy mem;

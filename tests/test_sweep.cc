@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "uarch/core.hh"
@@ -331,6 +334,98 @@ TEST(Sweep, DescribeConfigNamesTheVariant)
     std::string desc = describeConfig(config);
     EXPECT_NE(desc.find("go"), std::string::npos);
     EXPECT_NE(desc.find("drvp"), std::string::npos);
+}
+
+TEST(Sweep, AThrowingRunIsContainedAndTheRestComplete)
+{
+    // Regression: a run body that threw used to escape parallelFor's
+    // worker thread and std::terminate the whole process, taking every
+    // other run's results with it. runSweep now catches per iteration
+    // and records the failure on that run alone.
+    std::vector<ExperimentConfig> configs;
+    for (int i = 0; i < 5; ++i)
+        configs.push_back(smallConfig(i % 2 ? "go" : "mgrid"));
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.progress = false;
+    opts.runFn = [](const ExperimentConfig &config,
+                    WorkloadCache &cache) -> ExperimentResult {
+        static std::atomic<int> calls{0};
+        if (calls.fetch_add(1) == 2)
+            throw std::runtime_error("simulated mid-run failure");
+        return runExperiment(config, &cache);
+    };
+
+    std::vector<ExperimentResult> results = runSweep(configs, opts);
+    ASSERT_EQ(results.size(), configs.size());
+    std::size_t failed = 0;
+    for (const ExperimentResult &r : results) {
+        if (r.failed) {
+            ++failed;
+            EXPECT_EQ(r.error, "simulated mid-run failure");
+            EXPECT_EQ(r.committed, 0u);   // default-initialized metrics
+        } else {
+            EXPECT_TRUE(r.error.empty());
+            EXPECT_GT(r.committed, 0u);
+            EXPECT_GT(r.ipc, 0.0);
+        }
+    }
+    EXPECT_EQ(failed, 1u);
+}
+
+TEST(Sweep, ContainedFailuresStaySerialParallelIdentical)
+{
+    // Which run fails is determined by the injected body (index 1),
+    // not by scheduling, so serial and parallel sweeps agree even in
+    // the presence of failures.
+    std::vector<ExperimentConfig> configs;
+    for (int i = 0; i < 4; ++i)
+        configs.push_back(smallConfig("go"));
+    auto run_fn = [](const ExperimentConfig &config,
+                     WorkloadCache &cache) -> ExperimentResult {
+        if (config.core.maxInsts == 16'000)
+            throw std::runtime_error("bad budget");
+        return runExperiment(config, &cache);
+    };
+    configs[1].core.maxInsts = 16'000;
+
+    for (unsigned jobs : {1u, 8u}) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.progress = false;
+        opts.runFn = run_fn;
+        std::vector<ExperimentResult> results = runSweep(configs, opts);
+        ASSERT_EQ(results.size(), 4u);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].failed, i == 1) << "jobs=" << jobs;
+            if (i == 1) {
+                EXPECT_EQ(results[i].error, "bad budget");
+            }
+        }
+    }
+}
+
+TEST(SweepValidationDeathTest, BadCacheGeometryIsRejectedUpFront)
+{
+    // validateExperimentConfig now vets the whole cache hierarchy, so
+    // a sweep fails before any simulation rather than silently running
+    // a smaller cache than configured.
+    ExperimentConfig config = smallConfig("go");
+    config.core.mem.l1d.sizeBytes = 65'636;   // not sets*assoc*line
+    EXPECT_DEATH(validateExperimentConfig(config), "silently");
+
+    config = smallConfig("go");
+    config.core.mem.l2.lineBytes = 48;
+    EXPECT_DEATH(validateExperimentConfig(config), "power of two");
+}
+
+TEST(SweepValidationDeathTest, TracingNeedsAPositiveSampleInterval)
+{
+    ExperimentConfig config = smallConfig("go");
+    config.traceOut = "/tmp/x.trace.json";
+    config.traceSample = 0;
+    EXPECT_DEATH(validateExperimentConfig(config), "traceSample");
 }
 
 TEST(Sweep, ParallelForCoversEveryIndexOnce)

@@ -51,6 +51,12 @@ usage()
         "  --confidence N      confidence-counter threshold (7)\n"
         "  --table N           predictor table entries (1024)\n"
         "  --tagged-rvp        tag the RVP confidence counters\n"
+        "  --trace-out FILE    write a sampled pipeline-lifecycle trace;\n"
+        "                      .jsonl = line-delimited, anything else =\n"
+        "                      Chrome trace JSON (chrome://tracing)\n"
+        "  --trace-sample N    trace every Nth instruction (default: 64)\n"
+        "  --hist              collect latency/occupancy histograms into\n"
+        "                      the stat dump (implies extra stat keys)\n"
         "  --stats             dump the full statistics set\n"
         "  --disasm            print the compiled workload and exit\n"
         "  --list              list available workloads and exit\n";
@@ -141,9 +147,11 @@ main(int argc, char **argv)
         } else if (arg == "--wide") {
             RecoveryPolicy recovery = config.core.recovery;
             std::uint64_t insts = config.core.maxInsts;
+            bool hist = config.core.collectHist;
             config.core = CoreParams::aggressive16();
             config.core.recovery = recovery;
             config.core.maxInsts = insts;
+            config.core.collectHist = hist;
         } else if (arg == "--insts") {
             config.core.maxInsts = std::strtoull(next().c_str(), nullptr,
                                                  10);
@@ -160,6 +168,13 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--tagged-rvp") {
             config.taggedRvp = true;
+        } else if (arg == "--trace-out") {
+            config.traceOut = next();
+        } else if (arg == "--trace-sample") {
+            config.traceSample = std::strtoull(next().c_str(), nullptr,
+                                               10);
+        } else if (arg == "--hist") {
+            config.core.collectHist = true;
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--disasm") {
@@ -179,6 +194,8 @@ main(int argc, char **argv)
             "combine it with --scheme drvp");
     if (config.scheme == VpScheme::StaticRvp && !config.loadsOnly)
         die("static RVP marks loads only; --all needs --scheme drvp");
+    if (!config.traceOut.empty() && config.traceSample == 0)
+        die("--trace-sample must be at least 1");
 
     if (disasm_only) {
         BuiltWorkload wl = buildWorkload(config.workload, InputSet::Ref);

@@ -43,6 +43,10 @@ struct Options
     std::vector<std::string> figures;     // empty = all
     bool fullStats = false;
     bool quiet = false;
+    /** Per-run trace path prefix; empty = tracing off. */
+    std::string tracePrefix;
+    std::uint64_t traceSample = 64;
+    bool hist = false;
 };
 
 /** One grid entry: a figure's variant applied to one workload. */
@@ -70,6 +74,12 @@ usage()
         "  --figures CSV       figure filter: fig03,fig04,fig05,fig06,\n"
         "                      fig07,fig08,table2,stride (default: all)\n"
         "  --full-stats        embed the complete per-run stat dumps\n"
+        "  --trace-out PREFIX  write one Chrome trace JSON per run to\n"
+        "                      PREFIX<figure>-<variant>-<workload>"
+        ".trace.json\n"
+        "  --trace-sample N    trace every Nth instruction (default: 64)\n"
+        "  --hist              collect latency/occupancy histograms\n"
+        "                      (visible with --full-stats)\n"
         "  --quiet             suppress per-run progress lines\n";
 }
 
@@ -330,6 +340,12 @@ main(int argc, char **argv)
             opts.figures = splitCsv(next());
         else if (arg == "--full-stats")
             opts.fullStats = true;
+        else if (arg == "--trace-out")
+            opts.tracePrefix = next();
+        else if (arg == "--trace-sample")
+            opts.traceSample = nextU64();
+        else if (arg == "--hist")
+            opts.hist = true;
         else if (arg == "--quiet")
             opts.quiet = true;
         else if (arg == "--help" || arg == "-h") {
@@ -339,6 +355,9 @@ main(int argc, char **argv)
             die("unknown argument '" + arg + "'");
         }
     }
+
+    if (!opts.tracePrefix.empty() && opts.traceSample == 0)
+        die("--trace-sample must be at least 1");
 
     std::vector<std::string> all_names;
     for (const WorkloadSpec &spec : allWorkloads())
@@ -376,6 +395,17 @@ main(int argc, char **argv)
                 entry.config.core.maxInsts = opts.insts;
                 entry.config.profileInsts = opts.profileInsts;
                 apply(entry.config);
+                // Tracing/histogram knobs go on after apply() so a
+                // variant that rebuilds core params (e.g. fig08's
+                // aggressive16) cannot drop them.
+                entry.config.core.collectHist = opts.hist;
+                if (!opts.tracePrefix.empty()) {
+                    entry.config.traceSample = opts.traceSample;
+                    entry.config.traceOut = opts.tracePrefix +
+                                            entry.figure + "-" +
+                                            entry.variant + "-" +
+                                            workload + ".trace.json";
+                }
                 entries.push_back(std::move(entry));
             }
         }
@@ -432,8 +462,11 @@ main(int argc, char **argv)
            << ", \"accuracy\": " << jsonNum(r.accuracy)
            << ", \"realloc_failed\": "
            << (r.reallocFailed ? "true" : "false")
+           << ", \"failed\": " << (r.failed ? "true" : "false")
            << ", \"run_seconds\": " << jsonNum(report.runSeconds[i])
            << ", \"kips\": " << jsonNum(r.kips);
+        if (r.failed)
+            os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
         if (opts.fullStats) {
             os << ", \"stats\": {";
             bool first = true;
