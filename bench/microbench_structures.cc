@@ -18,6 +18,7 @@
 #include "compiler/regalloc.hh"
 #include "emu/emulator.hh"
 #include "mem/hierarchy.hh"
+#include "stream/stream.hh"
 #include "uarch/core.hh"
 #include "vp/oracle.hh"
 #include "workloads/workloads.hh"
@@ -265,6 +266,63 @@ BM_StatAddByHandle(benchmark::State &state)
     benchmark::DoNotOptimize(stats.get("core.issued"));
 }
 BENCHMARK(BM_StatAddByHandle);
+
+/**
+ * Committed-stream capture (stream/stream.hh): one full emulate +
+ * verify + encode pass. Amortized over every replay of the stream, so
+ * compare against (replays x BM_EmulatorStep).
+ */
+void
+BM_StreamCapture(benchmark::State &state)
+{
+    BuiltWorkload wl = buildWorkload("go", InputSet::Ref);
+    AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+    LowerResult low = lower(wl.func, alloc);
+    low.program.dataImage = wl.data;
+    const std::uint64_t insts = 100'000;
+    std::shared_ptr<const CapturedStream> stream;
+    for (auto _ : state) {
+        stream = CapturedStream::capture(low.program, insts);
+        benchmark::DoNotOptimize(stream);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(insts));
+    if (stream) {
+        state.counters["bytes_per_inst"] =
+            static_cast<double>(stream->encodedBytes()) /
+            static_cast<double>(stream->instCount());
+    }
+}
+BENCHMARK(BM_StreamCapture)->Unit(benchmark::kMillisecond);
+
+/** Replay rate through the InstSource seam; the live-path comparison
+ *  point is BM_EmulatorStep (plus its per-step ArchState copy). */
+void
+BM_StreamReplayStep(benchmark::State &state)
+{
+    BuiltWorkload wl = buildWorkload("go", InputSet::Ref);
+    AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+    LowerResult low = lower(wl.func, alloc);
+    low.program.dataImage = wl.data;
+    auto stream = CapturedStream::capture(low.program, 100'000);
+    auto cursor = std::make_unique<StreamCursor>(stream);
+    std::uint64_t left = stream->instCount();
+    DynInst di;
+    for (auto _ : state) {
+        if (left == 0) {
+            state.PauseTiming();
+            cursor = std::make_unique<StreamCursor>(stream);
+            left = stream->instCount();
+            state.ResumeTiming();
+        }
+        cursor->step(di);
+        --left;
+        benchmark::DoNotOptimize(di);
+        benchmark::DoNotOptimize(cursor->preState());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamReplayStep);
 
 } // namespace
 

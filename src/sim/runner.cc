@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include <bit>
 #include <chrono>
 #include <fstream>
 #include <memory>
@@ -141,6 +142,27 @@ validateExperimentConfig(const ExperimentConfig &config)
     validateCacheConfig(config.core.mem.l2);
 }
 
+StreamKey
+streamKeyFor(const ExperimentConfig &config, bool reallocFailed)
+{
+    StreamKey key;
+    key.workload = config.workload;
+    key.input = InputSet::Ref;
+    if (config.realisticRealloc && !reallocFailed) {
+        key.binary = StreamKey::Binary::Realloc;
+        key.profileInsts = config.profileInsts;
+        key.thresholdBits =
+            std::bit_cast<std::uint64_t>(config.profileThreshold);
+    } else if (config.scheme == VpScheme::StaticRvp) {
+        key.binary = StreamKey::Binary::SrvpMarked;
+        key.assist = config.assist;
+        key.profileInsts = config.profileInsts;
+        key.thresholdBits =
+            std::bit_cast<std::uint64_t>(config.profileThreshold);
+    }
+    return key;
+}
+
 ExperimentResult
 runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
 {
@@ -260,7 +282,34 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
     std::unique_ptr<PipelineTracer> tracer;
     if (!config.traceOut.empty())
         tracer = std::make_unique<PipelineTracer>(config.traceSample);
-    Core core(config.core, ref->low.program, *predictor, tracer.get());
+
+    // With a sweep cache, replay the committed stream instead of
+    // re-emulating it: functional execution and SparseMemory traffic
+    // happen once per distinct binary; every other run replays the
+    // encoded capture (bit-identical — capture verifies every derived
+    // field against the live emulator). Null stream = run live (cache
+    // disabled, or this binary's stream exceeds the byte budget).
+    WorkloadCache::StreamPtr stream;
+    std::unique_ptr<StreamCursor> cursor;
+    if (cache) {
+        // Fetch runs at most robEntries ahead of commit, and commit
+        // can overshoot the budget by one commit group in its final
+        // cycle, which bounds what any run can pull from the source.
+        std::uint64_t min_insts = config.core.maxInsts +
+                                  config.core.robEntries +
+                                  config.core.commitWidth;
+        const Program &timed = ref->low.program;
+        stream = cache->stream(
+            streamKeyFor(config, realloc_failed), min_insts,
+            [&](std::uint64_t max_bytes) {
+                return CapturedStream::capture(timed, min_insts,
+                                               max_bytes);
+            });
+        if (stream)
+            cursor = std::make_unique<StreamCursor>(stream);
+    }
+    Core core(config.core, ref->low.program, *predictor, tracer.get(),
+              cursor.get());
     auto t0 = std::chrono::steady_clock::now();
     CoreResult cr = core.run();
     auto t1 = std::chrono::steady_clock::now();

@@ -16,6 +16,7 @@
 #define RVP_SIM_RUNNER_HH
 
 #include <string>
+#include <tuple>
 
 #include "compiler/lower.hh"
 #include "compiler/regalloc.hh"
@@ -121,6 +122,49 @@ struct CompiledWorkload
     AllocResult alloc;
     LowerResult low;
 };
+
+/**
+ * Identity of a committed instruction stream (stream/stream.hh): the
+ * emulator is deterministic, so the stream is keyed by exactly what
+ * determines the bits of the executed binary — and by nothing that
+ * only changes the timing model or the predictor around it (recovery
+ * policy, table sizes, loadsOnly, core geometry all share one stream).
+ */
+struct StreamKey
+{
+    /** Which compiler pipeline produced the timed binary. */
+    enum class Binary : std::uint8_t
+    {
+        Base,        ///< plain ref compile (incl. failed reallocs)
+        SrvpMarked,  ///< rvp_*-marked loads (StaticRvp)
+        Realloc,     ///< Section-7.3 register re-allocation
+    };
+
+    std::string workload;
+    InputSet input = InputSet::Ref;
+    Binary binary = Binary::Base;
+    /** Mutated binaries only: the profile that shaped them. */
+    AssistLevel assist = AssistLevel::Same;
+    std::uint64_t profileInsts = 0;
+    std::uint64_t thresholdBits = 0;   ///< profileThreshold bit pattern
+
+    bool
+    operator<(const StreamKey &o) const
+    {
+        return std::tie(workload, input, binary, assist, profileInsts,
+                        thresholdBits) <
+               std::tie(o.workload, o.input, o.binary, o.assist,
+                        o.profileInsts, o.thresholdBits);
+    }
+    bool operator==(const StreamKey &) const = default;
+};
+
+/**
+ * Stream identity of config's timed (ref) binary. reallocFailed runs
+ * kept the baseline allocation, so they fold onto the Base key.
+ */
+StreamKey streamKeyFor(const ExperimentConfig &config,
+                       bool reallocFailed);
 
 /** Profile + critical-path scores over one compiled workload. */
 struct ProfileRun

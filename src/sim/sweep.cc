@@ -147,6 +147,115 @@ WorkloadCache::profiled(const std::string &workload, InputSet input,
                    });
 }
 
+WorkloadCache::StreamPtr
+WorkloadCache::stream(const StreamKey &key, std::uint64_t minInsts,
+                      const std::function<StreamPtr(std::uint64_t)> &build)
+{
+    if (streamBudget_ == 0)
+        return nullptr;
+    // The loop re-enters when a shared build resolves to a stream
+    // truncated below this caller's bound (a smaller-budget run built
+    // it first): the entry is then replaced and rebuilt at ours.
+    for (;;) {
+        std::promise<StreamPtr> promise;
+        std::shared_future<StreamPtr> future;
+        bool builder = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = streams_.find(key);
+            bool rebuild = it != streams_.end() && it->second.resolved &&
+                           it->second.future.get() &&
+                           !it->second.future.get()->covers(minInsts);
+            if (it == streams_.end() || rebuild) {
+                if (rebuild) {
+                    // A capture truncated below this run's bound is
+                    // useless to it — replace, don't count an evict.
+                    stats_.streamBytesResident -= it->second.bytes;
+                    streams_.erase(it);
+                }
+                future = promise.get_future().share();
+                StreamEntry entry;
+                entry.future = future;
+                streams_.emplace(key, std::move(entry));
+                ++stats_.streamMisses;
+                builder = true;
+            } else {
+                StreamEntry &entry = it->second;
+                if (entry.resolved) {
+                    entry.lastUse = ++streamStamp_;
+                    if (!entry.future.get()) {
+                        // Negative entry: too big for the budget.
+                        ++stats_.streamMisses;
+                        return nullptr;
+                    }
+                    ++stats_.streamHits;
+                    return entry.future.get();
+                }
+                future = entry.future;   // share the in-flight build
+                ++stats_.streamHits;
+            }
+        }
+        if (builder) {
+            StreamPtr built;
+            try {
+                built = build(streamBudget_);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    streams_.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+                throw;
+            }
+            promise.set_value(built);
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = streams_.find(key);
+            if (it != streams_.end()) {
+                StreamEntry &entry = it->second;
+                entry.resolved = true;
+                entry.lastUse = ++streamStamp_;
+                if (built) {
+                    entry.bytes = built->encodedBytes();
+                    entry.insts = built->instCount();
+                    stats_.streamBytesResident += entry.bytes;
+                    stats_.streamBytesBuilt += entry.bytes;
+                    stats_.streamInstsBuilt += entry.insts;
+                    evictStreamsOverBudget(key);
+                }
+            }
+            return built;
+        }
+        StreamPtr got = future.get();
+        if (!got)
+            return nullptr;
+        if (got->covers(minInsts))
+            return got;
+    }
+}
+
+void
+WorkloadCache::evictStreamsOverBudget(const StreamKey &keep)
+{
+    while (stats_.streamBytesResident > streamBudget_) {
+        auto victim = streams_.end();
+        for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+            if (!it->second.resolved || !it->second.future.get() ||
+                it->first == keep) {
+                continue;   // pending, negative, or the new arrival
+            }
+            if (victim == streams_.end() ||
+                it->second.lastUse < victim->second.lastUse) {
+                victim = it;
+            }
+        }
+        if (victim == streams_.end())
+            break;   // nothing evictable (the new stream alone fits)
+        stats_.streamBytesResident -= victim->second.bytes;
+        ++stats_.streamEvicted;
+        streams_.erase(victim);
+    }
+}
+
 WorkloadCacheStats
 WorkloadCache::stats() const
 {
@@ -203,7 +312,8 @@ runSweep(const std::vector<ExperimentConfig> &configs,
 
     std::vector<ExperimentResult> results(configs.size());
     std::vector<double> run_seconds(configs.size(), 0.0);
-    WorkloadCache cache;
+    WorkloadCache cache(options.streamCapture ? options.streamCacheBytes
+                                              : 0);
     std::atomic<std::size_t> completed{0};
     std::mutex progress_mutex;
     auto sweep_start = std::chrono::steady_clock::now();

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "sim/runner.hh"
+#include "stream/stream.hh"
 
 namespace rvp
 {
@@ -51,6 +52,17 @@ struct WorkloadCacheStats
     std::uint64_t compileMisses = 0;
     std::uint64_t profileHits = 0;
     std::uint64_t profileMisses = 0;
+    /** Committed-stream cache (stream/stream.hh): a hit replays a
+     *  captured stream, a miss runs (and usually captures) live. */
+    std::uint64_t streamHits = 0;
+    std::uint64_t streamMisses = 0;
+    std::uint64_t streamEvicted = 0;
+    /** Capture totals, monotonic: encoded bytes / instructions over
+     *  every stream built (bytes/inst = the encoding density). */
+    std::uint64_t streamBytesBuilt = 0;
+    std::uint64_t streamInstsBuilt = 0;
+    /** Encoded bytes currently resident (kept <= the byte budget). */
+    std::uint64_t streamBytesResident = 0;
 };
 
 /**
@@ -62,6 +74,25 @@ struct WorkloadCacheStats
 class WorkloadCache
 {
   public:
+    using StreamPtr = std::shared_ptr<const CapturedStream>;
+
+    /**
+     * Default committed-stream byte budget. The full paper grid keeps
+     * a few dozen ~400K-instruction streams at a few bytes per
+     * instruction resident, so this holds everything with headroom;
+     * eviction exists for tighter custom budgets.
+     */
+    static constexpr std::uint64_t defaultStreamCacheBytes =
+        256ull * 1024 * 1024;
+
+    WorkloadCache() = default;
+    /** Committed-stream budget in bytes; 0 disables stream caching
+     *  entirely (every run uses live emulation). */
+    explicit WorkloadCache(std::uint64_t streamCacheBytes)
+        : streamBudget_(streamCacheBytes)
+    {
+    }
+
     /** Compiled (workload, input), built at most once per cache. */
     std::shared_ptr<const CompiledWorkload>
     compiled(const std::string &workload, InputSet input);
@@ -71,6 +102,22 @@ class WorkloadCache
     profiled(const std::string &workload, InputSet input,
              std::uint64_t insts);
 
+    /**
+     * Committed stream for key, covering at least minInsts
+     * instructions, built at most once via build(maxBytes) (capture
+     * returns null above maxBytes). Returns null when the caller
+     * should fall back to live emulation: caching disabled, or the
+     * stream is too big for the budget. A cached-but-truncated stream
+     * shorter than minInsts is rebuilt at the larger bound. The
+     * returned stream is immutable and safe to replay concurrently;
+     * it stays valid after eviction (shared ownership).
+     */
+    StreamPtr stream(const StreamKey &key, std::uint64_t minInsts,
+                     const std::function<StreamPtr(std::uint64_t)> &build);
+
+    /** Configured committed-stream byte budget (0 = disabled). */
+    std::uint64_t streamBudgetBytes() const { return streamBudget_; }
+
     WorkloadCacheStats stats() const;
 
   private:
@@ -79,9 +126,28 @@ class WorkloadCache
     using CompileKey = std::pair<std::string, int>;
     using ProfileKey = std::tuple<std::string, int, std::uint64_t>;
 
+    /** One stream slot: pending (future unset-yet) or resolved. A
+     *  resolved null future value is a negative entry — the stream
+     *  exceeded the budget and the key always runs live. */
+    struct StreamEntry
+    {
+        std::shared_future<StreamPtr> future;
+        std::uint64_t bytes = 0;
+        std::uint64_t insts = 0;
+        std::uint64_t lastUse = 0;
+        bool resolved = false;
+    };
+
+    /** Evict least-recently-used streams (never `keep`, never pending
+     *  builds) until the resident total fits the budget. Locked. */
+    void evictStreamsOverBudget(const StreamKey &keep);
+
     mutable std::mutex mutex_;
     std::map<CompileKey, std::shared_future<CompiledPtr>> compiled_;
     std::map<ProfileKey, std::shared_future<ProfilePtr>> profiled_;
+    std::map<StreamKey, StreamEntry> streams_;
+    std::uint64_t streamBudget_ = defaultStreamCacheBytes;
+    std::uint64_t streamStamp_ = 0;
     WorkloadCacheStats stats_;
 };
 
@@ -101,6 +167,16 @@ struct SweepOptions
     std::function<ExperimentResult(const ExperimentConfig &,
                                    WorkloadCache &)>
         runFn;
+    /**
+     * Capture each distinct binary's committed stream once and replay
+     * it in every run sharing that binary (bit-identical stats; see
+     * stream/stream.hh). Off = always live emulation.
+     */
+    bool streamCapture = true;
+    /** Total (and per-stream) encoded-stream byte budget; least-
+     *  recently-used streams are evicted back to live emulation. */
+    std::uint64_t streamCacheBytes =
+        WorkloadCache::defaultStreamCacheBytes;
 };
 
 /** Per-sweep observability (timings and cache effectiveness). */

@@ -1,0 +1,255 @@
+#include "stream/stream.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+/** LEB128 append. */
+void
+putVarint(std::vector<std::uint8_t> &lane, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        lane.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    lane.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+void
+putDelta(std::vector<std::uint8_t> &lane, std::int64_t delta)
+{
+    putVarint(lane, zigzag(delta));
+}
+
+/** LEB128 read; advances pos. The encoder bounds every lane, so the
+ *  decode side trusts the byte stream (capture verified it). */
+std::uint64_t
+getVarint(const std::uint8_t *&pos)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        std::uint8_t byte = *pos++;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+std::int64_t
+getDelta(const std::uint8_t *&pos)
+{
+    std::uint64_t z = getVarint(pos);
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+} // namespace
+
+InstSource::~InstSource() = default;
+
+// ---------------------------------------------------------------------
+// Capture
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const CapturedStream>
+CapturedStream::capture(const Program &prog, std::uint64_t maxInsts,
+                        std::uint64_t maxBytes)
+{
+    auto stream = std::shared_ptr<CapturedStream>(new CapturedStream);
+
+    // Static decode table: everything an instance shares with its
+    // static instruction, precomputed once.
+    stream->decode_.reserve(prog.size());
+    for (const StaticInst &si : prog.insts) {
+        const OpcodeInfo &info = si.info();
+        StaticDecode d;
+        d.op = si.op;
+        d.srcA = (si.ra == regNone || isZeroReg(si.ra)) ? regNone : si.ra;
+        if (!si.useImm && !info.isLoad && si.op != Opcode::LDA &&
+            si.rb != regNone && !isZeroReg(si.rb)) {
+            d.srcB = si.rb;
+        }
+        if (info.writesRc) {
+            d.flags |= kWrites;
+            d.rawRc = si.rc;
+            d.dest = isZeroReg(si.rc) ? regNone : si.rc;
+        }
+        if (info.isLoad || info.isStore)
+            d.flags |= kMem;
+        if (info.isStore) {
+            d.flags |= kStore;
+            d.storeReg = si.rb;
+        }
+        if (info.isCondBranch)
+            d.flags |= kCond;
+        if (info.isUncondBranch)
+            d.flags |= kAlwaysTaken;
+        stream->decode_.push_back(d);
+    }
+
+    Emulator emu(prog);
+    stream->initialState_ = emu.state();
+
+    // Mirror of the state a replay cursor will reconstruct; every
+    // derived field is checked against the live DynInst as we encode,
+    // so replay correctness is established at capture time.
+    ArchState mirror = emu.state();
+    DynInst di;
+    std::int64_t prev_idx = 0;
+    std::uint64_t prev_addr = 0;
+    std::uint64_t expected_pc = Program::textBase;
+
+    while (stream->count_ < maxInsts) {
+        if (!emu.step(di))
+            break;
+        std::uint32_t idx = di.staticIndex;
+        const StaticDecode &d = stream->decode_[idx];
+        RVP_ASSERT(di.pc == Program::pcOf(idx) && di.pc == expected_pc);
+        RVP_ASSERT(di.op == d.op && di.srcA == d.srcA &&
+                   di.srcB == d.srcB && di.dest == d.dest);
+
+        putDelta(stream->idxLane_, static_cast<std::int64_t>(idx) -
+                                       prev_idx);
+        prev_idx = static_cast<std::int64_t>(idx);
+
+        if (d.flags & kWrites) {
+            std::uint64_t old = mirror.read(d.rawRc);
+            RVP_ASSERT(old == di.oldDestValue);
+            putDelta(stream->valueLane_,
+                     static_cast<std::int64_t>(di.newValue - old));
+            mirror.write(d.rawRc, di.newValue);
+        } else if (d.flags & kStore) {
+            RVP_ASSERT(di.newValue == mirror.read(d.storeReg));
+        }
+        if (d.flags & kMem) {
+            putDelta(stream->addrLane_,
+                     static_cast<std::int64_t>(di.effAddr - prev_addr));
+            prev_addr = di.effAddr;
+        } else {
+            RVP_ASSERT(di.effAddr == 0);
+        }
+        if (d.flags & kCond) {
+            unsigned bit = stream->takenBits_ & 7;
+            if (bit == 0)
+                stream->takenLane_.push_back(0);
+            stream->takenLane_.back() |=
+                static_cast<std::uint8_t>(di.isTaken) << bit;
+            ++stream->takenBits_;
+        } else {
+            RVP_ASSERT(di.isTaken == ((d.flags & kAlwaysTaken) != 0));
+        }
+
+        expected_pc = di.nextPc;
+        stream->finalNextPc_ = di.nextPc;
+        ++stream->count_;
+
+        if (maxBytes && stream->encodedBytes() > maxBytes)
+            return nullptr;
+    }
+    stream->complete_ = emu.halted();
+    return stream;
+}
+
+std::size_t
+CapturedStream::encodedBytes() const
+{
+    return idxLane_.size() + valueLane_.size() + addrLane_.size() +
+           takenLane_.size() +
+           decode_.size() * sizeof(StaticDecode) + sizeof(*this);
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+StreamCursor::StreamCursor(std::shared_ptr<const CapturedStream> stream)
+    : stream_(std::move(stream)),
+      idxPos_(stream_->idxLane_.data()),
+      valPos_(stream_->valueLane_.data()),
+      addrPos_(stream_->addrLane_.data()),
+      takenPos_(stream_->takenLane_.data()),
+      state_(stream_->initialState_)
+{
+    if (stream_->count_ > 0)
+        nextIdx_ = static_cast<std::uint32_t>(getDelta(idxPos_));
+}
+
+bool
+StreamCursor::step(DynInst &out)
+{
+    const CapturedStream &s = *stream_;
+    if (pos_ == s.count_) {
+        RVP_ASSERT(s.complete_,
+                   "stream cursor ran past a truncated capture "
+                   "(%llu instructions): covers() was not checked",
+                   static_cast<unsigned long long>(s.count_));
+        return false;
+    }
+
+    // Apply the previous instruction's register write now, keeping
+    // state_ equal to the *pre*-state of the instruction we return.
+    if (pendingDest_ != regNone) {
+        state_.write(pendingDest_, pendingValue_);
+        pendingDest_ = regNone;
+    }
+
+    std::uint32_t idx = nextIdx_;
+    const CapturedStream::StaticDecode &d = s.decode_[idx];
+
+    out = DynInst{};
+    out.seq = pos_;
+    out.staticIndex = idx;
+    out.pc = Program::pcOf(idx);
+    out.op = d.op;
+    out.srcA = d.srcA;
+    out.srcB = d.srcB;
+    out.dest = d.dest;
+
+    if (d.flags & CapturedStream::kWrites) {
+        std::uint64_t old = state_.read(d.rawRc);
+        out.oldDestValue = old;
+        out.newValue =
+            old + static_cast<std::uint64_t>(getDelta(valPos_));
+        pendingDest_ = d.rawRc;
+        pendingValue_ = out.newValue;
+    } else if (d.flags & CapturedStream::kStore) {
+        out.newValue = state_.read(d.storeReg);
+    }
+    if (d.flags & CapturedStream::kMem) {
+        prevAddr_ += static_cast<std::uint64_t>(getDelta(addrPos_));
+        out.effAddr = prevAddr_;
+    }
+    if (d.flags & CapturedStream::kCond) {
+        out.isTaken = (*takenPos_ >> takenBit_) & 1;
+        if (++takenBit_ == 8) {
+            takenBit_ = 0;
+            ++takenPos_;
+        }
+    } else {
+        out.isTaken = (d.flags & CapturedStream::kAlwaysTaken) != 0;
+    }
+
+    ++pos_;
+    if (pos_ < s.count_) {
+        nextIdx_ = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(idx) + getDelta(idxPos_));
+        out.nextPc = Program::pcOf(nextIdx_);
+    } else {
+        out.nextPc = s.finalNextPc_;
+    }
+    return true;
+}
+
+} // namespace rvp

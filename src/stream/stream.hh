@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Committed-stream capture & replay. The committed-path DynInst stream
+ * is a pure function of the compiled program (the emulator is
+ * deterministic and input-free beyond the data image), so a sweep that
+ * times one binary under many core/VP configurations can execute it
+ * once and replay the encoded stream everywhere else.
+ *
+ * The seam is InstSource: Core pulls instructions through it and the
+ * value predictors receive the pre-execution architectural state from
+ * it, so a live Emulator and a replay cursor are interchangeable and
+ * bit-identical in every emitted stat.
+ *
+ * Encoding (CapturedStream): a per-static decode table carries
+ * everything derivable from the static instruction (opcode, normalized
+ * sources, destination, flags); per-instruction lanes carry only the
+ * dynamic residue, as varint/zigzag deltas in structure-of-arrays
+ * form:
+ *
+ *   - static-index lane: delta vs the previous instruction's index
+ *     (sequential code encodes as +1 -> one byte)
+ *   - value lane: result minus the destination's prior value, for
+ *     writesRc instructions only (loads, ALU ops, JSR)
+ *   - address lane: effective-address delta vs the previous memory
+ *     operation, for loads/stores only
+ *   - taken lane: one bit per conditional branch
+ *
+ * Everything else is reconstructed: pc = Program::pcOf(index), nextPc
+ * is the following instruction's pc (the final one is stored), store
+ * data and oldDestValue are read from the replayed architectural
+ * state, which the cursor maintains by applying each instruction's
+ * single register write. Capture verifies all of these derivations
+ * against the live emulator instruction by instruction, so a stream
+ * that builds at all replays exactly.
+ */
+
+#ifndef RVP_STREAM_STREAM_HH
+#define RVP_STREAM_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "emu/emulator.hh"
+
+namespace rvp
+{
+
+/**
+ * The instruction-stream seam between the functional front end and the
+ * timing model. step() fills one committed-path DynInst (false once
+ * the program has halted); preState() is the architectural state the
+ * last-stepped instruction executed in, which is all the value
+ * predictors read beyond the DynInst itself.
+ */
+class InstSource
+{
+  public:
+    virtual ~InstSource();
+
+    /** Produce the next committed instruction; false after HALT. */
+    virtual bool step(DynInst &out) = 0;
+
+    /**
+     * Architectural state *before* the instruction the last successful
+     * step() produced. Valid until the next step() call.
+     */
+    virtual const ArchState &preState() const = 0;
+};
+
+/** Live functional execution: owns an Emulator, copies no state. */
+class LiveEmulatorSource final : public InstSource
+{
+  public:
+    explicit LiveEmulatorSource(const Program &prog) : emu_(prog) {}
+
+    bool
+    step(DynInst &out) override
+    {
+        pre_ = emu_.state();
+        return emu_.step(out);
+    }
+
+    const ArchState &preState() const override { return pre_; }
+
+  private:
+    Emulator emu_;
+    ArchState pre_;
+};
+
+/**
+ * An immutable captured committed stream. Build once per compiled
+ * binary with capture(), replay any number of times (concurrently)
+ * through StreamCursor.
+ */
+class CapturedStream
+{
+  public:
+    /**
+     * Run a fresh Emulator over prog for up to maxInsts committed
+     * instructions and encode the stream. Returns null if the encoded
+     * size would exceed maxBytes (0 = unlimited); a null result means
+     * "use live emulation", never a partial stream.
+     */
+    static std::shared_ptr<const CapturedStream>
+    capture(const Program &prog, std::uint64_t maxInsts,
+            std::uint64_t maxBytes = 0);
+
+    /** Captured instruction count. */
+    std::uint64_t instCount() const { return count_; }
+
+    /** True if the stream ends in HALT (nothing was truncated). */
+    bool complete() const { return complete_; }
+
+    /** True if a run consuming up to insts instructions can replay. */
+    bool
+    covers(std::uint64_t insts) const
+    {
+        return complete_ || count_ >= insts;
+    }
+
+    /** Total encoded footprint (lanes + decode table + state). */
+    std::size_t encodedBytes() const;
+
+  private:
+    friend class StreamCursor;
+
+    CapturedStream() = default;
+
+    /** Per-static-instruction fields shared by all its instances. */
+    struct StaticDecode
+    {
+        Opcode op = Opcode::NOP;
+        RegIndex srcA = regNone;   ///< normalized, as DynInst reports
+        RegIndex srcB = regNone;
+        RegIndex dest = regNone;   ///< normalized (zero regs -> none)
+        /** Raw rc when writesRc: oldDestValue / replay-write register
+         *  (ArchState read/write discard the zero regs). */
+        RegIndex rawRc = regNone;
+        RegIndex storeReg = regNone; ///< store data register (rb)
+        std::uint8_t flags = 0;
+    };
+
+    static constexpr std::uint8_t kWrites = 1;      ///< writesRc
+    static constexpr std::uint8_t kMem = 2;         ///< load or store
+    static constexpr std::uint8_t kStore = 4;
+    static constexpr std::uint8_t kCond = 8;        ///< conditional br
+    static constexpr std::uint8_t kAlwaysTaken = 16;///< BR / JSR / RET
+
+    std::vector<StaticDecode> decode_;
+    ArchState initialState_;
+
+    // Dynamic lanes (see file comment for the per-lane encodings).
+    std::vector<std::uint8_t> idxLane_;
+    std::vector<std::uint8_t> valueLane_;
+    std::vector<std::uint8_t> addrLane_;
+    std::vector<std::uint8_t> takenLane_;
+    std::uint64_t takenBits_ = 0;
+
+    std::uint64_t count_ = 0;
+    std::uint64_t finalNextPc_ = 0;
+    bool complete_ = false;
+};
+
+/**
+ * Replays a CapturedStream through the InstSource contract. The
+ * cursor reconstructs the full architectural state as it goes by
+ * applying each instruction's register write *lazily* (at the next
+ * step), so preState() is a reference to the state the last-stepped
+ * instruction saw — no per-instruction copy, unlike the live path.
+ */
+class StreamCursor final : public InstSource
+{
+  public:
+    explicit StreamCursor(std::shared_ptr<const CapturedStream> stream);
+
+    bool step(DynInst &out) override;
+    const ArchState &preState() const override { return state_; }
+
+  private:
+    std::shared_ptr<const CapturedStream> stream_;
+
+    // Lane read positions.
+    const std::uint8_t *idxPos_;
+    const std::uint8_t *valPos_;
+    const std::uint8_t *addrPos_;
+    const std::uint8_t *takenPos_;
+    unsigned takenBit_ = 0;
+
+    std::uint64_t pos_ = 0;        ///< instructions consumed
+    std::uint32_t nextIdx_ = 0;    ///< static index of instruction pos_
+    std::uint64_t prevAddr_ = 0;   ///< last memory effective address
+
+    ArchState state_;
+    /** Register write of the last-stepped instruction, applied on the
+     *  next step so state_ stays that instruction's pre-state. */
+    RegIndex pendingDest_ = regNone;
+    std::uint64_t pendingValue_ = 0;
+};
+
+} // namespace rvp
+
+#endif // RVP_STREAM_STREAM_HH

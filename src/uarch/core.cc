@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace rvp
@@ -36,10 +37,21 @@ Core::Counters::Counters(StatSet &stats)
 }
 
 Core::Core(const CoreParams &params, const Program &prog,
-           ValuePredictor &predictor, PipelineTracer *tracer)
-    : params_(params), prog_(prog), predictor_(predictor), emu_(prog),
+           ValuePredictor &predictor, PipelineTracer *tracer,
+           InstSource *source)
+    : params_(params), prog_(prog), predictor_(predictor),
       mem_(params.mem), bp_(params.bp), tracer_(tracer), ctr_(stats_)
 {
+    if (source) {
+        source_ = source;
+    } else {
+        ownedSource_ = std::make_unique<LiveEmulatorSource>(prog);
+        source_ = ownedSource_.get();
+    }
+    // Fetch probes the I-cache once per new line; the grouping must
+    // match the configured geometry (validateCacheConfig guarantees a
+    // power-of-two line size).
+    fetchLineShift_ = floorLog2(params.mem.l1i.lineBytes);
     if (params.collectHist) {
         histIssueToComplete_ =
             &stats_.distribution("core.issue_to_complete");
@@ -88,14 +100,6 @@ Core::findSeq(std::uint64_t seq)
 {
     return const_cast<Inflight *>(
         static_cast<const Core *>(this)->findSeq(seq));
-}
-
-const Core::Fetched &
-Core::fetchedOf(std::uint64_t seq) const
-{
-    RVP_ASSERT(seq >= bufferBase_ &&
-               seq - bufferBase_ < buffer_.size());
-    return buffer_[seq - bufferBase_];
 }
 
 bool
@@ -174,7 +178,7 @@ Core::dropFromScoreboard(const Inflight &inst, const Fetched &f)
         RVP_ASSERT(it != unresolvedPreds_.end() && *it == inst.seq);
         unresolvedPreds_.erase(it);
     }
-    if (f.di.isStore()) {
+    if (f.info->isStore) {
         auto it = storesByAddr_.find(f.di.effAddr);
         RVP_ASSERT(it != storesByAddr_.end() && !it->second.empty());
         std::vector<std::uint64_t> &seqs = it->second;
@@ -212,7 +216,7 @@ Core::completePhase()
         }
         Inflight &inst = *ip;
         inst.state = Inflight::St::Done;
-        const Fetched &f = fetchedOf(inst.seq);
+        const Fetched &f = *inst.f;
         if (tracer_ && tracer_->sampled(inst.seq))
             tracer_->onComplete(inst.seq, cycle_);
 
@@ -290,9 +294,9 @@ Core::recoverFromValueMispredict(Inflight &pred)
             squashFrom(pred.firstUseSeq);
             squashed = before - window_.size();
             fetchResumeCycle_ = cycle_ + 1;
-        } else if (map_[fetchedOf(pred.seq).di.dest].predSeq == pred.seq) {
+        } else if (map_[pred.f->di.dest].predSeq == pred.seq) {
             // No consumer yet: future consumers read the real result.
-            map_[fetchedOf(pred.seq).di.dest].predSeq = noSeq;
+            map_[pred.f->di.dest].predSeq = noSeq;
         }
         if (histRecoveryPenalty_)
             histRecoveryPenalty_->sample(static_cast<double>(squashed));
@@ -315,7 +319,7 @@ Core::recoverFromValueMispredict(Inflight &pred)
     }
     if (histRecoveryPenalty_)
         histRecoveryPenalty_->sample(static_cast<double>(affected));
-    RegIndex dest = fetchedOf(pred.seq).di.dest;
+    RegIndex dest = pred.f->di.dest;
     if (map_[dest].predSeq == pred.seq)
         map_[dest].predSeq = noSeq;
 }
@@ -332,9 +336,9 @@ Core::commitPhase()
         Inflight &head = window_.front();
         if (head.state != Inflight::St::Done)
             break;
-        const Fetched &f = fetchedOf(head.seq);
+        const Fetched &f = *head.f;
 
-        if (f.di.isStore())
+        if (f.info->isStore)
             mem_.storeAccess(f.di.effAddr);
         if (f.di.dest != regNone) {
             committedTag_[f.di.dest] = head.destTag;
@@ -446,7 +450,7 @@ Core::iqReleasePhase()
 bool
 Core::loadBlockedByStore(const Inflight &load) const
 {
-    const Fetched &lf = fetchedOf(load.seq);
+    const Fetched &lf = *load.f;
     auto it = storesByAddr_.find(lf.di.effAddr);
     if (it == storesByAddr_.end() || it->second.empty())
         return false;
@@ -463,7 +467,7 @@ Core::loadBlockedByStore(const Inflight &load) const
 unsigned
 Core::loadLatencyFor(const Inflight &load)
 {
-    const Fetched &lf = fetchedOf(load.seq);
+    const Fetched &lf = *load.f;
     auto it = storesByAddr_.find(lf.di.effAddr);
     if (it != storesByAddr_.end() && !it->second.empty() &&
         it->second.front() < load.seq) {
@@ -485,8 +489,8 @@ Core::issuePhase()
         if (cycle_ < inst.earliestIssue)
             continue;   // one-cycle reissue penalty after a mispredict
 
-        const Fetched &f = fetchedOf(inst.seq);
-        FuClass fu = f.di.info().fuClass;
+        const Fetched &f = *inst.f;
+        FuClass fu = f.info->fuClass;
         bool is_fp = fu == FuClass::FpAdd || fu == FuClass::FpMul ||
                      fu == FuClass::FpDiv;
         bool is_mem = fu == FuClass::Load || fu == FuClass::Store;
@@ -509,8 +513,8 @@ Core::issuePhase()
         if (!ready)
             continue;
 
-        unsigned latency = f.di.info().latency;
-        if (f.di.isLoad()) {
+        unsigned latency = f.info->latency;
+        if (f.info->isLoad) {
             if (loadBlockedByStore(inst))
                 continue;
             latency = 1 + loadLatencyFor(inst);
@@ -563,8 +567,8 @@ Core::dispatchPhase()
         if (inst.fetchCycle + params_.frontDepth > cycle_)
             break;   // still in the front end (in-order)
 
-        const Fetched &f = fetchedOf(inst.seq);
-        const OpcodeInfo &info = f.di.info();
+        const Fetched &f = *inst.f;
+        const OpcodeInfo &info = *f.info;
         bool is_fp_queue = info.fuClass == FuClass::FpAdd ||
                            info.fuClass == FuClass::FpMul ||
                            info.fuClass == FuClass::FpDiv;
@@ -724,19 +728,19 @@ Core::fetchPhase()
                 break;
             }
             Fetched f;
-            ArchState pre = emu_.state();
-            if (!emu_.step(f.di)) {
+            if (!source_->step(f.di)) {
                 streamEnded_ = true;
                 fetchHalted_ = true;
                 break;
             }
-            f.vp = predictor_.onInst(f.di, pre);
-            if (f.di.isControl()) {
+            f.info = &opcodeInfo(f.di.op);
+            f.vp = predictor_.onInst(f.di, source_->preState());
+            if (f.info->isCondBranch || f.info->isUncondBranch) {
                 f.isBranch = true;
                 const StaticInst &si = prog_.at(f.di.staticIndex);
                 BranchPrediction pred = bp_.predict(f.di.pc, si);
                 bool dir_wrong =
-                    si.info().isCondBranch && pred.taken != f.di.isTaken;
+                    f.info->isCondBranch && pred.taken != f.di.isTaken;
                 bool target_wrong =
                     f.di.isTaken && pred.taken &&
                     (!pred.targetKnown || pred.target != f.di.nextPc);
@@ -749,8 +753,9 @@ Core::fetchPhase()
         }
         Fetched &f = buffer_[fetchSeq_ - bufferBase_];
 
-        // Instruction-cache access, one probe per new line.
-        std::uint64_t line = f.di.pc >> 6;
+        // Instruction-cache access, one probe per new line (the line
+        // granularity tracks the configured L1I geometry).
+        std::uint64_t line = f.di.pc >> fetchLineShift_;
         if (line != lastFetchLine_) {
             unsigned lat = mem_.fetchLatency(f.di.pc);
             lastFetchLine_ = line;
@@ -764,9 +769,10 @@ Core::fetchPhase()
 
         Inflight inst;
         inst.seq = fetchSeq_;
+        inst.f = &f;
         inst.fetchCycle = cycle_;
         window_.push_back(inst);
-        if (f.di.isStore())
+        if (f.info->isStore)
             storesByAddr_[f.di.effAddr].push_back(inst.seq);
         ++fetchSeq_;
         ++fetched;
@@ -804,7 +810,7 @@ Core::squashFrom(std::uint64_t first_bad_seq)
 {
     while (!window_.empty() && window_.back().seq >= first_bad_seq) {
         const Inflight &inst = window_.back();
-        dropFromScoreboard(inst, fetchedOf(inst.seq));
+        dropFromScoreboard(inst, *inst.f);
         ctr_.squashed.add();
         if (tracer_ && tracer_->sampled(inst.seq))
             tracer_->onSquash(inst.seq, TraceExit::ValueSquash);
@@ -849,7 +855,7 @@ Core::rebuildRenameMap()
     for (const Inflight &inst : window_) {
         if (inst.state == Inflight::St::WaitDispatch)
             break;   // not renamed yet (in-order suffix)
-        const Fetched &f = fetchedOf(inst.seq);
+        const Fetched &f = *inst.f;
         if (f.di.dest == regNone)
             continue;
         if (inst.isPredicted && !inst.resolved) {
@@ -898,7 +904,7 @@ Core::run()
             std::fprintf(stderr, "=== window @cycle %llu ===\n",
                          static_cast<unsigned long long>(cycle_));
             for (const Inflight &inst : window_) {
-                const Fetched &f = fetchedOf(inst.seq);
+                const Fetched &f = *inst.f;
                 std::fprintf(
                     stderr,
                     "seq=%llu st=%d iq=%d fp=%d op=%s pred=%d res=%d "
@@ -906,7 +912,7 @@ Core::run()
                     static_cast<unsigned long long>(inst.seq),
                     static_cast<int>(inst.state), inst.inIq,
                     inst.usesFpQueue,
-                    std::string(f.di.info().mnemonic).c_str(),
+                    std::string(f.info->mnemonic).c_str(),
                     inst.isPredicted, inst.resolved, inst.specOn.size(),
                     static_cast<unsigned long long>(inst.srcTag[0]),
                     static_cast<unsigned long long>(

@@ -27,12 +27,14 @@
 #define RVP_UARCH_CORE_HH
 
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "branch/gshare.hh"
 #include "emu/emulator.hh"
 #include "mem/hierarchy.hh"
+#include "stream/stream.hh"
 #include "trace/tracer.hh"
 #include "uarch/params.hh"
 #include "vp/predictor.hh"
@@ -61,9 +63,14 @@ class Core
      * @param tracer optional pipeline-lifecycle tracer (owned by the
      *        caller; null disables tracing at the cost of one
      *        predictable branch per hook site)
+     * @param source optional committed-stream source (owned by the
+     *        caller, e.g. a StreamCursor replaying a cached capture);
+     *        null means live functional emulation of prog. Either
+     *        source yields bit-identical stats.
      */
     Core(const CoreParams &params, const Program &prog,
-         ValuePredictor &predictor, PipelineTracer *tracer = nullptr);
+         ValuePredictor &predictor, PipelineTracer *tracer = nullptr,
+         InstSource *source = nullptr);
 
     /** Run to the committed-instruction budget (or HALT). */
     CoreResult run();
@@ -76,6 +83,9 @@ class Core
     struct Fetched
     {
         DynInst di;
+        /** di.op's static properties (the opcodeInfo() lookup is
+         *  out-of-line; one resolution at fetch serves every phase). */
+        const OpcodeInfo *info = nullptr;
         VpDecision vp;
         bool isBranch = false;
         bool branchMispredict = false;
@@ -88,6 +98,11 @@ class Core
         enum class St : std::uint8_t { WaitDispatch, InIQ, Issued, Done };
 
         std::uint64_t seq = 0;
+        /** This seq's Fetched record. Stable: deque push_back/pop_front
+         *  never move other elements, and buffer_ entries outlive their
+         *  window_ entries (popped together at commit, and squash only
+         *  drops window_ entries). */
+        const Fetched *f = nullptr;
         St state = St::WaitDispatch;
         std::uint64_t fetchCycle = 0;
         std::uint64_t completeCycle = farFuture;
@@ -133,7 +148,6 @@ class Core
     // ---- helpers ----
     Inflight *findSeq(std::uint64_t seq);
     const Inflight *findSeq(std::uint64_t seq) const;
-    const Fetched &fetchedOf(std::uint64_t seq) const;
     bool predUnresolved(std::uint64_t seq) const;
     void recoverFromValueMispredict(Inflight &pred);
     void squashFrom(std::uint64_t first_bad_seq);
@@ -151,7 +165,10 @@ class Core
     const Program &prog_;
     ValuePredictor &predictor_;
 
-    Emulator emu_;
+    /** Live fallback, constructed only when no source is injected (a
+     *  replay run skips the emulator's data-image setup entirely). */
+    std::unique_ptr<LiveEmulatorSource> ownedSource_;
+    InstSource *source_;
     MemoryHierarchy mem_;
     BranchPredictor bp_;
 
@@ -226,6 +243,8 @@ class Core
     std::uint64_t fetchResumeCycle_ = 0;
     std::uint64_t pendingRedirectSeq_ = noSeq;
     std::uint64_t lastFetchLine_ = ~0ull;
+    /** log2 of the configured L1I line size (fetch-probe granularity). */
+    unsigned fetchLineShift_ = 6;
     bool fetchHalted_ = false;
 
     StatSet stats_;

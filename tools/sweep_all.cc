@@ -47,6 +47,9 @@ struct Options
     std::string tracePrefix;
     std::uint64_t traceSample = 64;
     bool hist = false;
+    /** Committed-stream cache budget; 0 = always live emulation. */
+    std::uint64_t streamCacheBytes =
+        WorkloadCache::defaultStreamCacheBytes;
 };
 
 /** One grid entry: a figure's variant applied to one workload. */
@@ -80,6 +83,9 @@ usage()
         "  --trace-sample N    trace every Nth instruction (default: 64)\n"
         "  --hist              collect latency/occupancy histograms\n"
         "                      (visible with --full-stats)\n"
+        "  --stream-cache-bytes N\n"
+        "                      committed-stream replay cache budget\n"
+        "                      (default 256 MiB; 0 disables replay)\n"
         "  --quiet             suppress per-run progress lines\n";
 }
 
@@ -88,6 +94,58 @@ die(const std::string &message)
 {
     std::cerr << "sweep_all: " << message << " (try --help)\n";
     std::exit(1);
+}
+
+/** `git describe` label for bench rows; "unknown" outside a repo. */
+std::string
+gitDescribe()
+{
+    std::FILE *pipe =
+        popen("git describe --always --dirty --tags 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    char buf[128];
+    std::string out;
+    while (std::fgets(buf, sizeof(buf), pipe))
+        out += buf;
+    int rc = pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    if (rc != 0 || out.empty())
+        return "unknown";
+    return out;
+}
+
+/**
+ * FNV-1a hash of every option that shapes the measured grid, so two
+ * bench rows are throughput-comparable exactly when their hashes
+ * match. --jobs and --stream-cache-bytes are deliberately excluded:
+ * they change how fast the work is done, not what work the sweep
+ * does, and comparing rows across them is the point of the trail.
+ */
+std::string
+configHash(const Options &opts)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        h ^= 0xff;   // field separator
+        h *= 1099511628211ull;
+    };
+    mix("insts=" + std::to_string(opts.insts));
+    mix("profile_insts=" + std::to_string(opts.profileInsts));
+    mix("hist=" + std::to_string(opts.hist));
+    for (const std::string &w : opts.workloads)
+        mix("workload=" + w);
+    for (const std::string &f : opts.figures)
+        mix("figure=" + f);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
 }
 
 std::vector<std::string>
@@ -346,6 +404,8 @@ main(int argc, char **argv)
             opts.traceSample = nextU64();
         else if (arg == "--hist")
             opts.hist = true;
+        else if (arg == "--stream-cache-bytes")
+            opts.streamCacheBytes = nextU64();
         else if (arg == "--quiet")
             opts.quiet = true;
         else if (arg == "--help" || arg == "-h") {
@@ -421,6 +481,8 @@ main(int argc, char **argv)
     SweepOptions sweep_opts;
     sweep_opts.jobs = opts.jobs;
     sweep_opts.progress = !opts.quiet;
+    sweep_opts.streamCapture = opts.streamCacheBytes > 0;
+    sweep_opts.streamCacheBytes = opts.streamCacheBytes;
     SweepReport report;
     std::cerr << "sweep_all: " << entries.size() << " runs, jobs="
               << (opts.jobs ? opts.jobs : defaultJobs()) << "\n";
@@ -441,7 +503,13 @@ main(int argc, char **argv)
        << ", \"compile_misses\": " << report.cache.compileMisses
        << ", \"profile_hits\": " << report.cache.profileHits
        << ", \"profile_misses\": " << report.cache.profileMisses
-       << "},\n"
+       << ", \"stream_hits\": " << report.cache.streamHits
+       << ", \"stream_misses\": " << report.cache.streamMisses
+       << ", \"stream_evicted\": " << report.cache.streamEvicted
+       << ", \"stream_bytes_built\": " << report.cache.streamBytesBuilt
+       << ", \"stream_insts_built\": " << report.cache.streamInstsBuilt
+       << ", \"stream_bytes_resident\": "
+       << report.cache.streamBytesResident << "},\n"
        << "  \"runs\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const GridEntry &entry = entries[i];
@@ -484,10 +552,11 @@ main(int argc, char **argv)
     os << "  ]\n}\n";
     os.close();
 
-    // Simulator-throughput report: the trail that tracks how fast the
-    // simulator itself is (docs/INTERNALS.md, "Simulator performance").
-    // Aggregates are computed over core-simulation time only, so the
-    // number is comparable across cache-hit-rate differences.
+    // Simulator-throughput trail: one labelled JSON row is APPENDED
+    // per invocation (docs/INTERNALS.md, "Simulator performance"), so
+    // the file accumulates a history instead of losing it. Aggregates
+    // are computed over core-simulation time only, so the number is
+    // comparable across cache-hit-rate differences.
     if (!opts.benchOut.empty()) {
         double total_committed = 0.0;
         double total_core_seconds = 0.0;
@@ -504,39 +573,51 @@ main(int argc, char **argv)
                               ? total_committed / total_core_seconds /
                                     1000.0
                               : 0.0;
-        std::ofstream bos(opts.benchOut);
+        auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+            return hits + misses
+                       ? static_cast<double>(hits) / (hits + misses)
+                       : 0.0;
+        };
+        double stream_bpi =
+            report.cache.streamInstsBuilt
+                ? static_cast<double>(report.cache.streamBytesBuilt) /
+                      static_cast<double>(report.cache.streamInstsBuilt)
+                : 0.0;
+        std::ofstream bos(opts.benchOut, std::ios::app);
         if (!bos)
             die("cannot open bench output file " + opts.benchOut);
-        bos << "{\n"
-            << "  \"tool\": \"sweep_all\",\n"
-            << "  \"runs\": " << entries.size() << ",\n"
-            << "  \"jobs\": " << report.jobs << ",\n"
-            << "  \"insts\": " << opts.insts << ",\n"
-            << "  \"profile_insts\": " << opts.profileInsts << ",\n"
-            << "  \"wall_seconds\": " << jsonNum(report.wallSeconds)
-            << ",\n"
-            << "  \"core_seconds\": " << jsonNum(total_core_seconds)
-            << ",\n"
-            << "  \"committed_insts\": " << jsonNum(total_committed)
-            << ",\n"
-            << "  \"aggregate_kips\": " << jsonNum(agg_kips) << ",\n"
-            << "  \"min_run_kips\": " << jsonNum(min_kips) << ",\n"
-            << "  \"max_run_kips\": " << jsonNum(max_kips) << ",\n"
-            << "  \"cache_hit_rates\": {\"compile\": "
-            << jsonNum(report.cache.compileHits + report.cache.compileMisses
-                           ? static_cast<double>(report.cache.compileHits) /
-                                 (report.cache.compileHits +
-                                  report.cache.compileMisses)
-                           : 0.0)
+        bos << "{\"tool\": \"sweep_all\""
+            << ", \"git\": \"" << jsonEscape(gitDescribe()) << "\""
+            << ", \"config_hash\": \"" << configHash(opts) << "\""
+            << ", \"runs\": " << entries.size()
+            << ", \"jobs\": " << report.jobs
+            << ", \"insts\": " << opts.insts
+            << ", \"profile_insts\": " << opts.profileInsts
+            << ", \"wall_seconds\": " << jsonNum(report.wallSeconds)
+            << ", \"core_seconds\": " << jsonNum(total_core_seconds)
+            << ", \"committed_insts\": " << jsonNum(total_committed)
+            << ", \"aggregate_kips\": " << jsonNum(agg_kips)
+            << ", \"min_run_kips\": " << jsonNum(min_kips)
+            << ", \"max_run_kips\": " << jsonNum(max_kips)
+            << ", \"cache_hit_rates\": {\"compile\": "
+            << jsonNum(rate(report.cache.compileHits,
+                            report.cache.compileMisses))
             << ", \"profile\": "
-            << jsonNum(report.cache.profileHits + report.cache.profileMisses
-                           ? static_cast<double>(report.cache.profileHits) /
-                                 (report.cache.profileHits +
-                                  report.cache.profileMisses)
-                           : 0.0)
-            << "}\n}\n";
+            << jsonNum(rate(report.cache.profileHits,
+                            report.cache.profileMisses))
+            << ", \"stream\": "
+            << jsonNum(rate(report.cache.streamHits,
+                            report.cache.streamMisses))
+            << "}, \"stream\": {\"evicted\": "
+            << report.cache.streamEvicted
+            << ", \"bytes_built\": " << report.cache.streamBytesBuilt
+            << ", \"insts_built\": " << report.cache.streamInstsBuilt
+            << ", \"bytes_per_inst\": " << jsonNum(stream_bpi)
+            << ", \"resident_bytes\": "
+            << report.cache.streamBytesResident << "}}\n";
         std::cerr << "sweep_all: throughput " << jsonNum(agg_kips)
-                  << " KIPS aggregate -> " << opts.benchOut << "\n";
+                  << " KIPS aggregate -> appended to " << opts.benchOut
+                  << "\n";
     }
 
     std::cerr << "sweep_all: wrote " << entries.size() << " results to "
@@ -545,6 +626,9 @@ main(int argc, char **argv)
               << "/" << report.cache.compileHits + report.cache.compileMisses
               << " hits, profile cache " << report.cache.profileHits
               << "/" << report.cache.profileHits + report.cache.profileMisses
-              << " hits)\n";
+              << " hits, stream cache " << report.cache.streamHits
+              << "/" << report.cache.streamHits + report.cache.streamMisses
+              << " hits, " << report.cache.streamEvicted << " evicted, "
+              << report.cache.streamBytesResident << " bytes resident)\n";
     return 0;
 }
