@@ -1,0 +1,101 @@
+#include "sim/faultinject.hh"
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "stream/stream.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> captureOomAfter{~0ull};
+
+void
+captureOomHook(std::uint64_t instsSoFar)
+{
+    if (instsSoFar >= captureOomAfter.load(std::memory_order_relaxed))
+        throw std::bad_alloc();
+}
+
+} // namespace
+
+void
+armCaptureBadAlloc(std::uint64_t afterInsts)
+{
+    captureOomAfter.store(afterInsts, std::memory_order_relaxed);
+    CapturedStream::captureHook = &captureOomHook;
+}
+
+void
+disarmCaptureFaults()
+{
+    CapturedStream::captureHook = nullptr;
+    captureOomAfter.store(~0ull, std::memory_order_relaxed);
+}
+
+std::function<ExperimentResult(const ExperimentConfig &, WorkloadCache &,
+                               const RunContext &)>
+makeFaultInjectingRunFn(const FaultPlan &plan,
+                        std::shared_ptr<FaultLog> log)
+{
+    return [plan, log](const ExperimentConfig &config, WorkloadCache &cache,
+                       const RunContext &context) -> ExperimentResult {
+        auto it = plan.faults.find(context.runIndex);
+        bool fires = it != plan.faults.end() &&
+                     (plan.persistent || context.attempt == 0);
+        if (!fires)
+            return runExperiment(config, context);
+        if (log)
+            log->fired.fetch_add(1, std::memory_order_relaxed);
+        switch (it->second) {
+          case FaultKind::Throw:
+            throw std::runtime_error(
+                "injected fault (run " +
+                std::to_string(context.runIndex) + ")");
+          case FaultKind::SleepPastDeadline:
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(plan.sleepSeconds));
+            // An armed deadline is now expired; runExperiment's
+            // entry check throws DeadlineExceeded.
+            return runExperiment(config, context);
+          case FaultKind::BadAlloc: {
+            CaptureFaultGuard guard;
+            armCaptureBadAlloc(plan.oomAfterInsts);
+            return runExperiment(config, context);
+          }
+          case FaultKind::CorruptStream:
+          case FaultKind::TruncateStream: {
+            // The stream must already be resolved (an earlier run
+            // with the same key captured it); minInsts=0 makes this
+            // a pure lookup for any resolved entry.
+            StreamKey key = streamKeyFor(config, false);
+            auto stream = cache.stream(
+                key, 0,
+                [](std::uint64_t) -> WorkloadCache::StreamPtr {
+                    return nullptr;
+                });
+            if (!stream) {
+                throw std::logic_error(
+                    "fault plan error: no cached stream to corrupt "
+                    "for run " + std::to_string(context.runIndex));
+            }
+            if (it->second == FaultKind::CorruptStream) {
+                corruptStreamForTest(*stream, plan.corruptLane,
+                                     plan.corruptOffset, plan.corruptXor);
+            } else {
+                truncateStreamForTest(*stream, plan.corruptLane, 1);
+            }
+            return runExperiment(config, context);
+          }
+        }
+        return runExperiment(config, context);   // unreachable
+    };
+}
+
+} // namespace rvp

@@ -1,0 +1,419 @@
+#include "sim/journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+std::uint64_t
+fnv1a(std::string_view bytes, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    // Field separator so concatenated fields cannot alias ("ab"+"c"
+    // vs "a"+"bc" hash differently when chained).
+    h ^= 0xff;
+    h *= 1099511628211ull;
+    return h;
+}
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+jsonNum(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+// ---------------------------------------------------------------------
+// Atomic file replacement
+// ---------------------------------------------------------------------
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    std::string tmp = path + ".tmp.XXXXXX";
+    std::vector<char> tmpl(tmp.begin(), tmp.end());
+    tmpl.push_back('\0');
+    int fd = mkstemp(tmpl.data());
+    if (fd < 0)
+        return false;
+    tmp.assign(tmpl.data());
+
+    const char *data = contents.data();
+    std::size_t left = contents.size();
+    while (left > 0) {
+        ssize_t n = write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            close(fd);
+            unlink(tmp.c_str());
+            return false;
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (fsync(fd) != 0 || close(fd) != 0) {
+        unlink(tmp.c_str());
+        return false;
+    }
+    if (rename(tmp.c_str(), path.c_str()) != 0) {
+        unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+appendLineAtomic(const std::string &path, const std::string &line)
+{
+    std::string existing;
+    {
+        std::ifstream is(path, std::ios::binary);
+        if (is) {
+            std::ostringstream ss;
+            ss << is.rdbuf();
+            existing = ss.str();
+        }
+    }
+    existing += line;
+    if (existing.empty() || existing.back() != '\n')
+        existing += '\n';
+    return writeFileAtomic(path, existing);
+}
+
+// ---------------------------------------------------------------------
+// Journal append side
+// ---------------------------------------------------------------------
+
+RunJournal::RunJournal(const std::string &path) : path_(path)
+{
+    fd_ = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+        warn("cannot open run journal '%s': %s", path.c_str(),
+             std::strerror(errno));
+}
+
+RunJournal::~RunJournal()
+{
+    if (fd_ >= 0)
+        close(fd_);
+}
+
+void
+RunJournal::writeLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string buf = line;
+    buf += '\n';
+    const char *data = buf.data();
+    std::size_t left = buf.size();
+    while (left > 0) {
+        ssize_t n = write(fd_, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("run journal write failed: %s", std::strerror(errno));
+            return;
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    // The fsync is the crash-safety contract: once append() returns,
+    // the record survives a SIGKILL of this process.
+    if (fsync(fd_) != 0)
+        warn("run journal fsync failed: %s", std::strerror(errno));
+}
+
+void
+RunJournal::appendSweepHeader(const std::string &sweepHash)
+{
+    writeLine("{\"type\": \"sweep\", \"version\": 1, \"sweep_hash\": \"" +
+              jsonEscape(sweepHash) + "\"}");
+}
+
+void
+RunJournal::append(const JournalRecord &rec)
+{
+    const ExperimentResult &r = rec.result;
+    std::ostringstream os;
+    os << "{\"type\": \"run\", \"key\": \"" << jsonEscape(rec.key)
+       << "\", \"figure\": \"" << jsonEscape(rec.figure)
+       << "\", \"variant\": \"" << jsonEscape(rec.variant)
+       << "\", \"workload\": \"" << jsonEscape(rec.workload)
+       << "\", \"run_seconds\": " << jsonNum(rec.runSeconds)
+       << ", \"ipc\": " << jsonNum(r.ipc)
+       << ", \"cycles\": " << r.cycles
+       << ", \"committed\": " << r.committed
+       << ", \"predicted_frac\": " << jsonNum(r.predictedFrac)
+       << ", \"accuracy\": " << jsonNum(r.accuracy)
+       << ", \"realloc_failed\": " << (r.reallocFailed ? "true" : "false")
+       << ", \"host_seconds\": " << jsonNum(r.hostSeconds)
+       << ", \"kips\": " << jsonNum(r.kips)
+       << ", \"failed\": " << (r.failed ? "true" : "false")
+       << ", \"error\": \"" << jsonEscape(r.error) << "\""
+       << ", \"retries\": " << r.retries
+       << ", \"degraded\": " << (r.degraded ? "true" : "false")
+       << ", \"stats\": {";
+    bool first = true;
+    for (const auto &[name, value] : r.stats.values()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\": " << jsonNum(value);
+    }
+    os << "}}";
+    writeLine(os.str());
+}
+
+// ---------------------------------------------------------------------
+// Journal load side: a minimal parser for exactly the JSON subset the
+// append side emits (one flat object per line; string / number / bool
+// values; one level of nesting for "stats"). Any deviation — a torn
+// line from a killed writer, hand-edited garbage — fails the line's
+// parse, and load() skips it rather than aborting the resume.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct JsonValue
+{
+    enum class Kind { Str, Num, Bool, Obj };
+    Kind kind = Kind::Num;
+    std::string str;   ///< Str: unescaped text; Num: raw token
+    bool boolean = false;
+    std::map<std::string, JsonValue> obj;
+
+    double
+    num() const
+    {
+        return std::strtod(str.c_str(), nullptr);
+    }
+    std::uint64_t
+    u64() const
+    {
+        return std::strtoull(str.c_str(), nullptr, 10);
+    }
+};
+
+struct LineParser
+{
+    const char *p;
+    const char *end;
+
+    explicit LineParser(const std::string &line)
+        : p(line.data()), end(line.data() + line.size())
+    {
+    }
+
+    [[noreturn]] void fail() { throw std::runtime_error("bad journal"); }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t'))
+            ++p;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (p >= end)
+            fail();
+        return *p;
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail();
+        ++p;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c == '\\') {
+                if (p >= end)
+                    fail();
+                c = *p++;
+            }
+            out += c;
+        }
+        if (p >= end)
+            fail();
+        ++p;   // closing quote
+        return out;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        JsonValue v;
+        char c = peek();
+        if (c == '"') {
+            v.kind = JsonValue::Kind::Str;
+            v.str = parseString();
+        } else if (c == '{') {
+            v.kind = JsonValue::Kind::Obj;
+            v.obj = parseObject();
+        } else if (c == 't' || c == 'f') {
+            v.kind = JsonValue::Kind::Bool;
+            const char *word = c == 't' ? "true" : "false";
+            std::size_t len = std::strlen(word);
+            if (end - p < static_cast<std::ptrdiff_t>(len) ||
+                std::strncmp(p, word, len) != 0)
+                fail();
+            p += len;
+            v.boolean = c == 't';
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            v.kind = JsonValue::Kind::Num;
+            const char *start = p;
+            while (p < end &&
+                   (*p == '-' || *p == '+' || *p == '.' || *p == 'e' ||
+                    *p == 'E' || (*p >= '0' && *p <= '9')))
+                ++p;
+            v.str.assign(start, p);
+        } else {
+            fail();
+        }
+        return v;
+    }
+
+    std::map<std::string, JsonValue>
+    parseObject()
+    {
+        std::map<std::string, JsonValue> obj;
+        expect('{');
+        if (peek() == '}') {
+            ++p;
+            return obj;
+        }
+        for (;;) {
+            std::string key = parseString();
+            expect(':');
+            obj.emplace(std::move(key), parseValue());
+            char c = peek();
+            ++p;
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail();
+        }
+    }
+};
+
+const JsonValue &
+field(const std::map<std::string, JsonValue> &obj, const char *name)
+{
+    auto it = obj.find(name);
+    if (it == obj.end())
+        throw std::runtime_error("missing field");
+    return it->second;
+}
+
+} // namespace
+
+RunJournal::Loaded
+RunJournal::load(const std::string &path)
+{
+    Loaded out;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return out;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        try {
+            LineParser parser(line);
+            std::map<std::string, JsonValue> obj = parser.parseObject();
+            // Trailing garbage after the closing brace = torn line.
+            parser.skipWs();
+            if (parser.p != parser.end)
+                throw std::runtime_error("trailing bytes");
+            const std::string &type = field(obj, "type").str;
+            if (type == "sweep") {
+                out.sweepHash = field(obj, "sweep_hash").str;
+                continue;
+            }
+            if (type != "run")
+                throw std::runtime_error("unknown record type");
+            JournalRecord rec;
+            rec.key = field(obj, "key").str;
+            rec.figure = field(obj, "figure").str;
+            rec.variant = field(obj, "variant").str;
+            rec.workload = field(obj, "workload").str;
+            rec.runSeconds = field(obj, "run_seconds").num();
+            ExperimentResult &r = rec.result;
+            r.ipc = field(obj, "ipc").num();
+            r.cycles = field(obj, "cycles").u64();
+            r.committed = field(obj, "committed").u64();
+            r.predictedFrac = field(obj, "predicted_frac").num();
+            r.accuracy = field(obj, "accuracy").num();
+            r.reallocFailed = field(obj, "realloc_failed").boolean;
+            r.hostSeconds = field(obj, "host_seconds").num();
+            r.kips = field(obj, "kips").num();
+            r.failed = field(obj, "failed").boolean;
+            r.error = field(obj, "error").str;
+            r.retries =
+                static_cast<unsigned>(field(obj, "retries").u64());
+            r.degraded = field(obj, "degraded").boolean;
+            for (const auto &[name, value] : field(obj, "stats").obj)
+                r.stats.set(name, value.num());
+            out.runs.insert_or_assign(rec.key, std::move(rec));
+        } catch (const std::exception &) {
+            ++out.skippedLines;
+        }
+    }
+    return out;
+}
+
+} // namespace rvp

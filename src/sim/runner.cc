@@ -64,19 +64,27 @@ knownWorkload(const std::string &name)
 } // namespace
 
 CompiledWorkload
-compileWorkload(const std::string &name, InputSet input)
+compileWorkload(const std::string &name, InputSet input,
+                const RunDeadline *deadline)
 {
     CompiledWorkload c;
+    if (deadline)
+        deadline->check("compile");
     c.wl = buildWorkload(name, input);
+    if (deadline)
+        deadline->check("compile");
     c.alloc = allocateRegisters(c.wl.func, AllocConfig{});
     RVP_ASSERT(c.alloc.success);
+    if (deadline)
+        deadline->check("compile");
     c.low = lower(c.wl.func, c.alloc);
     c.low.program.dataImage = c.wl.data;
     return c;
 }
 
 ProfileRun
-profileCompiled(const CompiledWorkload &c, std::uint64_t insts)
+profileCompiled(const CompiledWorkload &c, std::uint64_t insts,
+                const RunDeadline *deadline)
 {
     std::vector<std::uint64_t> live =
         archLiveBefore(c.wl.func, c.alloc, c.low);
@@ -86,6 +94,8 @@ profileCompiled(const CompiledWorkload &c, std::uint64_t insts)
     DynInst di;
     std::uint64_t n = 0;
     while (n < insts) {
+        if (deadline && (n & 4095u) == 0)
+            deadline->check("profile");
         ArchState pre = emu.state();
         if (!emu.step(di))
             break;
@@ -164,9 +174,15 @@ streamKeyFor(const ExperimentConfig &config, bool reallocFailed)
 }
 
 ExperimentResult
-runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
+runExperiment(const ExperimentConfig &config, const RunContext &context)
 {
     validateExperimentConfig(config);
+    WorkloadCache *cache = context.cache;
+    const RunDeadline *deadline = context.deadline;
+    // Check promptly so an attempt that starts past its budget (e.g. a
+    // worker wedged elsewhere) fails before compiling anything.
+    if (deadline)
+        deadline->check("run start");
 
     // The needs-profile schemes: static RVP always; dynamic RVP when a
     // compiler-assistance level beyond plain same-register is assumed;
@@ -188,12 +204,14 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
         if (cache) {
             train_profile = cache->profiled(config.workload,
                                             InputSet::Train,
-                                            config.profileInsts);
+                                            config.profileInsts, deadline);
         } else {
             train_keepalive = std::make_shared<const CompiledWorkload>(
-                compileWorkload(config.workload, InputSet::Train));
+                compileWorkload(config.workload, InputSet::Train,
+                                deadline));
             train_profile = std::make_shared<const ProfileRun>(
-                profileCompiled(*train_keepalive, config.profileInsts));
+                profileCompiled(*train_keepalive, config.profileInsts,
+                                deadline));
         }
     }
 
@@ -202,9 +220,10 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
     // binary (asserted below) and a cached instance is bit-identical
     // to a fresh compile.
     std::shared_ptr<const CompiledWorkload> ref_shared =
-        cache ? cache->compiled(config.workload, InputSet::Ref)
+        cache ? cache->compiled(config.workload, InputSet::Ref, deadline)
               : std::make_shared<const CompiledWorkload>(
-                    compileWorkload(config.workload, InputSet::Ref));
+                    compileWorkload(config.workload, InputSet::Ref,
+                                    deadline));
     if (needs_profile) {
         RVP_ASSERT(train_profile->profile.counts.size() ==
                    ref_shared->low.program.size());
@@ -291,7 +310,7 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
     // disabled, or this binary's stream exceeds the byte budget).
     WorkloadCache::StreamPtr stream;
     std::unique_ptr<StreamCursor> cursor;
-    if (cache) {
+    if (cache && !context.bypassStream) {
         // Fetch runs at most robEntries ahead of commit, and commit
         // can overshoot the budget by one commit group in its final
         // cycle, which bounds what any run can pull from the source.
@@ -299,17 +318,41 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
                                   config.core.robEntries +
                                   config.core.commitWidth;
         const Program &timed = ref->low.program;
-        stream = cache->stream(
-            streamKeyFor(config, realloc_failed), min_insts,
-            [&](std::uint64_t max_bytes) {
-                return CapturedStream::capture(timed, min_insts,
-                                               max_bytes);
-            });
-        if (stream)
-            cursor = std::make_unique<StreamCursor>(stream);
+        StreamKey key = streamKeyFor(config, realloc_failed);
+        try {
+            stream = cache->stream(
+                key, min_insts, [&](std::uint64_t max_bytes) {
+                    return CapturedStream::capture(timed, min_insts,
+                                                   max_bytes, deadline);
+                });
+        } catch (const std::bad_alloc &) {
+            // Capture ran out of memory: shrink the stream budget so
+            // later captures are bounded tighter, remember the key as
+            // uncacheable, and run this attempt live. Never a failure.
+            cache->noteCaptureOom(key);
+            warn("stream capture ran out of memory for %s; shrinking "
+                 "the cache budget and running live",
+                 config.workload.c_str());
+            stream = nullptr;
+        }
+        if (stream) {
+            try {
+                // Attach verifies the stream's sealed header and
+                // per-lane checksums (stream/stream.hh).
+                cursor = std::make_unique<StreamCursor>(stream);
+            } catch (const StreamIntegrityError &e) {
+                // A corrupt capture must never be replayed: drop the
+                // cached entry (the next run re-captures) and fall
+                // back to live emulation, which is bit-identical.
+                cache->noteStreamIntegrityFailure(key);
+                warn("%s for %s; falling back to live emulation",
+                     e.what(), config.workload.c_str());
+                stream = nullptr;
+            }
+        }
     }
     Core core(config.core, ref->low.program, *predictor, tracer.get(),
-              cursor.get());
+              cursor.get(), deadline);
     auto t0 = std::chrono::steady_clock::now();
     CoreResult cr = core.run();
     auto t1 = std::chrono::steady_clock::now();
@@ -360,9 +403,17 @@ runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
 }
 
 ExperimentResult
+runExperiment(const ExperimentConfig &config, WorkloadCache *cache)
+{
+    RunContext context;
+    context.cache = cache;
+    return runExperiment(config, context);
+}
+
+ExperimentResult
 runExperiment(const ExperimentConfig &config)
 {
-    return runExperiment(config, nullptr);
+    return runExperiment(config, RunContext{});
 }
 
 } // namespace rvp

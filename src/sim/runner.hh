@@ -18,6 +18,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/deadline.hh"
 #include "compiler/lower.hh"
 #include "compiler/regalloc.hh"
 #include "profile/reuse_profiler.hh"
@@ -112,6 +113,16 @@ struct ExperimentResult
      */
     bool failed = false;
     std::string error;
+    /**
+     * Recovery trail (set by runSweep, journaled by sweep_all): how
+     * many retry attempts this result consumed, and whether it was
+     * produced under the degraded profile (stream replay bypassed,
+     * tracing and histograms off). A degraded success is still exact
+     * for every stat the original configuration would have emitted
+     * without tracing/histograms — replay is bit-identical to live.
+     */
+    unsigned retries = 0;
+    bool degraded = false;
     StatSet stats;
 };
 
@@ -173,11 +184,15 @@ struct ProfileRun
     std::vector<double> cpScores;
 };
 
-/** Build + register-allocate + lower one workload input. */
-CompiledWorkload compileWorkload(const std::string &name, InputSet input);
+/** Build + register-allocate + lower one workload input. A non-null
+ *  deadline is checked between the compilation phases. */
+CompiledWorkload compileWorkload(const std::string &name, InputSet input,
+                                 const RunDeadline *deadline = nullptr);
 
-/** Run the reuse + critical-path profilers over a compiled workload. */
-ProfileRun profileCompiled(const CompiledWorkload &c, std::uint64_t insts);
+/** Run the reuse + critical-path profilers over a compiled workload.
+ *  A non-null deadline is checked periodically in the profiling loop. */
+ProfileRun profileCompiled(const CompiledWorkload &c, std::uint64_t insts,
+                           const RunDeadline *deadline = nullptr);
 
 /**
  * Fail fast (RVP_ASSERT) on contradictory experiment configurations —
@@ -190,10 +205,39 @@ void validateExperimentConfig(const ExperimentConfig &config);
 class WorkloadCache;   // sim/sweep.hh
 
 /**
- * Run one experiment end to end. With a non-null cache, compilation
- * and train-profiling are memoized across runs (bit-identical results;
- * see sim/sweep.hh).
+ * Everything about *how* one run executes that is not part of the
+ * experiment's identity: shared caches, the watchdog deadline of this
+ * attempt, and the degraded-retry switches. Plumbed (not stored in
+ * ExperimentConfig) so the same config can be retried under a
+ * different context without changing what it measures.
  */
+struct RunContext
+{
+    /** Shared memo cache; null = compile/profile/capture from scratch. */
+    WorkloadCache *cache = nullptr;
+    /** Wall-clock budget of this attempt; null = no watchdog. */
+    const RunDeadline *deadline = nullptr;
+    /**
+     * Degraded retry: skip committed-stream replay and run live
+     * emulation even when a cache is present (a corrupt or
+     * unbuildable stream must not fail the run twice).
+     */
+    bool bypassStream = false;
+    /** Position in the sweep grid (fault-injection seam addressing). */
+    std::size_t runIndex = 0;
+    /** 0 = first attempt, 1 = the degraded retry. */
+    unsigned attempt = 0;
+};
+
+/**
+ * Run one experiment end to end under an explicit context. With a
+ * non-null context.cache, compilation and train-profiling are memoized
+ * across runs (bit-identical results; see sim/sweep.hh).
+ */
+ExperimentResult runExperiment(const ExperimentConfig &config,
+                               const RunContext &context);
+
+/** Convenience overload: cache only, default context otherwise. */
 ExperimentResult runExperiment(const ExperimentConfig &config,
                                WorkloadCache *cache);
 

@@ -1,9 +1,11 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "common/logging.hh"
@@ -26,7 +28,11 @@ secondsSince(std::chrono::steady_clock::time_point start)
  * Memoize build() under key in map: the first requester installs a
  * shared_future and builds outside the lock; later requesters (racing
  * or not) wait on the same future. hit/miss counters are updated
- * under the lock.
+ * under the lock. A build that throws is evicted from the map before
+ * the exception is published, so the failure reaches exactly the
+ * requesters that shared this build — a later request (e.g. a retry
+ * with a fresh deadline) rebuilds instead of inheriting a poisoned
+ * entry for the rest of the sweep.
  */
 template <typename Map, typename Key, typename Build>
 std::invoke_result_t<Build>
@@ -56,6 +62,10 @@ memoize(std::mutex &mutex, Map &map, const Key &key,
         try {
             promise.set_value(build());
         } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                map.erase(key);
+            }
             promise.set_exception(std::current_exception());
         }
     }
@@ -122,28 +132,29 @@ describeConfig(const ExperimentConfig &config)
 }
 
 std::shared_ptr<const CompiledWorkload>
-WorkloadCache::compiled(const std::string &workload, InputSet input)
+WorkloadCache::compiled(const std::string &workload, InputSet input,
+                        const RunDeadline *deadline)
 {
     CompileKey key{workload, static_cast<int>(input)};
     return memoize(mutex_, compiled_, key, stats_.compileHits,
                    stats_.compileMisses, [&]() -> CompiledPtr {
                        return std::make_shared<const CompiledWorkload>(
-                           compileWorkload(workload, input));
+                           compileWorkload(workload, input, deadline));
                    });
 }
 
 std::shared_ptr<const ProfileRun>
 WorkloadCache::profiled(const std::string &workload, InputSet input,
-                        std::uint64_t insts)
+                        std::uint64_t insts, const RunDeadline *deadline)
 {
     // Resolve the compiled binary first so the profile build itself
     // (outside the lock) never recursively takes the cache mutex.
-    CompiledPtr c = compiled(workload, input);
+    CompiledPtr c = compiled(workload, input, deadline);
     ProfileKey key{workload, static_cast<int>(input), insts};
     return memoize(mutex_, profiled_, key, stats_.profileHits,
                    stats_.profileMisses, [&]() -> ProfilePtr {
                        return std::make_shared<const ProfileRun>(
-                           profileCompiled(*c, insts));
+                           profileCompiled(*c, insts, deadline));
                    });
 }
 
@@ -151,7 +162,8 @@ WorkloadCache::StreamPtr
 WorkloadCache::stream(const StreamKey &key, std::uint64_t minInsts,
                       const std::function<StreamPtr(std::uint64_t)> &build)
 {
-    if (streamBudget_ == 0)
+    std::uint64_t budget = streamBudget_.load(std::memory_order_relaxed);
+    if (budget == 0)
         return nullptr;
     // The loop re-enters when a shared build resolves to a stream
     // truncated below this caller's bound (a smaller-budget run built
@@ -198,7 +210,7 @@ WorkloadCache::stream(const StreamKey &key, std::uint64_t minInsts,
         if (builder) {
             StreamPtr built;
             try {
-                built = build(streamBudget_);
+                built = build(budget);
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
@@ -254,6 +266,41 @@ WorkloadCache::evictStreamsOverBudget(const StreamKey &keep)
         ++stats_.streamEvicted;
         streams_.erase(victim);
     }
+}
+
+void
+WorkloadCache::noteCaptureOom(const StreamKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = streams_.find(key);
+    if (it != streams_.end()) {
+        if (it->second.resolved)
+            stats_.streamBytesResident -= it->second.bytes;
+        streams_.erase(it);
+    }
+    // Pin the key to live emulation: a resolved-null (negative) entry.
+    std::promise<StreamPtr> promise;
+    StreamEntry entry;
+    entry.future = promise.get_future().share();
+    entry.resolved = true;
+    entry.lastUse = ++streamStamp_;
+    promise.set_value(nullptr);
+    streams_.insert_or_assign(key, std::move(entry));
+    streamBudget_.store(streamBudget_.load(std::memory_order_relaxed) / 2,
+                        std::memory_order_relaxed);
+    ++stats_.streamCaptureOoms;
+}
+
+void
+WorkloadCache::noteStreamIntegrityFailure(const StreamKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = streams_.find(key);
+    if (it != streams_.end() && it->second.resolved) {
+        stats_.streamBytesResident -= it->second.bytes;
+        streams_.erase(it);
+    }
+    ++stats_.streamIntegrityFailures;
 }
 
 WorkloadCacheStats
@@ -322,22 +369,74 @@ runSweep(const std::vector<ExperimentConfig> &configs,
         auto run_start = std::chrono::steady_clock::now();
         // parallelFor bodies must not throw (an escaping exception
         // would std::terminate the worker thread and take the whole
-        // sweep down), so contain failures here: the run is recorded
-        // as failed and every other run proceeds.
-        try {
-            results[i] = options.runFn
-                             ? options.runFn(configs[i], cache)
-                             : runExperiment(configs[i], &cache);
-        } catch (const std::exception &e) {
-            results[i] = ExperimentResult{};
-            results[i].failed = true;
-            results[i].error = e.what();
-        } catch (...) {
-            results[i] = ExperimentResult{};
-            results[i].failed = true;
-            results[i].error = "unknown exception";
+        // sweep down), so contain failures here: each attempt is
+        // caught, retried under the degraded profile, and if every
+        // attempt fails the run is recorded as failed while every
+        // other run proceeds.
+        for (unsigned attempt = 0;; ++attempt) {
+            bool degraded = attempt > 0;
+            RunContext context;
+            context.cache = &cache;
+            context.runIndex = i;
+            context.attempt = attempt;
+            context.bypassStream = degraded;
+            // Each attempt gets a fresh wall-clock budget; the null
+            // fast path (runDeadline == 0) never reads the clock.
+            std::optional<RunDeadline> deadline;
+            if (options.runDeadline > 0.0) {
+                deadline.emplace(options.runDeadline);
+                context.deadline = &*deadline;
+            }
+            ExperimentConfig config = configs[i];
+            if (degraded) {
+                // Degraded profile: live emulation only, no tracing,
+                // no histograms. Keeps the retry's peak memory and
+                // failure surface minimal; the headline stats are
+                // unaffected (tracing/hist are observers).
+                config.traceOut.clear();
+                config.core.collectHist = false;
+            }
+            try {
+                results[i] = options.runFn
+                                 ? options.runFn(config, cache, context)
+                                 : runExperiment(config, context);
+                results[i].retries = attempt;
+                results[i].degraded = degraded;
+                break;
+            } catch (const std::exception &e) {
+                results[i] = ExperimentResult{};
+                results[i].failed = true;
+                results[i].error = e.what();
+            } catch (...) {
+                results[i] = ExperimentResult{};
+                results[i].failed = true;
+                results[i].error = "unknown exception";
+            }
+            results[i].retries = attempt;
+            results[i].degraded = degraded;
+            if (attempt >= options.maxRetries)
+                break;
+            if (options.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                std::fprintf(stderr,
+                             "  %s: attempt %u failed (%s); retrying "
+                             "degraded\n",
+                             describeConfig(configs[i]).c_str(),
+                             attempt + 1, results[i].error.c_str());
+            }
+            // Bounded backoff: doubled per attempt, capped at 1s.
+            double backoff = options.retryBackoff;
+            for (unsigned b = 0; b < attempt; ++b)
+                backoff *= 2.0;
+            backoff = std::min(backoff, 1.0);
+            if (backoff > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+            }
         }
         run_seconds[i] = secondsSince(run_start);
+        if (options.onRunComplete)
+            options.onRunComplete(i, results[i], run_seconds[i]);
         std::size_t done = completed.fetch_add(1) + 1;
         if (options.progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
@@ -348,10 +447,11 @@ runSweep(const std::vector<ExperimentConfig> &configs,
                              results[i].error.c_str());
             else
                 std::fprintf(stderr,
-                             "  [%zu/%zu] %s: ipc %.3f (%.2fs)\n",
+                             "  [%zu/%zu] %s: ipc %.3f (%.2fs)%s\n",
                              done, configs.size(),
                              describeConfig(configs[i]).c_str(),
-                             results[i].ipc, run_seconds[i]);
+                             results[i].ipc, run_seconds[i],
+                             results[i].degraded ? " [degraded]" : "");
         }
     });
 

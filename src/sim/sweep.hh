@@ -20,6 +20,7 @@
 #ifndef RVP_SIM_SWEEP_HH
 #define RVP_SIM_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -57,6 +58,13 @@ struct WorkloadCacheStats
     std::uint64_t streamHits = 0;
     std::uint64_t streamMisses = 0;
     std::uint64_t streamEvicted = 0;
+    /** Cached streams that failed header/checksum verification at
+     *  cursor attach: each one was dropped from the cache and its run
+     *  fell back to live emulation (bit-identical results). */
+    std::uint64_t streamIntegrityFailures = 0;
+    /** Captures that threw std::bad_alloc: each halves the stream
+     *  byte budget and pins the key to live emulation. */
+    std::uint64_t streamCaptureOoms = 0;
     /** Capture totals, monotonic: encoded bytes / instructions over
      *  every stream built (bytes/inst = the encoding density). */
     std::uint64_t streamBytesBuilt = 0;
@@ -93,14 +101,21 @@ class WorkloadCache
     {
     }
 
-    /** Compiled (workload, input), built at most once per cache. */
+    /**
+     * Compiled (workload, input), built at most once per cache. The
+     * first requester's deadline (may be null) governs the shared
+     * build; a build that throws (deadline, OOM) is evicted so a
+     * later attempt can rebuild instead of inheriting the failure.
+     */
     std::shared_ptr<const CompiledWorkload>
-    compiled(const std::string &workload, InputSet input);
+    compiled(const std::string &workload, InputSet input,
+             const RunDeadline *deadline = nullptr);
 
-    /** ProfileRun of (workload, input, insts), built at most once. */
+    /** ProfileRun of (workload, input, insts), built at most once
+     *  (same deadline and failure-eviction semantics as compiled()). */
     std::shared_ptr<const ProfileRun>
     profiled(const std::string &workload, InputSet input,
-             std::uint64_t insts);
+             std::uint64_t insts, const RunDeadline *deadline = nullptr);
 
     /**
      * Committed stream for key, covering at least minInsts
@@ -115,8 +130,28 @@ class WorkloadCache
     StreamPtr stream(const StreamKey &key, std::uint64_t minInsts,
                      const std::function<StreamPtr(std::uint64_t)> &build);
 
-    /** Configured committed-stream byte budget (0 = disabled). */
-    std::uint64_t streamBudgetBytes() const { return streamBudget_; }
+    /** Current committed-stream byte budget (0 = disabled). Starts at
+     *  the configured value; halved by each capture OOM. */
+    std::uint64_t streamBudgetBytes() const
+    {
+        return streamBudget_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * A capture for key threw std::bad_alloc: halve the stream byte
+     * budget (graceful degradation under memory pressure — repeated
+     * OOMs walk the budget down to 0, i.e. replay disabled) and pin
+     * key as a negative entry so it runs live from now on.
+     */
+    void noteCaptureOom(const StreamKey &key);
+
+    /**
+     * A cached stream for key failed integrity verification at cursor
+     * attach (StreamIntegrityError): drop it so the next request
+     * re-captures (a miss), and count the failure. The reporting run
+     * falls back to live emulation.
+     */
+    void noteStreamIntegrityFailure(const StreamKey &key);
 
     WorkloadCacheStats stats() const;
 
@@ -146,7 +181,9 @@ class WorkloadCache
     std::map<CompileKey, std::shared_future<CompiledPtr>> compiled_;
     std::map<ProfileKey, std::shared_future<ProfilePtr>> profiled_;
     std::map<StreamKey, StreamEntry> streams_;
-    std::uint64_t streamBudget_ = defaultStreamCacheBytes;
+    /** Atomic: read lock-free on the capture path, halved (under the
+     *  lock, but racing readers are benign) by noteCaptureOom. */
+    std::atomic<std::uint64_t> streamBudget_{defaultStreamCacheBytes};
     std::uint64_t streamStamp_ = 0;
     WorkloadCacheStats stats_;
 };
@@ -162,10 +199,11 @@ struct SweepOptions
      * The per-config run body; null means runExperiment. A seam for
      * tests that need to exercise the scheduler itself (e.g. inject a
      * throwing run and check the sweep contains it) without standing
-     * up a full simulation.
+     * up a full simulation. The RunContext carries the grid index,
+     * the attempt's deadline, and the degraded-retry switches.
      */
     std::function<ExperimentResult(const ExperimentConfig &,
-                                   WorkloadCache &)>
+                                   WorkloadCache &, const RunContext &)>
         runFn;
     /**
      * Capture each distinct binary's committed stream once and replay
@@ -177,6 +215,33 @@ struct SweepOptions
      *  recently-used streams are evicted back to live emulation. */
     std::uint64_t streamCacheBytes =
         WorkloadCache::defaultStreamCacheBytes;
+    /**
+     * Per-attempt wall-clock watchdog, seconds; 0 disables (the null
+     * fast path leaves the golden stats and the sweep wall time
+     * unchanged). An attempt that overruns fails with error
+     * "deadline exceeded (...)" instead of wedging its worker; the
+     * retry (below) gets a fresh budget.
+     */
+    double runDeadline = 0.0;
+    /**
+     * Retry attempts for a failed run (deadline, exception, OOM),
+     * each under the degraded profile: stream replay bypassed (live
+     * emulation), tracing and histograms off. The result records
+     * `retries` and `degraded`. 0 restores fail-on-first-error.
+     */
+    unsigned maxRetries = 1;
+    /** Sleep before each retry, seconds (bounded backoff: doubled per
+     *  attempt, capped at 1s). */
+    double retryBackoff = 0.05;
+    /**
+     * Called after each run reaches its final state (post-retry),
+     * from the worker thread that ran it, before the sweep moves on.
+     * sweep_all journals the run here so a killed sweep can resume.
+     * Serialize internally if the callback touches shared state.
+     */
+    std::function<void(std::size_t index, const ExperimentResult &result,
+                       double runSeconds)>
+        onRunComplete;
 };
 
 /** Per-sweep observability (timings and cache effectiveness). */
@@ -209,9 +274,11 @@ void parallelFor(std::size_t count, unsigned jobs,
  * Run every config in the grid and return results in input order.
  * All configs are validated up front (fail fast before any work).
  * A run body that throws does not take the sweep down: the exception
- * is caught per iteration, the run's result comes back with
- * failed=true and the message in error, and every other run completes
- * normally.
+ * is caught per attempt, the run is retried up to options.maxRetries
+ * times under the degraded profile (live emulation, no tracing or
+ * histograms), and if every attempt fails the result comes back with
+ * failed=true and the last message in error while every other run
+ * completes normally.
  */
 std::vector<ExperimentResult>
 runSweep(const std::vector<ExperimentConfig> &configs,

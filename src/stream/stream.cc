@@ -55,7 +55,21 @@ getDelta(const std::uint8_t *&pos)
     return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
 }
 
+/** FNV-1a over a byte lane (the per-lane integrity checksum). */
+std::uint64_t
+fnv1aLane(const std::vector<std::uint8_t> &lane)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint8_t b : lane) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 } // namespace
+
+void (*CapturedStream::captureHook)(std::uint64_t) = nullptr;
 
 InstSource::~InstSource() = default;
 
@@ -65,7 +79,8 @@ InstSource::~InstSource() = default;
 
 std::shared_ptr<const CapturedStream>
 CapturedStream::capture(const Program &prog, std::uint64_t maxInsts,
-                        std::uint64_t maxBytes)
+                        std::uint64_t maxBytes,
+                        const RunDeadline *deadline)
 {
     auto stream = std::shared_ptr<CapturedStream>(new CapturedStream);
 
@@ -112,6 +127,10 @@ CapturedStream::capture(const Program &prog, std::uint64_t maxInsts,
     std::uint64_t expected_pc = Program::textBase;
 
     while (stream->count_ < maxInsts) {
+        if (deadline && (stream->count_ & 4095u) == 0)
+            deadline->check("stream capture");
+        if (captureHook)
+            captureHook(stream->count_);
         if (!emu.step(di))
             break;
         std::uint32_t idx = di.staticIndex;
@@ -159,7 +178,52 @@ CapturedStream::capture(const Program &prog, std::uint64_t maxInsts,
             return nullptr;
     }
     stream->complete_ = emu.halted();
+    stream->seal();
     return stream;
+}
+
+void
+CapturedStream::seal()
+{
+    header_.magic = Header::kMagic;
+    header_.version = Header::kVersion;
+    header_.instCount = count_;
+    const std::vector<std::uint8_t> *lanes[4] = {&idxLane_, &valueLane_,
+                                                 &addrLane_, &takenLane_};
+    for (unsigned i = 0; i < 4; ++i) {
+        header_.laneBytes[i] = lanes[i]->size();
+        header_.laneFnv[i] = fnv1aLane(*lanes[i]);
+    }
+}
+
+void
+CapturedStream::verifyIntegrity() const
+{
+    if (header_.magic != Header::kMagic)
+        throw StreamIntegrityError("bad magic (stream was never sealed)");
+    if (header_.version != Header::kVersion)
+        throw StreamIntegrityError(
+            "format version " + std::to_string(header_.version) +
+            " (expected " + std::to_string(Header::kVersion) + ")");
+    if (header_.instCount != count_)
+        throw StreamIntegrityError(
+            "instruction count mismatch (header " +
+            std::to_string(header_.instCount) + ", stream " +
+            std::to_string(count_) + ")");
+    static const char *laneNames[4] = {"index", "value", "address",
+                                       "taken"};
+    const std::vector<std::uint8_t> *lanes[4] = {&idxLane_, &valueLane_,
+                                                 &addrLane_, &takenLane_};
+    for (unsigned i = 0; i < 4; ++i) {
+        if (header_.laneBytes[i] != lanes[i]->size())
+            throw StreamIntegrityError(
+                std::string(laneNames[i]) + " lane truncated (" +
+                std::to_string(lanes[i]->size()) + " bytes, header " +
+                std::to_string(header_.laneBytes[i]) + ")");
+        if (header_.laneFnv[i] != fnv1aLane(*lanes[i]))
+            throw StreamIntegrityError(std::string(laneNames[i]) +
+                                       " lane checksum mismatch");
+    }
 }
 
 std::size_t
@@ -170,18 +234,48 @@ CapturedStream::encodedBytes() const
            decode_.size() * sizeof(StaticDecode) + sizeof(*this);
 }
 
+// Test-only corruption seams (declared as friends in stream.hh): the
+// cached stream is immutable by contract, so these cast that away —
+// they exist solely to let fault-injection tests prove that a flipped
+// byte or dropped tail is caught at cursor attach, never replayed.
+void
+corruptStreamForTest(const CapturedStream &stream, unsigned lane,
+                     std::size_t offset, std::uint8_t xorMask)
+{
+    auto &mut = const_cast<CapturedStream &>(stream);
+    std::vector<std::uint8_t> *lanes[4] = {
+        &mut.idxLane_, &mut.valueLane_, &mut.addrLane_, &mut.takenLane_};
+    RVP_ASSERT(lane < 4 && offset < lanes[lane]->size());
+    (*lanes[lane])[offset] ^= xorMask;
+}
+
+void
+truncateStreamForTest(const CapturedStream &stream, unsigned lane,
+                      std::size_t dropBytes)
+{
+    auto &mut = const_cast<CapturedStream &>(stream);
+    std::vector<std::uint8_t> *lanes[4] = {
+        &mut.idxLane_, &mut.valueLane_, &mut.addrLane_, &mut.takenLane_};
+    RVP_ASSERT(lane < 4 && dropBytes <= lanes[lane]->size());
+    lanes[lane]->resize(lanes[lane]->size() - dropBytes);
+}
+
 // ---------------------------------------------------------------------
 // Replay
 // ---------------------------------------------------------------------
 
 StreamCursor::StreamCursor(std::shared_ptr<const CapturedStream> stream)
-    : stream_(std::move(stream)),
-      idxPos_(stream_->idxLane_.data()),
-      valPos_(stream_->valueLane_.data()),
-      addrPos_(stream_->addrLane_.data()),
-      takenPos_(stream_->takenLane_.data()),
-      state_(stream_->initialState_)
+    : stream_(std::move(stream))
 {
+    // Verify before touching any lane: a truncated or corrupt stream
+    // must throw StreamIntegrityError here, not replay garbage (or
+    // read out of bounds) later.
+    stream_->verifyIntegrity();
+    idxPos_ = stream_->idxLane_.data();
+    valPos_ = stream_->valueLane_.data();
+    addrPos_ = stream_->addrLane_.data();
+    takenPos_ = stream_->takenLane_.data();
+    state_ = stream_->initialState_;
     if (stream_->count_ > 0)
         nextIdx_ = static_cast<std::uint32_t>(getDelta(idxPos_));
 }

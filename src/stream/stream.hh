@@ -39,12 +39,31 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
+#include "common/deadline.hh"
 #include "emu/emulator.hh"
 
 namespace rvp
 {
+
+/**
+ * A captured stream failed its integrity verification (bad magic /
+ * version, lane length mismatch, or a per-lane checksum mismatch).
+ * Replaying such a stream would silently diverge from the committed
+ * path, so verification fails loudly instead; the sweep layer converts
+ * the error into a cache miss plus live-emulation fallback (counted in
+ * WorkloadCacheStats::streamIntegrityFailures).
+ */
+class StreamIntegrityError : public std::runtime_error
+{
+  public:
+    explicit StreamIntegrityError(const std::string &what)
+        : std::runtime_error("stream integrity: " + what)
+    {
+    }
+};
 
 /**
  * The instruction-stream seam between the functional front end and the
@@ -100,11 +119,32 @@ class CapturedStream
      * Run a fresh Emulator over prog for up to maxInsts committed
      * instructions and encode the stream. Returns null if the encoded
      * size would exceed maxBytes (0 = unlimited); a null result means
-     * "use live emulation", never a partial stream.
+     * "use live emulation", never a partial stream. A non-null
+     * deadline is checked periodically (DeadlineExceeded propagates).
+     * The finished stream is sealed: a versioned header with per-lane
+     * FNV-1a checksums that verifyIntegrity() revalidates.
      */
     static std::shared_ptr<const CapturedStream>
     capture(const Program &prog, std::uint64_t maxInsts,
-            std::uint64_t maxBytes = 0);
+            std::uint64_t maxBytes = 0,
+            const RunDeadline *deadline = nullptr);
+
+    /**
+     * Test-only capture fault hook: when non-null, invoked once per
+     * captured instruction with the count so far. Fault-injection
+     * tests (sim/faultinject.hh) use it to simulate allocation failure
+     * mid-capture; production code never sets it.
+     */
+    static void (*captureHook)(std::uint64_t instsSoFar);
+
+    /**
+     * Revalidate the sealed header against the lanes: magic, format
+     * version, instruction count, per-lane byte length and FNV-1a
+     * checksum. Throws StreamIntegrityError on any mismatch (flipped
+     * byte, truncated lane, foreign or stale header). StreamCursor
+     * calls this on attach, so no corrupt stream is ever replayed.
+     */
+    void verifyIntegrity() const;
 
     /** Captured instruction count. */
     std::uint64_t instCount() const { return count_; }
@@ -124,8 +164,32 @@ class CapturedStream
 
   private:
     friend class StreamCursor;
+    /** Test-only corruption seams (sim/faultinject.hh): flip one lane
+     *  byte / drop lane tail bytes so integrity tests can prove the
+     *  mismatch is caught at cursor attach. */
+    friend void corruptStreamForTest(const CapturedStream &stream,
+                                     unsigned lane, std::size_t offset,
+                                     std::uint8_t xorMask);
+    friend void truncateStreamForTest(const CapturedStream &stream,
+                                      unsigned lane, std::size_t dropBytes);
 
     CapturedStream() = default;
+
+    /** Sealed at the end of capture(); verifyIntegrity() revalidates. */
+    struct Header
+    {
+        static constexpr std::uint32_t kMagic = 0x52565053; // "RVPS"
+        static constexpr std::uint32_t kVersion = 1;
+
+        std::uint32_t magic = 0;
+        std::uint32_t version = 0;
+        std::uint64_t instCount = 0;
+        std::uint64_t laneBytes[4] = {};  ///< idx/value/addr/taken
+        std::uint64_t laneFnv[4] = {};
+    };
+
+    /** Compute the header over the current lanes (capture-time seal). */
+    void seal();
 
     /** Per-static-instruction fields shared by all its instances. */
     struct StaticDecode
@@ -160,6 +224,7 @@ class CapturedStream
     std::uint64_t count_ = 0;
     std::uint64_t finalNextPc_ = 0;
     bool complete_ = false;
+    Header header_;
 };
 
 /**

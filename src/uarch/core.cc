@@ -38,9 +38,10 @@ Core::Counters::Counters(StatSet &stats)
 
 Core::Core(const CoreParams &params, const Program &prog,
            ValuePredictor &predictor, PipelineTracer *tracer,
-           InstSource *source)
+           InstSource *source, const RunDeadline *deadline)
     : params_(params), prog_(prog), predictor_(predictor),
-      mem_(params.mem), bp_(params.bp), tracer_(tracer), ctr_(stats_)
+      mem_(params.mem), bp_(params.bp), tracer_(tracer),
+      deadline_(deadline), ctr_(stats_)
 {
     if (source) {
         source_ = source;
@@ -878,6 +879,12 @@ Core::run()
     std::uint64_t last_committed = 0;
 
     while (committed_ < params_.maxInsts) {
+        // Per-run watchdog (common/deadline.hh): a masked compare per
+        // cycle, one clock read per interval. The null fast path is a
+        // single predictable branch, so default sweeps keep the golden
+        // stats and their wall time.
+        if (deadline_ && (cycle_ & deadlineCheckMask) == 0)
+            deadline_->check("core loop");
         completePhase();
         commitPhase();
         iqReleasePhase();

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "branch/gshare.hh"
+#include "common/deadline.hh"
 #include "emu/emulator.hh"
 #include "mem/hierarchy.hh"
 #include "stream/stream.hh"
@@ -67,10 +68,16 @@ class Core
      *        caller, e.g. a StreamCursor replaying a cached capture);
      *        null means live functional emulation of prog. Either
      *        source yields bit-identical stats.
+     * @param deadline optional wall-clock watchdog (owned by the
+     *        caller; checked every few thousand cycles — an expired
+     *        deadline throws DeadlineExceeded out of run()). Null
+     *        costs one predictable branch per check interval and
+     *        leaves stats and timing untouched.
      */
     Core(const CoreParams &params, const Program &prog,
          ValuePredictor &predictor, PipelineTracer *tracer = nullptr,
-         InstSource *source = nullptr);
+         InstSource *source = nullptr,
+         const RunDeadline *deadline = nullptr);
 
     /** Run to the committed-instruction budget (or HALT). */
     CoreResult run();
@@ -251,6 +258,12 @@ class Core
 
     /** Optional lifecycle tracer (see trace/tracer.hh); may be null. */
     PipelineTracer *tracer_ = nullptr;
+
+    /** Cycles between watchdog checks (power of two; the check is a
+     *  masked compare plus, when due, one steady_clock read). */
+    static constexpr std::uint64_t deadlineCheckMask = 4095;
+    /** Optional per-run wall-clock watchdog; may be null. */
+    const RunDeadline *deadline_ = nullptr;
 
     /**
      * Interned histogram handles, non-null only when

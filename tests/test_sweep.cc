@@ -349,8 +349,10 @@ TEST(Sweep, AThrowingRunIsContainedAndTheRestComplete)
     SweepOptions opts;
     opts.jobs = 4;
     opts.progress = false;
-    opts.runFn = [](const ExperimentConfig &config,
-                    WorkloadCache &cache) -> ExperimentResult {
+    opts.maxRetries = 0;   // containment semantics, not retry (see
+                           // test_robustness.cc for the retry paths)
+    opts.runFn = [](const ExperimentConfig &config, WorkloadCache &cache,
+                    const RunContext &) -> ExperimentResult {
         static std::atomic<int> calls{0};
         if (calls.fetch_add(1) == 2)
             throw std::runtime_error("simulated mid-run failure");
@@ -382,8 +384,8 @@ TEST(Sweep, ContainedFailuresStaySerialParallelIdentical)
     std::vector<ExperimentConfig> configs;
     for (int i = 0; i < 4; ++i)
         configs.push_back(smallConfig("go"));
-    auto run_fn = [](const ExperimentConfig &config,
-                     WorkloadCache &cache) -> ExperimentResult {
+    auto run_fn = [](const ExperimentConfig &config, WorkloadCache &cache,
+                     const RunContext &) -> ExperimentResult {
         if (config.core.maxInsts == 16'000)
             throw std::runtime_error("bad budget");
         return runExperiment(config, &cache);
@@ -394,6 +396,7 @@ TEST(Sweep, ContainedFailuresStaySerialParallelIdentical)
         SweepOptions opts;
         opts.jobs = jobs;
         opts.progress = false;
+        opts.maxRetries = 0;
         opts.runFn = run_fn;
         std::vector<ExperimentResult> results = runSweep(configs, opts);
         ASSERT_EQ(results.size(), 4u);
@@ -426,6 +429,55 @@ TEST(SweepValidationDeathTest, TracingNeedsAPositiveSampleInterval)
     config.traceOut = "/tmp/x.trace.json";
     config.traceSample = 0;
     EXPECT_DEATH(validateExperimentConfig(config), "traceSample");
+}
+
+TEST(Sweep, NegativeStreamEntryPinsSmallerCallersToLive)
+{
+    // An over-budget capture resolves to a negative (null) entry;
+    // every later caller — including one with a smaller bound that a
+    // fresh capture might have satisfied — takes the live-emulation
+    // fallback without re-attempting the build.
+    WorkloadCache cache(1024);
+    StreamKey key;
+    key.workload = "go";
+    int builds = 0;
+    auto build = [&](std::uint64_t) -> WorkloadCache::StreamPtr {
+        ++builds;
+        return nullptr;   // capture exceeded maxBytes
+    };
+    EXPECT_EQ(cache.stream(key, 10'000, build), nullptr);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(cache.stream(key, 1'000, build), nullptr);
+    EXPECT_EQ(builds, 1);   // negative entry honored, no rebuild
+    WorkloadCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.streamMisses, 2u);
+    EXPECT_EQ(stats.streamHits, 0u);
+    EXPECT_EQ(stats.streamBytesBuilt, 0u);
+}
+
+TEST(Sweep, TruncatedStreamIsRebuiltForALongerRun)
+{
+    // A stream captured for a short run is truncated below a longer
+    // run's bound; the cache must rebuild at the larger bound instead
+    // of replaying a stream that ends mid-run, and both runs must
+    // match their uncached equivalents bit for bit.
+    WorkloadCache cache;
+    ExperimentConfig small_cfg = smallConfig("go");
+    ExperimentConfig big_cfg = smallConfig("go");
+    big_cfg.core.maxInsts = 30'000;
+
+    RunContext context;
+    context.cache = &cache;
+    ExperimentResult a = runExperiment(small_cfg, context);
+    ExperimentResult b = runExperiment(big_cfg, context);
+
+    WorkloadCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.streamMisses, 2u)
+        << "the truncated stream must be rebuilt, not replayed";
+    EXPECT_EQ(stats.streamHits, 0u);
+
+    expectIdentical(a, runExperiment(small_cfg), "small vs uncached");
+    expectIdentical(b, runExperiment(big_cfg), "big vs uncached");
 }
 
 TEST(Sweep, ParallelForCoversEveryIndexOnce)

@@ -13,16 +13,20 @@
  * Run `sweep_all --help` for the full option set.
  */
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "sim/journal.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 #include "workloads/workloads.hh"
@@ -50,6 +54,18 @@ struct Options
     /** Committed-stream cache budget; 0 = always live emulation. */
     std::uint64_t streamCacheBytes =
         WorkloadCache::defaultStreamCacheBytes;
+    /** Load <out>.journal and skip runs journaled as successful. */
+    bool resume = false;
+    /** Per-attempt wall-clock watchdog, seconds; 0 = off. */
+    double runDeadline = 0.0;
+    /** Exit 0 even when runs failed after their retry. */
+    bool keepGoing = false;
+    /** Disable the crash-safety journal entirely. */
+    bool noJournal = false;
+    /** Zero host-timing fields and omit the cache block in the output
+     *  so a resumed sweep's JSON is byte-identical to an
+     *  uninterrupted one (used by the kill-and-resume test). */
+    bool stableOutput = false;
 };
 
 /** One grid entry: a figure's variant applied to one workload. */
@@ -86,6 +102,18 @@ usage()
         "  --stream-cache-bytes N\n"
         "                      committed-stream replay cache budget\n"
         "                      (default 256 MiB; 0 disables replay)\n"
+        "  --resume            skip runs already journaled as\n"
+        "                      successful in <out>.journal (a killed\n"
+        "                      sweep picks up where it left off)\n"
+        "  --run-deadline S    per-run wall-clock watchdog in seconds\n"
+        "                      (fractions OK; 0 = off); an overrunning\n"
+        "                      run fails and is retried degraded\n"
+        "  --keep-going        exit 0 even when runs failed (failures\n"
+        "                      are still reported and journaled)\n"
+        "  --no-journal        do not write the crash-safety journal\n"
+        "  --stable-output     zero host-timing fields and omit cache\n"
+        "                      stats so resumed and uninterrupted\n"
+        "                      sweeps emit byte-identical JSON\n"
         "  --quiet             suppress per-run progress lines\n";
 }
 
@@ -333,28 +361,19 @@ paperGrid()
     return grid;
 }
 
-// ---------------------------------------------------------------------
-// Minimal JSON writer (no external dependencies).
-// ---------------------------------------------------------------------
+// JSON escaping/number formatting come from sim/journal.hh
+// (rvp::jsonEscape / rvp::jsonNum — %.17g round-trips exactly, which
+// the resume path depends on).
 
+/** Identity key of one grid entry within a sweep (the sweep-level
+ *  options are pinned separately by configHash). */
 std::string
-jsonEscape(const std::string &s)
+runKey(const GridEntry &entry)
 {
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-std::string
-jsonNum(double value)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    return buf;
+    std::uint64_t h = fnv1a(entry.figure);
+    h = fnv1a(entry.variant, h);
+    h = fnv1a(entry.config.workload, h);
+    return hashHex(h);
 }
 
 } // namespace
@@ -406,6 +425,21 @@ main(int argc, char **argv)
             opts.hist = true;
         else if (arg == "--stream-cache-bytes")
             opts.streamCacheBytes = nextU64();
+        else if (arg == "--resume")
+            opts.resume = true;
+        else if (arg == "--run-deadline") {
+            std::string value = next();
+            char *end = nullptr;
+            opts.runDeadline = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                opts.runDeadline < 0.0)
+                die("'" + value + "' is not a valid deadline");
+        } else if (arg == "--keep-going")
+            opts.keepGoing = true;
+        else if (arg == "--no-journal")
+            opts.noJournal = true;
+        else if (arg == "--stable-output")
+            opts.stableOutput = true;
         else if (arg == "--quiet")
             opts.quiet = true;
         else if (arg == "--help" || arg == "-h") {
@@ -473,44 +507,133 @@ main(int argc, char **argv)
     if (entries.empty())
         die("the grid is empty (check --figures / --workloads)");
 
-    std::vector<ExperimentConfig> configs;
-    configs.reserve(entries.size());
+    const std::string sweep_hash = configHash(opts);
+    const std::string journal_path = opts.out + ".journal";
+    std::vector<std::string> keys;
+    keys.reserve(entries.size());
     for (const GridEntry &entry : entries)
-        configs.push_back(entry.config);
+        keys.push_back(runKey(entry));
+
+    // Resume: load the journal and pre-fill every run it records as
+    // successful; only the rest is executed. Failed records are
+    // re-run (they may succeed this time, and the retry's journal
+    // line supersedes theirs — load() keeps the later record).
+    std::vector<ExperimentResult> results(entries.size());
+    std::vector<double> run_seconds(entries.size(), 0.0);
+    std::vector<bool> resumed(entries.size(), false);
+    if (opts.resume && !opts.noJournal) {
+        RunJournal::Loaded loaded = RunJournal::load(journal_path);
+        if (!loaded.sweepHash.empty() && loaded.sweepHash != sweep_hash)
+            die("journal " + journal_path + " belongs to a different "
+                "sweep configuration (sweep_hash " + loaded.sweepHash +
+                " != " + sweep_hash + "); rerun without --resume");
+        if (loaded.skippedLines > 0)
+            std::cerr << "sweep_all: journal: skipped "
+                      << loaded.skippedLines
+                      << " torn/corrupt line(s)\n";
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            auto it = loaded.runs.find(keys[i]);
+            if (it == loaded.runs.end() || it->second.result.failed)
+                continue;
+            results[i] = it->second.result;
+            run_seconds[i] = it->second.runSeconds;
+            resumed[i] = true;
+        }
+    } else if (!opts.resume) {
+        // A fresh sweep must not inherit a stale journal: a key
+        // collision with an old run would silently skip work on a
+        // later --resume.
+        unlink(journal_path.c_str());
+    }
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (!resumed[i])
+            pending.push_back(i);
+
+    std::unique_ptr<RunJournal> journal;
+    if (!opts.noJournal && !pending.empty()) {
+        journal = std::make_unique<RunJournal>(journal_path);
+        if (!journal->ok())
+            die("cannot open run journal " + journal_path);
+        // Header once per journal file (a resumed journal has one).
+        if (!opts.resume ||
+            RunJournal::load(journal_path).sweepHash.empty())
+            journal->appendSweepHeader(sweep_hash);
+    }
+
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(pending.size());
+    for (std::size_t i : pending)
+        configs.push_back(entries[i].config);
 
     SweepOptions sweep_opts;
     sweep_opts.jobs = opts.jobs;
     sweep_opts.progress = !opts.quiet;
     sweep_opts.streamCapture = opts.streamCacheBytes > 0;
     sweep_opts.streamCacheBytes = opts.streamCacheBytes;
+    sweep_opts.runDeadline = opts.runDeadline;
+    if (journal) {
+        sweep_opts.onRunComplete = [&](std::size_t pi,
+                                       const ExperimentResult &result,
+                                       double seconds) {
+            std::size_t i = pending[pi];
+            JournalRecord rec;
+            rec.key = keys[i];
+            rec.figure = entries[i].figure;
+            rec.variant = entries[i].variant;
+            rec.workload = entries[i].config.workload;
+            rec.runSeconds = seconds;
+            rec.result = result;
+            journal->append(rec);
+        };
+    }
     SweepReport report;
-    std::cerr << "sweep_all: " << entries.size() << " runs, jobs="
+    std::cerr << "sweep_all: " << entries.size() << " runs ("
+              << pending.size() << " to execute, "
+              << entries.size() - pending.size() << " resumed), jobs="
               << (opts.jobs ? opts.jobs : defaultJobs()) << "\n";
-    std::vector<ExperimentResult> results =
+    std::vector<ExperimentResult> executed =
         runSweep(configs, sweep_opts, &report);
+    for (std::size_t pi = 0; pi < pending.size(); ++pi) {
+        results[pending[pi]] = std::move(executed[pi]);
+        run_seconds[pending[pi]] = report.runSeconds[pi];
+    }
 
-    // Emit the JSON report.
-    std::ofstream os(opts.out);
-    if (!os)
-        die("cannot open output file " + opts.out);
+    // Emit the JSON report: composed in memory, then written through
+    // writeFileAtomic so readers (and a crash mid-write) never observe
+    // a partial file. --stable-output zeroes host-timing fields and
+    // omits the cache block, which are the only parts that differ
+    // between a resumed and an uninterrupted sweep.
+    std::ostringstream os;
     os << "{\n"
        << "  \"tool\": \"sweep_all\",\n"
        << "  \"jobs\": " << report.jobs << ",\n"
        << "  \"insts\": " << opts.insts << ",\n"
        << "  \"profile_insts\": " << opts.profileInsts << ",\n"
-       << "  \"wall_seconds\": " << jsonNum(report.wallSeconds) << ",\n"
-       << "  \"cache\": {\"compile_hits\": " << report.cache.compileHits
-       << ", \"compile_misses\": " << report.cache.compileMisses
-       << ", \"profile_hits\": " << report.cache.profileHits
-       << ", \"profile_misses\": " << report.cache.profileMisses
-       << ", \"stream_hits\": " << report.cache.streamHits
-       << ", \"stream_misses\": " << report.cache.streamMisses
-       << ", \"stream_evicted\": " << report.cache.streamEvicted
-       << ", \"stream_bytes_built\": " << report.cache.streamBytesBuilt
-       << ", \"stream_insts_built\": " << report.cache.streamInstsBuilt
-       << ", \"stream_bytes_resident\": "
-       << report.cache.streamBytesResident << "},\n"
-       << "  \"runs\": [\n";
+       << "  \"wall_seconds\": "
+       << jsonNum(opts.stableOutput ? 0.0 : report.wallSeconds) << ",\n";
+    if (!opts.stableOutput) {
+        os << "  \"cache\": {\"compile_hits\": "
+           << report.cache.compileHits
+           << ", \"compile_misses\": " << report.cache.compileMisses
+           << ", \"profile_hits\": " << report.cache.profileHits
+           << ", \"profile_misses\": " << report.cache.profileMisses
+           << ", \"stream_hits\": " << report.cache.streamHits
+           << ", \"stream_misses\": " << report.cache.streamMisses
+           << ", \"stream_evicted\": " << report.cache.streamEvicted
+           << ", \"stream_integrity_failures\": "
+           << report.cache.streamIntegrityFailures
+           << ", \"stream_capture_ooms\": "
+           << report.cache.streamCaptureOoms
+           << ", \"stream_bytes_built\": "
+           << report.cache.streamBytesBuilt
+           << ", \"stream_insts_built\": "
+           << report.cache.streamInstsBuilt
+           << ", \"stream_bytes_resident\": "
+           << report.cache.streamBytesResident << "},\n";
+    }
+    os << "  \"runs\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const GridEntry &entry = entries[i];
         const ExperimentResult &r = results[i];
@@ -531,8 +654,12 @@ main(int argc, char **argv)
            << ", \"realloc_failed\": "
            << (r.reallocFailed ? "true" : "false")
            << ", \"failed\": " << (r.failed ? "true" : "false")
-           << ", \"run_seconds\": " << jsonNum(report.runSeconds[i])
-           << ", \"kips\": " << jsonNum(r.kips);
+           << ", \"retries\": " << r.retries
+           << ", \"degraded\": " << (r.degraded ? "true" : "false")
+           << ", \"run_seconds\": "
+           << jsonNum(opts.stableOutput ? 0.0 : run_seconds[i])
+           << ", \"kips\": "
+           << jsonNum(opts.stableOutput ? 0.0 : r.kips);
         if (r.failed)
             os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
         if (opts.fullStats) {
@@ -550,7 +677,8 @@ main(int argc, char **argv)
         os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
-    os.close();
+    if (!writeFileAtomic(opts.out, os.str()))
+        die("cannot write output file " + opts.out);
 
     // Simulator-throughput trail: one labelled JSON row is APPENDED
     // per invocation (docs/INTERNALS.md, "Simulator performance"), so
@@ -583,9 +711,7 @@ main(int argc, char **argv)
                 ? static_cast<double>(report.cache.streamBytesBuilt) /
                       static_cast<double>(report.cache.streamInstsBuilt)
                 : 0.0;
-        std::ofstream bos(opts.benchOut, std::ios::app);
-        if (!bos)
-            die("cannot open bench output file " + opts.benchOut);
+        std::ostringstream bos;
         bos << "{\"tool\": \"sweep_all\""
             << ", \"git\": \"" << jsonEscape(gitDescribe()) << "\""
             << ", \"config_hash\": \"" << configHash(opts) << "\""
@@ -614,7 +740,12 @@ main(int argc, char **argv)
             << ", \"insts_built\": " << report.cache.streamInstsBuilt
             << ", \"bytes_per_inst\": " << jsonNum(stream_bpi)
             << ", \"resident_bytes\": "
-            << report.cache.streamBytesResident << "}}\n";
+            << report.cache.streamBytesResident << "}}";
+        // The trail is append-only history: each row goes through the
+        // write-temp-then-rename path, so a crash mid-append can never
+        // tear a row or truncate the rows already there.
+        if (!appendLineAtomic(opts.benchOut, bos.str()))
+            die("cannot append to bench output file " + opts.benchOut);
         std::cerr << "sweep_all: throughput " << jsonNum(agg_kips)
                   << " KIPS aggregate -> appended to " << opts.benchOut
                   << "\n";
@@ -629,6 +760,44 @@ main(int argc, char **argv)
               << " hits, stream cache " << report.cache.streamHits
               << "/" << report.cache.streamHits + report.cache.streamMisses
               << " hits, " << report.cache.streamEvicted << " evicted, "
-              << report.cache.streamBytesResident << " bytes resident)\n";
+              << report.cache.streamIntegrityFailures
+              << " integrity failures, " << report.cache.streamCaptureOoms
+              << " capture OOMs, " << report.cache.streamBytesResident
+              << " bytes resident)\n";
+
+    // Failure summary (S1): every run still failed after its retry is
+    // listed; the exit code tells CI. --keep-going keeps exit 0 for
+    // best-effort sweeps (the journal survives for a later --resume).
+    std::vector<std::size_t> failures;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (results[i].failed)
+            failures.push_back(i);
+    if (!failures.empty()) {
+        std::cerr << "sweep_all: " << failures.size() << " of "
+                  << entries.size() << " runs FAILED after retry:\n";
+        std::cerr << "  config                                   "
+                     "retries  error\n";
+        for (std::size_t i : failures) {
+            char line[256];
+            std::snprintf(line, sizeof(line), "  %-40s %7u  %s\n",
+                          (entries[i].figure + "/" + entries[i].variant +
+                           "/" + entries[i].config.workload)
+                              .c_str(),
+                          results[i].retries, results[i].error.c_str());
+            std::cerr << line;
+        }
+    }
+    if (!opts.noJournal) {
+        if (failures.empty()) {
+            // Nothing left to resume: the results file is complete
+            // and durable, so the journal has served its purpose.
+            unlink(journal_path.c_str());
+        } else {
+            std::cerr << "sweep_all: journal kept at " << journal_path
+                      << " (rerun with --resume to retry failures)\n";
+        }
+    }
+    if (!failures.empty() && !opts.keepGoing)
+        return 2;
     return 0;
 }
