@@ -18,6 +18,7 @@
 #include "compiler/regalloc.hh"
 #include "emu/emulator.hh"
 #include "mem/hierarchy.hh"
+#include "stream/batch.hh"
 #include "stream/stream.hh"
 #include "uarch/core.hh"
 #include "vp/oracle.hh"
@@ -323,6 +324,52 @@ BM_StreamReplayStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StreamReplayStep);
+
+/** Per-consumer step rate of config-batched replay: one shared decode
+ *  ring feeding four lockstep consumers (sim/batchrun.hh drives the
+ *  same shape). Compare against BM_StreamReplayStep: the batched step
+ *  is a ring copy plus one lazy register write, with the varint
+ *  decode amortized across the consumers. */
+void
+BM_BatchedReplayStep(benchmark::State &state)
+{
+    constexpr std::size_t consumers = 4;
+    BuiltWorkload wl = buildWorkload("go", InputSet::Ref);
+    AllocResult alloc = allocateRegisters(wl.func, AllocConfig{});
+    LowerResult low = lower(wl.func, alloc);
+    low.program.dataImage = wl.data;
+    auto stream = CapturedStream::capture(low.program, 100'000);
+
+    auto fresh = [&]() {
+        auto batch = std::make_unique<BatchedStreamRun>(stream);
+        std::vector<BatchedStreamRun::Consumer *> cons;
+        for (std::size_t i = 0; i < consumers; ++i)
+            cons.push_back(batch->addConsumer());
+        return std::pair(std::move(batch), std::move(cons));
+    };
+    auto [batch, cons] = fresh();
+    std::uint64_t left = stream->instCount() * consumers;
+    std::size_t turn = 0;
+    DynInst di;
+    for (auto _ : state) {
+        if (left == 0) {
+            state.PauseTiming();
+            std::tie(batch, cons) = fresh();
+            left = stream->instCount() * consumers;
+            turn = 0;
+            state.ResumeTiming();
+        }
+        // Round-robin keeps the consumers in lockstep, so the shared
+        // ring stays hot and the decode frontier advances smoothly.
+        cons[turn]->step(di);
+        turn = (turn + 1) % consumers;
+        --left;
+        benchmark::DoNotOptimize(di);
+        benchmark::DoNotOptimize(cons[0]->preState());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatchedReplayStep);
 
 } // namespace
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Monotonic bump allocator. Config-batched replay (sim/batchrun.hh)
+ * steps N per-config timing models off one decode ring; the ring, the
+ * per-config stream consumers, and the batch bookkeeping are packed
+ * into one arena so the N working sets sit contiguously instead of
+ * scattering across the general heap.
+ *
+ * Lifetime contract: allocations are never freed individually — the
+ * whole arena is released at once by the destructor, and *no
+ * destructors are run* for objects placed in it. Only place objects
+ * whose destructor has no observable effect (PODs, or classes owning
+ * no resources).
+ */
+
+#ifndef RVP_COMMON_ARENA_HH
+#define RVP_COMMON_ARENA_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace rvp
+{
+
+class MonotonicArena
+{
+  public:
+    explicit MonotonicArena(std::size_t blockBytes = 1u << 20)
+        : blockBytes_(blockBytes)
+    {
+    }
+
+    MonotonicArena(const MonotonicArena &) = delete;
+    MonotonicArena &operator=(const MonotonicArena &) = delete;
+
+    ~MonotonicArena()
+    {
+        for (Block &b : blocks_)
+            ::operator delete(b.base, std::align_val_t{kAlign});
+    }
+
+    /** Raw storage, aligned to alignof(std::max_align_t) at most. */
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        std::size_t at = (used_ + (align - 1)) & ~(align - 1);
+        if (blocks_.empty() || at + bytes > blocks_.back().size) {
+            std::size_t size = std::max(blockBytes_, bytes);
+            Block b;
+            b.base = static_cast<std::uint8_t *>(
+                ::operator new(size, std::align_val_t{kAlign}));
+            b.size = size;
+            blocks_.push_back(b);
+            at = 0;
+        }
+        used_ = at + bytes;
+        return blocks_.back().base + at;
+    }
+
+    /** Construct one T in the arena (its destructor will NOT run). */
+    template <typename T, typename... Args>
+    T *
+    make(Args &&...args)
+    {
+        void *p = allocate(sizeof(T), alignof(T));
+        return ::new (p) T(std::forward<Args>(args)...);
+    }
+
+    /** Value-initialized array of n T (destructors will NOT run). */
+    template <typename T>
+    T *
+    makeArray(std::size_t n)
+    {
+        void *p = allocate(sizeof(T) * n, alignof(T));
+        return ::new (p) T[n]();
+    }
+
+    std::size_t
+    bytesAllocated() const
+    {
+        std::size_t total = 0;
+        for (const Block &b : blocks_)
+            total += b.size;
+        return total;
+    }
+
+  private:
+    static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+    struct Block
+    {
+        std::uint8_t *base = nullptr;
+        std::size_t size = 0;
+    };
+
+    std::vector<Block> blocks_;
+    std::size_t blockBytes_;
+    std::size_t used_ = 0;
+};
+
+} // namespace rvp
+
+#endif // RVP_COMMON_ARENA_HH

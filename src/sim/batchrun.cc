@@ -1,0 +1,261 @@
+#include "sim/batchrun.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <new>
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Per-member driver state (beyond the PreparedRun). */
+struct Member
+{
+    PreparedRun prep;
+    /** This member's wall-clock budget, armed at preparation (shared
+     *  wall clock: co-members' bursts count against it). */
+    std::optional<RunDeadline> deadline;
+    std::unique_ptr<Core> core;
+    BatchedStreamRun::Consumer *consumer = nullptr;
+    unsigned fetchWidth = 1;
+    double hostSeconds = 0.0;
+    bool alive = false;
+    bool coreDone = false;
+};
+
+} // namespace
+
+std::vector<BatchMemberOutcome>
+runBatchedGroup(const std::vector<ExperimentConfig> &configs,
+                const std::vector<std::size_t> &gridIndices,
+                const StreamKey &groupKey, WorkloadCache &cache,
+                const BatchRunOptions &options)
+{
+    const std::size_t n = configs.size();
+    RVP_ASSERT(gridIndices.size() == n);
+    std::vector<BatchMemberOutcome> out(n);
+    std::vector<Member> members(n);
+
+    auto failMember = [&](std::size_t j, const std::string &what) {
+        members[j].alive = false;
+        out[j].ran = true;
+        out[j].result = ExperimentResult{};
+        out[j].result.failed = true;
+        out[j].result.error = what;
+    };
+
+    // ---- Phase 1: prepare every member (attempt 0 starts here, so a
+    // prepare failure is a consumed attempt and the deadline is armed
+    // before any compilation, exactly like the solo path). ----
+    for (std::size_t j = 0; j < n; ++j) {
+        Member &m = members[j];
+        RunContext context;
+        context.cache = &cache;
+        context.runIndex = gridIndices[j];
+        context.attempt = 0;
+        if (options.runDeadline > 0.0) {
+            m.deadline.emplace(options.runDeadline);
+            context.deadline = &*m.deadline;
+        }
+        try {
+            if (options.onAttemptStart)
+                options.onAttemptStart(configs[j], context);
+            m.prep = prepareExperiment(configs[j], context);
+            if (m.prep.key == groupKey) {
+                m.alive = true;
+            } else {
+                // The actual key diverged from the presumed one (a
+                // failed re-allocation folds onto the Base binary):
+                // this member belongs to a different stream, so it
+                // runs solo from attempt 0.
+                out[j].ran = false;
+            }
+        } catch (const std::exception &e) {
+            failMember(j, e.what());
+        } catch (...) {
+            failMember(j, "unknown exception");
+        }
+    }
+
+    std::size_t first_alive = n;
+    std::uint64_t max_min_insts = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (!members[j].alive)
+            continue;
+        if (first_alive == n)
+            first_alive = j;
+        max_min_insts =
+            std::max(max_min_insts, members[j].prep.minInsts);
+    }
+    if (first_alive == n)
+        return out;
+
+    // ---- Phase 2: acquire the shared stream. Built once at the
+    // largest member bound; every member still makes its own cache
+    // lookup so the hit/miss counters match a solo sweep. ----
+    const RunDeadline *build_deadline =
+        members[first_alive].deadline ? &*members[first_alive].deadline
+                                      : nullptr;
+    const Program &timed = members[first_alive].prep.timedProgram();
+    WorkloadCache::StreamPtr stream;
+    try {
+        stream = cache.stream(
+            groupKey, max_min_insts, [&](std::uint64_t max_bytes) {
+                return CapturedStream::capture(timed, max_min_insts,
+                                               max_bytes,
+                                               build_deadline);
+            });
+    } catch (const std::bad_alloc &) {
+        // Same recovery as the solo path: shrink the budget, pin the
+        // key live, and let every member run solo (never a failure).
+        cache.noteCaptureOom(groupKey);
+        warn("stream capture ran out of memory for %s; shrinking the "
+             "cache budget and running the batch live",
+             configs[first_alive].workload.c_str());
+        stream = nullptr;
+    } catch (const std::exception &e) {
+        // The shared capture failed (e.g. the builder's deadline
+        // expired): every member of the batch shared that build, so
+        // each consumed attempt 0 — mirroring how solo runs sharing a
+        // memoized build all receive its exception.
+        for (std::size_t j = 0; j < n; ++j)
+            if (members[j].alive)
+                failMember(j, e.what());
+        return out;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        if (!members[j].alive || j == first_alive)
+            continue;
+        // Normally a pure lookup (the entry is resolved): counts the
+        // same cache hit/miss a solo run of this member would. If a
+        // concurrent group's build evicted the entry meanwhile, the
+        // already-built stream is reinstalled instead of re-captured.
+        cache.stream(members[j].prep.key, members[j].prep.minInsts,
+                     [&](std::uint64_t) { return stream; });
+    }
+    if (!stream) {
+        // Over-budget or OOM-pinned: live emulation, solo, attempt 0.
+        for (std::size_t j = 0; j < n; ++j)
+            if (members[j].alive)
+                out[j].ran = false;
+        return out;
+    }
+
+    // ---- Phase 3: attach the batch (integrity-verified) and the
+    // per-member cores. ----
+    std::optional<BatchedStreamRun> batch;
+    try {
+        batch.emplace(stream, options.ringSlots);
+    } catch (const StreamIntegrityError &e) {
+        cache.noteStreamIntegrityFailure(groupKey);
+        warn("%s for %s; falling back to live emulation",
+             e.what(), configs[first_alive].workload.c_str());
+        for (std::size_t j = 0; j < n; ++j)
+            if (members[j].alive)
+                out[j].ran = false;
+        return out;
+    }
+
+    std::size_t started = 0;
+    std::size_t live = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        Member &m = members[j];
+        if (!m.alive)
+            continue;
+        m.fetchWidth = m.prep.config.core.fetchWidth;
+        m.consumer = batch->addConsumer();
+        m.core = std::make_unique<Core>(
+            m.prep.config.core, m.prep.timedProgram(),
+            *m.prep.predictor, m.prep.tracer.get(), m.consumer,
+            m.deadline ? &*m.deadline : nullptr);
+        ++started;
+        ++live;
+    }
+
+    // ---- Phase 4: lockstep. Each pass refills the decode ring as
+    // far as the slowest live member allows, then bursts every member
+    // until it would outrun the frontier (or finishes). The laggard
+    // can always burst (ring >> fetchWidth), so every pass makes
+    // progress; once decoding is done, members free-run to the end.
+    // ----
+    double decode_seconds = 0.0;
+    while (live > 0) {
+        auto d0 = std::chrono::steady_clock::now();
+        batch->refill();
+        decode_seconds += secondsSince(d0);
+        for (std::size_t j = 0; j < n; ++j) {
+            Member &m = members[j];
+            if (!m.alive || m.coreDone)
+                continue;
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                while (!m.coreDone &&
+                       (batch->decodeDone() ||
+                        m.consumer->position() + m.fetchWidth <=
+                            batch->decodedCount())) {
+                    if (!m.core->stepCycle())
+                        m.coreDone = true;
+                }
+            } catch (const std::exception &e) {
+                m.hostSeconds += secondsSince(t0);
+                failMember(j, e.what());
+                m.consumer->detach();
+                --live;
+                continue;
+            } catch (...) {
+                m.hostSeconds += secondsSince(t0);
+                failMember(j, "unknown exception");
+                m.consumer->detach();
+                --live;
+                continue;
+            }
+            m.hostSeconds += secondsSince(t0);
+            if (m.coreDone) {
+                m.consumer->detach();
+                --live;
+            }
+        }
+    }
+
+    // ---- Phase 5: finalize the members that completed. The shared
+    // decode time is attributed evenly across the members that ran
+    // (the solo path would have paid a full decode each). ----
+    double decode_share =
+        started > 0 ? decode_seconds / static_cast<double>(started)
+                    : 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        Member &m = members[j];
+        if (!m.alive || !m.coreDone)
+            continue;
+        auto t0 = std::chrono::steady_clock::now();
+        try {
+            CoreResult cr = m.core->finalize();
+            m.hostSeconds += secondsSince(t0);
+            out[j].result = finishExperiment(
+                m.prep, std::move(cr), m.hostSeconds + decode_share);
+            out[j].ran = true;
+        } catch (const std::exception &e) {
+            failMember(j, e.what());
+        } catch (...) {
+            failMember(j, "unknown exception");
+        }
+    }
+    return out;
+}
+
+} // namespace rvp

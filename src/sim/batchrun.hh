@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lockstep driver for config-batched stream replay.
+ *
+ * runBatchedGroup() takes every pending sweep run that shares one
+ * StreamKey, prepares each (compile/profile/predictor — memoized
+ * through the WorkloadCache exactly like solo runs), attaches each to
+ * a Consumer of one BatchedStreamRun (stream/batch.hh), and steps the
+ * N timing cores in bursts off the shared decode ring. The captured
+ * stream is decoded once per *group* instead of once per run.
+ *
+ * Semantics preserved from the solo path:
+ *
+ *  - results are bit-identical to solo replay (each member owns its
+ *    Core, predictor, tracer, and reconstructed ArchState; predictor
+ *    consultation happens at that member's own fetch, in its program
+ *    order)
+ *  - per-member wall-clock deadlines (RunDeadline) are armed at
+ *    member preparation and checked inside each member's core loop;
+ *    wall-clock is shared, so co-members' bursts count against a
+ *    member's budget — an overrun throws out of that member only
+ *  - a member that throws (prepare, mid-lockstep, or finalize) falls
+ *    out of the batch with a recorded attempt-0 failure; the
+ *    scheduler (sim/sweep.cc) then retries it solo under the degraded
+ *    profile while the other members finish unaffected
+ *  - when no batched stream is available (capture OOM, over-budget
+ *    stream, integrity failure at attach), members return with
+ *    ran=false and the scheduler runs them solo from attempt 0 — the
+ *    same live-emulation fallbacks the solo path takes, never a
+ *    failure
+ */
+
+#ifndef RVP_SIM_BATCHRUN_HH
+#define RVP_SIM_BATCHRUN_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+#include "stream/batch.hh"
+
+namespace rvp
+{
+
+/** What the batch did with one member. */
+struct BatchMemberOutcome
+{
+    /**
+     * The batch produced this member's attempt-0 state: a result
+     * (result.failed == false) or a consumed failed attempt
+     * (result.failed == true, error set — the scheduler retries solo
+     * at attempt 1). false = the member never ran here (no batched
+     * stream, or its stream key diverged at prepare); run it solo
+     * from attempt 0.
+     */
+    bool ran = false;
+    ExperimentResult result;
+};
+
+/** Driver knobs (plumbed from SweepOptions by the scheduler). */
+struct BatchRunOptions
+{
+    /** Per-member wall-clock budget, seconds; 0 disables. */
+    double runDeadline = 0.0;
+    /** Decode-ring capacity (stream/batch.hh). */
+    std::size_t ringSlots = BatchedStreamRun::defaultRingSlots;
+    /** Test seam forwarded from SweepOptions::onAttemptStart. */
+    std::function<void(const ExperimentConfig &, const RunContext &)>
+        onAttemptStart;
+};
+
+/**
+ * Run one stream-key group in lockstep. configs and gridIndices are
+ * parallel (gridIndices holds each member's position in the sweep
+ * grid, for RunContext and fault addressing); groupKey is the
+ * presumed stream key the scheduler grouped by.
+ */
+std::vector<BatchMemberOutcome>
+runBatchedGroup(const std::vector<ExperimentConfig> &configs,
+                const std::vector<std::size_t> &gridIndices,
+                const StreamKey &groupKey, WorkloadCache &cache,
+                const BatchRunOptions &options);
+
+} // namespace rvp
+
+#endif // RVP_SIM_BATCHRUN_HH

@@ -29,13 +29,15 @@ void
 armCaptureBadAlloc(std::uint64_t afterInsts)
 {
     captureOomAfter.store(afterInsts, std::memory_order_relaxed);
-    CapturedStream::captureHook = &captureOomHook;
+    CapturedStream::captureHook.store(&captureOomHook,
+                                      std::memory_order_release);
 }
 
 void
 disarmCaptureFaults()
 {
-    CapturedStream::captureHook = nullptr;
+    CapturedStream::captureHook.store(nullptr,
+                                      std::memory_order_release);
     captureOomAfter.store(~0ull, std::memory_order_relaxed);
 }
 

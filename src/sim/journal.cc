@@ -99,6 +99,22 @@ writeFileAtomic(const std::string &path, const std::string &contents)
         unlink(tmp.c_str());
         return false;
     }
+    // The rename is only durable once the parent directory's entry is
+    // on disk: without this fsync a crash right after return could
+    // roll the path back to the OLD file even though the caller was
+    // promised the new contents (the data fsync above only covers the
+    // inode, not the directory that names it).
+    std::string dir = ".";
+    if (std::size_t slash = path.rfind('/'); slash != std::string::npos)
+        dir = slash == 0 ? "/" : path.substr(0, slash);
+    int dirfd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd < 0)
+        return false;
+    if (fsync(dirfd) != 0) {
+        close(dirfd);
+        return false;
+    }
+    close(dirfd);
     return true;
 }
 

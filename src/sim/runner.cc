@@ -173,8 +173,8 @@ streamKeyFor(const ExperimentConfig &config, bool reallocFailed)
     return key;
 }
 
-ExperimentResult
-runExperiment(const ExperimentConfig &config, const RunContext &context)
+PreparedRun
+prepareExperiment(const ExperimentConfig &config, const RunContext &context)
 {
     validateExperimentConfig(config);
     WorkloadCache *cache = context.cache;
@@ -183,6 +183,9 @@ runExperiment(const ExperimentConfig &config, const RunContext &context)
     // worker wedged elsewhere) fails before compiling anything.
     if (deadline)
         deadline->check("run start");
+
+    PreparedRun prep;
+    prep.config = config;
 
     // The needs-profile schemes: static RVP always; dynamic RVP when a
     // compiler-assistance level beyond plain same-register is assumed;
@@ -197,21 +200,20 @@ runExperiment(const ExperimentConfig &config, const RunContext &context)
     // train binary (ReuseProfile keeps a Program pointer), so that
     // binary must outlive every use of the profile: the cache keeps its
     // instance alive for the whole sweep; the uncached path anchors a
-    // local one here for the rest of this function.
-    std::shared_ptr<const ProfileRun> train_profile;
-    std::shared_ptr<const CompiledWorkload> train_keepalive;
+    // keepalive in the PreparedRun.
     if (needs_profile) {
         if (cache) {
-            train_profile = cache->profiled(config.workload,
-                                            InputSet::Train,
-                                            config.profileInsts, deadline);
+            prep.trainProfile =
+                cache->profiled(config.workload, InputSet::Train,
+                                config.profileInsts, deadline);
         } else {
-            train_keepalive = std::make_shared<const CompiledWorkload>(
-                compileWorkload(config.workload, InputSet::Train,
-                                deadline));
-            train_profile = std::make_shared<const ProfileRun>(
-                profileCompiled(*train_keepalive, config.profileInsts,
-                                deadline));
+            prep.trainKeepalive =
+                std::make_shared<const CompiledWorkload>(
+                    compileWorkload(config.workload, InputSet::Train,
+                                    deadline));
+            prep.trainProfile = std::make_shared<const ProfileRun>(
+                profileCompiled(*prep.trainKeepalive,
+                                config.profileInsts, deadline));
         }
     }
 
@@ -219,88 +221,153 @@ runExperiment(const ExperimentConfig &config, const RunContext &context)
     // are deterministic, so static indices line up with the train
     // binary (asserted below) and a cached instance is bit-identical
     // to a fresh compile.
-    std::shared_ptr<const CompiledWorkload> ref_shared =
+    prep.refShared =
         cache ? cache->compiled(config.workload, InputSet::Ref, deadline)
               : std::make_shared<const CompiledWorkload>(
                     compileWorkload(config.workload, InputSet::Ref,
                                     deadline));
     if (needs_profile) {
-        RVP_ASSERT(train_profile->profile.counts.size() ==
-                   ref_shared->low.program.size());
+        RVP_ASSERT(prep.trainProfile->profile.counts.size() ==
+                   prep.refShared->low.program.size());
     }
 
-    VpConfig vp;
-    vp.scheme = config.scheme;
-    vp.loadsOnly = config.loadsOnly;
-    vp.tableEntries = config.tableEntries;
-    vp.taggedRvp = config.taggedRvp;
-    vp.threshold = config.counterThreshold;
+    prep.vp.scheme = config.scheme;
+    prep.vp.loadsOnly = config.loadsOnly;
+    prep.vp.tableEntries = config.tableEntries;
+    prep.vp.taggedRvp = config.taggedRvp;
+    prep.vp.threshold = config.counterThreshold;
 
     // Schemes that rewrite the binary work on a private copy; the
     // cached instance stays pristine for concurrent runs.
-    const CompiledWorkload *ref = ref_shared.get();
-    CompiledWorkload mutated;
-    bool realloc_failed = false;
-    StatSet realloc_stats;
-
     if (config.realisticRealloc) {
         // Figure 7: re-colour the registers to honour the profiled
         // reuses, then run plain same-register dynamic RVP on the
         // re-allocated binary — no optimistic profile application.
-        mutated = *ref_shared;
+        prep.mutated =
+            std::make_unique<CompiledWorkload>(*prep.refShared);
+        prep.useMutated = true;
         std::vector<ReuseCandidate> cands = buildCandidates(
-            *train_profile, mutated.low, config.profileThreshold);
-        ReallocResult rr =
-            reallocForReuse(mutated.wl.func, AllocConfig{}, cands);
-        realloc_stats.set("realloc.attempted", 1.0);
-        realloc_stats.set("realloc.candidates",
-                          static_cast<double>(cands.size()));
-        realloc_stats.set("realloc.failed", rr.success ? 0.0 : 1.0);
+            *prep.trainProfile, prep.mutated->low,
+            config.profileThreshold);
+        ReallocResult rr = reallocForReuse(prep.mutated->wl.func,
+                                           AllocConfig{}, cands);
+        prep.reallocStats.set("realloc.attempted", 1.0);
+        prep.reallocStats.set("realloc.candidates",
+                              static_cast<double>(cands.size()));
+        prep.reallocStats.set("realloc.failed", rr.success ? 0.0 : 1.0);
         if (rr.success) {
             std::uint64_t honored = 0;
             for (bool h : rr.honored)
                 honored += h;
-            realloc_stats.set("realloc.honored",
-                              static_cast<double>(honored));
-            realloc_stats.set("realloc.dropped_legality",
-                              static_cast<double>(rr.droppedForLegality));
-            realloc_stats.set("realloc.dropped_coloring",
-                              static_cast<double>(rr.droppedForColoring));
-            mutated.alloc = std::move(rr.alloc);
-            mutated.low = lower(mutated.wl.func, mutated.alloc);
-            mutated.low.program.dataImage = mutated.wl.data;
+            prep.reallocStats.set("realloc.honored",
+                                  static_cast<double>(honored));
+            prep.reallocStats.set(
+                "realloc.dropped_legality",
+                static_cast<double>(rr.droppedForLegality));
+            prep.reallocStats.set(
+                "realloc.dropped_coloring",
+                static_cast<double>(rr.droppedForColoring));
+            prep.mutated->alloc = std::move(rr.alloc);
+            prep.mutated->low =
+                lower(prep.mutated->wl.func, prep.mutated->alloc);
+            prep.mutated->low.program.dataImage = prep.mutated->wl.data;
         } else {
-            realloc_failed = true;
+            prep.reallocFailed = true;
             warn("register re-allocation failed for %s; keeping the "
                  "baseline allocation",
                  config.workload.c_str());
         }
-        ref = &mutated;
-        vp.specs.clear();   // same-register only: reuse is in the binary
+        prep.vp.specs.clear();  // same-register only: reuse is in the
+                                // binary
     } else if (config.scheme == VpScheme::StaticRvp) {
         // Mark the profiled loads with rvp_* opcodes and apply the
         // profile's prediction sources.
-        mutated = *ref_shared;
-        auto marked_vec = train_profile->profile.selectStaticLoads(
+        prep.mutated =
+            std::make_unique<CompiledWorkload>(*prep.refShared);
+        prep.useMutated = true;
+        auto marked_vec = prep.trainProfile->profile.selectStaticLoads(
             config.assist, config.profileThreshold);
         std::unordered_set<std::uint32_t> marked_ir;
         for (std::uint32_t s : marked_vec)
-            marked_ir.insert(mutated.low.irIdOfStatic[s]);
-        mutated.low = lower(mutated.wl.func, mutated.alloc, &marked_ir);
-        mutated.low.program.dataImage = mutated.wl.data;
-        vp.specs = train_profile->profile.buildSpecs(
+            marked_ir.insert(prep.mutated->low.irIdOfStatic[s]);
+        prep.mutated->low = lower(prep.mutated->wl.func,
+                                  prep.mutated->alloc, &marked_ir);
+        prep.mutated->low.program.dataImage = prep.mutated->wl.data;
+        prep.vp.specs = prep.trainProfile->profile.buildSpecs(
             config.assist, config.profileThreshold);
-        ref = &mutated;
     } else if (config.scheme == VpScheme::DynamicRvp &&
                config.assist != AssistLevel::Same) {
-        vp.specs = train_profile->profile.buildSpecs(
+        prep.vp.specs = prep.trainProfile->profile.buildSpecs(
             config.assist, config.profileThreshold);
     }
 
-    auto predictor = makePredictor(vp, ref->low.program);
-    std::unique_ptr<PipelineTracer> tracer;
+    prep.predictor = makePredictor(prep.vp, prep.timedProgram());
     if (!config.traceOut.empty())
-        tracer = std::make_unique<PipelineTracer>(config.traceSample);
+        prep.tracer = std::make_unique<PipelineTracer>(config.traceSample);
+
+    // Fetch runs at most robEntries ahead of commit, and commit can
+    // overshoot the budget by one commit group in its final cycle,
+    // which bounds what any run can pull from the source.
+    prep.minInsts = config.core.maxInsts + config.core.robEntries +
+                    config.core.commitWidth;
+    prep.key = streamKeyFor(config, prep.reallocFailed);
+    return prep;
+}
+
+ExperimentResult
+finishExperiment(PreparedRun &prep, CoreResult cr, double hostSeconds)
+{
+    const ExperimentConfig &config = prep.config;
+    if (prep.tracer) {
+        std::ofstream out(config.traceOut,
+                          std::ios::out | std::ios::trunc);
+        RVP_ASSERT(out.is_open(), "cannot open trace output '%s'",
+                   config.traceOut.c_str());
+        const std::string &path = config.traceOut;
+        bool jsonl = path.size() >= 6 &&
+                     path.compare(path.size() - 6, 6, ".jsonl") == 0;
+        if (jsonl)
+            prep.tracer->writeJsonl(out);
+        else
+            prep.tracer->writeChromeJson(out);
+        // Trace bookkeeping goes into the stat map only when tracing
+        // is on, so a tracing-off run stays bit-identical to golden
+        // snapshots.
+        cr.stats.set("trace.records",
+                     static_cast<double>(prep.tracer->recordedTotal()));
+        cr.stats.set("trace.sample_interval",
+                     static_cast<double>(config.traceSample));
+    }
+
+    ExperimentResult result;
+    result.ipc = cr.ipc;
+    result.cycles = cr.cycles;
+    result.committed = cr.committed;
+    result.reallocFailed = prep.reallocFailed;
+    result.hostSeconds = hostSeconds;
+    result.kips = result.hostSeconds > 0.0
+                      ? static_cast<double>(cr.committed) /
+                            result.hostSeconds / 1000.0
+                      : 0.0;
+    result.stats = std::move(cr.stats);
+    result.stats.merge(prep.reallocStats);
+    // vp.predictions / vp.correct count the committed path only (the
+    // core re-bases them at commit), so coverage can never exceed 1.
+    double committed = static_cast<double>(cr.committed);
+    double predictions = result.stats.get("vp.predictions");
+    result.predictedFrac = committed > 0 ? predictions / committed : 0.0;
+    result.accuracy =
+        predictions > 0 ? result.stats.get("vp.correct") / predictions
+                        : 0.0;
+    return result;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config, const RunContext &context)
+{
+    WorkloadCache *cache = context.cache;
+    const RunDeadline *deadline = context.deadline;
+    PreparedRun prep = prepareExperiment(config, context);
 
     // With a sweep cache, replay the committed stream instead of
     // re-emulating it: functional execution and SparseMemory traffic
@@ -311,25 +378,18 @@ runExperiment(const ExperimentConfig &config, const RunContext &context)
     WorkloadCache::StreamPtr stream;
     std::unique_ptr<StreamCursor> cursor;
     if (cache && !context.bypassStream) {
-        // Fetch runs at most robEntries ahead of commit, and commit
-        // can overshoot the budget by one commit group in its final
-        // cycle, which bounds what any run can pull from the source.
-        std::uint64_t min_insts = config.core.maxInsts +
-                                  config.core.robEntries +
-                                  config.core.commitWidth;
-        const Program &timed = ref->low.program;
-        StreamKey key = streamKeyFor(config, realloc_failed);
+        const Program &timed = prep.timedProgram();
         try {
             stream = cache->stream(
-                key, min_insts, [&](std::uint64_t max_bytes) {
-                    return CapturedStream::capture(timed, min_insts,
+                prep.key, prep.minInsts, [&](std::uint64_t max_bytes) {
+                    return CapturedStream::capture(timed, prep.minInsts,
                                                    max_bytes, deadline);
                 });
         } catch (const std::bad_alloc &) {
             // Capture ran out of memory: shrink the stream budget so
             // later captures are bounded tighter, remember the key as
             // uncacheable, and run this attempt live. Never a failure.
-            cache->noteCaptureOom(key);
+            cache->noteCaptureOom(prep.key);
             warn("stream capture ran out of memory for %s; shrinking "
                  "the cache budget and running live",
                  config.workload.c_str());
@@ -344,62 +404,21 @@ runExperiment(const ExperimentConfig &config, const RunContext &context)
                 // A corrupt capture must never be replayed: drop the
                 // cached entry (the next run re-captures) and fall
                 // back to live emulation, which is bit-identical.
-                cache->noteStreamIntegrityFailure(key);
+                cache->noteStreamIntegrityFailure(prep.key);
                 warn("%s for %s; falling back to live emulation",
                      e.what(), config.workload.c_str());
                 stream = nullptr;
             }
         }
     }
-    Core core(config.core, ref->low.program, *predictor, tracer.get(),
-              cursor.get(), deadline);
+    Core core(config.core, prep.timedProgram(), *prep.predictor,
+              prep.tracer.get(), cursor.get(), deadline);
     auto t0 = std::chrono::steady_clock::now();
     CoreResult cr = core.run();
     auto t1 = std::chrono::steady_clock::now();
-
-    if (tracer) {
-        std::ofstream out(config.traceOut,
-                          std::ios::out | std::ios::trunc);
-        RVP_ASSERT(out.is_open(), "cannot open trace output '%s'",
-                   config.traceOut.c_str());
-        const std::string &path = config.traceOut;
-        bool jsonl = path.size() >= 6 &&
-                     path.compare(path.size() - 6, 6, ".jsonl") == 0;
-        if (jsonl)
-            tracer->writeJsonl(out);
-        else
-            tracer->writeChromeJson(out);
-        // Trace bookkeeping goes into the stat map only when tracing
-        // is on, so a tracing-off run stays bit-identical to golden
-        // snapshots.
-        cr.stats.set("trace.records",
-                     static_cast<double>(tracer->recordedTotal()));
-        cr.stats.set("trace.sample_interval",
-                     static_cast<double>(config.traceSample));
-    }
-
-    ExperimentResult result;
-    result.ipc = cr.ipc;
-    result.cycles = cr.cycles;
-    result.committed = cr.committed;
-    result.reallocFailed = realloc_failed;
-    result.hostSeconds =
-        std::chrono::duration<double>(t1 - t0).count();
-    result.kips = result.hostSeconds > 0.0
-                      ? static_cast<double>(cr.committed) /
-                            result.hostSeconds / 1000.0
-                      : 0.0;
-    result.stats = cr.stats;
-    result.stats.merge(realloc_stats);
-    // vp.predictions / vp.correct count the committed path only (the
-    // core re-bases them at commit), so coverage can never exceed 1.
-    double committed = static_cast<double>(cr.committed);
-    double predictions = result.stats.get("vp.predictions");
-    result.predictedFrac = committed > 0 ? predictions / committed : 0.0;
-    result.accuracy =
-        predictions > 0 ? result.stats.get("vp.correct") / predictions
-                        : 0.0;
-    return result;
+    return finishExperiment(
+        prep, std::move(cr),
+        std::chrono::duration<double>(t1 - t0).count());
 }
 
 ExperimentResult

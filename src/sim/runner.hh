@@ -230,6 +230,66 @@ struct RunContext
 };
 
 /**
+ * Everything a run builds *before* its timed Core exists: compiled
+ * binaries, profiles, the predictor, the tracer, and the stream
+ * identity of the timed binary. Splitting this out of runExperiment
+ * lets config-batched replay (sim/batchrun.hh) prepare N runs, attach
+ * them to one shared stream decode, and finish each with
+ * finishExperiment() — while the solo path composes the same pieces
+ * byte-identically.
+ */
+struct PreparedRun
+{
+    ExperimentConfig config;
+    /** Train profile + the binary it points into (kept alive). */
+    std::shared_ptr<const ProfileRun> trainProfile;
+    std::shared_ptr<const CompiledWorkload> trainKeepalive;
+    /** Pristine ref compile (shared, possibly cached). */
+    std::shared_ptr<const CompiledWorkload> refShared;
+    /** Private rewritten copy for binary-mutating schemes. Heap-held
+     *  so moving a PreparedRun never relocates the Program the
+     *  predictor references (StaticRvpPredictor keeps a reference to
+     *  the marked binary). */
+    std::unique_ptr<CompiledWorkload> mutated;
+    bool useMutated = false;
+    bool reallocFailed = false;
+    StatSet reallocStats;
+    VpConfig vp;
+    std::unique_ptr<ValuePredictor> predictor;
+    std::unique_ptr<PipelineTracer> tracer;
+    /** Stream identity of the timed binary (realloc failures folded). */
+    StreamKey key;
+    /** Instructions a replay must cover: the commit budget plus the
+     *  fetch-ahead window (ROB) and the final commit group. */
+    std::uint64_t minInsts = 0;
+
+    /** The binary the timed Core runs. */
+    const Program &
+    timedProgram() const
+    {
+        return useMutated ? mutated->low.program
+                          : refShared->low.program;
+    }
+};
+
+/**
+ * Build everything up to (but not including) the timed Core: compile,
+ * profile, apply the scheme's binary rewrite, construct the predictor
+ * and tracer. Memoized through context.cache when present. Throws on
+ * the same failures runExperiment would (deadline, validation, OOM).
+ */
+PreparedRun prepareExperiment(const ExperimentConfig &config,
+                              const RunContext &context);
+
+/**
+ * Turn a finished timed run into an ExperimentResult: write the trace
+ * (if any), assemble stats, attribute hostSeconds. `cr` is taken by
+ * value because trace bookkeeping lands in its stat map.
+ */
+ExperimentResult finishExperiment(PreparedRun &prep, CoreResult cr,
+                                  double hostSeconds);
+
+/**
  * Run one experiment end to end under an explicit context. With a
  * non-null context.cache, compilation and train-profiling are memoized
  * across runs (bit-identical results; see sim/sweep.hh).

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "sim/batchrun.hh"
 
 namespace rvp
 {
@@ -347,6 +348,22 @@ parallelFor(std::size_t count, unsigned jobs,
         t.join();
 }
 
+KipsSummary
+summarizeKips(const std::vector<ExperimentResult> &results)
+{
+    KipsSummary s;
+    for (const ExperimentResult &r : results) {
+        if (r.failed)
+            continue;
+        if (!s.any || r.kips < s.minKips)
+            s.minKips = r.kips;
+        if (!s.any || r.kips > s.maxKips)
+            s.maxKips = r.kips;
+        s.any = true;
+    }
+    return s;
+}
+
 std::vector<ExperimentResult>
 runSweep(const std::vector<ExperimentConfig> &configs,
          const SweepOptions &options, SweepReport *report)
@@ -362,18 +379,67 @@ runSweep(const std::vector<ExperimentConfig> &configs,
     WorkloadCache cache(options.streamCapture ? options.streamCacheBytes
                                               : 0);
     std::atomic<std::size_t> completed{0};
+    std::atomic<std::uint64_t> batch_groups{0};
+    std::atomic<std::uint64_t> batched_runs{0};
+    std::atomic<std::uint64_t> batch_fallouts{0};
     std::mutex progress_mutex;
     auto sweep_start = std::chrono::steady_clock::now();
 
-    parallelFor(configs.size(), jobs, [&](std::size_t i) {
-        auto run_start = std::chrono::steady_clock::now();
-        // parallelFor bodies must not throw (an escaping exception
-        // would std::terminate the worker thread and take the whole
-        // sweep down), so contain failures here: each attempt is
-        // caught, retried under the degraded profile, and if every
-        // attempt fails the run is recorded as failed while every
-        // other run proceeds.
-        for (unsigned attempt = 0;; ++attempt) {
+    // ---- per-run bookkeeping shared by the solo and batched paths --
+
+    auto finishRun = [&](std::size_t i) {
+        if (options.onRunComplete)
+            options.onRunComplete(i, results[i], run_seconds[i]);
+        std::size_t done = completed.fetch_add(1) + 1;
+        if (options.progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            if (results[i].failed)
+                std::fprintf(stderr, "  [%zu/%zu] %s: FAILED: %s\n",
+                             done, configs.size(),
+                             describeConfig(configs[i]).c_str(),
+                             results[i].error.c_str());
+            else
+                std::fprintf(stderr,
+                             "  [%zu/%zu] %s: ipc %.3f (%.2fs)%s\n",
+                             done, configs.size(),
+                             describeConfig(configs[i]).c_str(),
+                             results[i].ipc, run_seconds[i],
+                             results[i].degraded ? " [degraded]" : "");
+        }
+    };
+
+    auto retryNotice = [&](std::size_t i, unsigned attempt) {
+        if (!options.progress)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        std::fprintf(stderr,
+                     "  %s: attempt %u failed (%s); retrying "
+                     "degraded\n",
+                     describeConfig(configs[i]).c_str(), attempt + 1,
+                     results[i].error.c_str());
+    };
+
+    // Bounded backoff: doubled per attempt, capped at 1s.
+    auto backoffSleep = [&](unsigned attempt) {
+        double backoff = options.retryBackoff;
+        for (unsigned b = 0; b < attempt; ++b)
+            backoff *= 2.0;
+        backoff = std::min(backoff, 1.0);
+        if (backoff > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+        }
+    };
+
+    // One run's contained attempt loop, entered at first_attempt.
+    // Precondition for first_attempt > 0 (a batch fall-out): the
+    // caller stored the failed attempt in results[i], printed the
+    // retry notice, and slept the backoff. Bodies must not throw
+    // (parallelFor), so every attempt is caught here; if the last
+    // allowed attempt fails the run is recorded as failed while every
+    // other run proceeds.
+    auto runAttempts = [&](std::size_t i, unsigned first_attempt) {
+        for (unsigned attempt = first_attempt;; ++attempt) {
             bool degraded = attempt > 0;
             RunContext context;
             context.cache = &cache;
@@ -397,6 +463,8 @@ runSweep(const std::vector<ExperimentConfig> &configs,
                 config.core.collectHist = false;
             }
             try {
+                if (options.onAttemptStart)
+                    options.onAttemptStart(config, context);
                 results[i] = options.runFn
                                  ? options.runFn(config, cache, context)
                                  : runExperiment(config, context);
@@ -416,42 +484,92 @@ runSweep(const std::vector<ExperimentConfig> &configs,
             results[i].degraded = degraded;
             if (attempt >= options.maxRetries)
                 break;
-            if (options.progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                std::fprintf(stderr,
-                             "  %s: attempt %u failed (%s); retrying "
-                             "degraded\n",
-                             describeConfig(configs[i]).c_str(),
-                             attempt + 1, results[i].error.c_str());
-            }
-            // Bounded backoff: doubled per attempt, capped at 1s.
-            double backoff = options.retryBackoff;
-            for (unsigned b = 0; b < attempt; ++b)
-                backoff *= 2.0;
-            backoff = std::min(backoff, 1.0);
-            if (backoff > 0.0) {
-                std::this_thread::sleep_for(
-                    std::chrono::duration<double>(backoff));
-            }
+            retryNotice(i, attempt);
+            backoffSleep(attempt);
         }
+    };
+
+    auto runSolo = [&](std::size_t i) {
+        auto run_start = std::chrono::steady_clock::now();
+        runAttempts(i, 0);
         run_seconds[i] = secondsSince(run_start);
-        if (options.onRunComplete)
-            options.onRunComplete(i, results[i], run_seconds[i]);
-        std::size_t done = completed.fetch_add(1) + 1;
-        if (options.progress) {
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            if (results[i].failed)
-                std::fprintf(stderr, "  [%zu/%zu] %s: FAILED: %s\n",
-                             done, configs.size(),
-                             describeConfig(configs[i]).c_str(),
-                             results[i].error.c_str());
-            else
-                std::fprintf(stderr,
-                             "  [%zu/%zu] %s: ipc %.3f (%.2fs)%s\n",
-                             done, configs.size(),
-                             describeConfig(configs[i]).c_str(),
-                             results[i].ipc, run_seconds[i],
-                             results[i].degraded ? " [degraded]" : "");
+        finishRun(i);
+    };
+
+    // ---- scheduling: group by stream key when batching applies ----
+    //
+    // Batching needs the real run body (the batch IS the run) and a
+    // stream cache to share, so a custom runFn or disabled capture
+    // falls back to per-run scheduling. Grouping uses the presumed
+    // key (reallocFailed=false — cheap, no compilation); a member
+    // whose actual key diverges at prepare falls out to a solo run.
+    bool batching = options.batchReplay && options.streamCapture &&
+                    !options.runFn;
+    std::vector<std::vector<std::size_t>> groups;
+    if (batching) {
+        std::map<StreamKey, std::size_t> by_key;
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            auto [it, inserted] =
+                by_key.try_emplace(streamKeyFor(configs[i], false),
+                                   groups.size());
+            if (inserted)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+    } else {
+        groups.resize(configs.size());
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            groups[i].push_back(i);
+    }
+
+    parallelFor(groups.size(), jobs, [&](std::size_t gi) {
+        const std::vector<std::size_t> &group = groups[gi];
+        if (group.size() <= 1) {
+            for (std::size_t i : group)
+                runSolo(i);
+            return;
+        }
+        auto group_start = std::chrono::steady_clock::now();
+        batch_groups.fetch_add(1, std::memory_order_relaxed);
+        std::vector<ExperimentConfig> group_configs;
+        group_configs.reserve(group.size());
+        for (std::size_t i : group)
+            group_configs.push_back(configs[i]);
+        BatchRunOptions bopts;
+        bopts.runDeadline = options.runDeadline;
+        bopts.onAttemptStart = options.onAttemptStart;
+        std::vector<BatchMemberOutcome> outcomes = runBatchedGroup(
+            group_configs, group, streamKeyFor(configs[group[0]], false),
+            cache, bopts);
+        for (std::size_t j = 0; j < group.size(); ++j) {
+            std::size_t i = group[j];
+            BatchMemberOutcome &o = outcomes[j];
+            if (!o.ran) {
+                // No batched stream for this member: solo, attempt 0
+                // (the same live fallback the solo path would take).
+                runSolo(i);
+                continue;
+            }
+            results[i] = std::move(o.result);
+            results[i].retries = 0;
+            results[i].degraded = false;
+            if (!results[i].failed) {
+                batched_runs.fetch_add(1, std::memory_order_relaxed);
+                run_seconds[i] = secondsSince(group_start);
+                finishRun(i);
+                continue;
+            }
+            // Fell out of the batch with attempt 0 consumed: retry
+            // solo under the degraded profile (or keep the recorded
+            // failure when retries are disabled).
+            batch_fallouts.fetch_add(1, std::memory_order_relaxed);
+            if (options.maxRetries > 0) {
+                retryNotice(i, 0);
+                backoffSleep(0);
+                runAttempts(i, 1);
+            }
+            run_seconds[i] = secondsSince(group_start);
+            finishRun(i);
         }
     });
 
@@ -460,6 +578,12 @@ runSweep(const std::vector<ExperimentConfig> &configs,
         report->runSeconds = std::move(run_seconds);
         report->jobs = jobs;
         report->cache = cache.stats();
+        report->batchGroups =
+            batch_groups.load(std::memory_order_relaxed);
+        report->batchedRuns =
+            batched_runs.load(std::memory_order_relaxed);
+        report->batchFallouts =
+            batch_fallouts.load(std::memory_order_relaxed);
     }
     return results;
 }

@@ -234,6 +234,27 @@ struct SweepOptions
      *  attempt, capped at 1s). */
     double retryBackoff = 0.05;
     /**
+     * Config-batched replay (sim/batchrun.hh): group pending runs by
+     * the stream key of their timed binary and drive each multi-run
+     * group's timing models in lockstep off ONE decode of the
+     * captured stream, instead of decoding it once per run. Results
+     * are bit-identical to solo replay, and per-run journaling,
+     * deadlines, and retry-with-degradation are preserved — a batched
+     * run that fails falls out of its batch and retries solo under
+     * the degraded profile. Only applies when streamCapture is on and
+     * no custom runFn is installed (the batch *is* the run body);
+     * single-member groups take the solo path unchanged.
+     */
+    bool batchReplay = true;
+    /**
+     * Test seam: invoked at the start of every solo attempt and of
+     * every batch-member preparation, with that attempt's RunContext.
+     * A throw is contained exactly like a run-body throw (the attempt
+     * fails and the usual retry path runs). Null in production.
+     */
+    std::function<void(const ExperimentConfig &, const RunContext &)>
+        onAttemptStart;
+    /**
      * Called after each run reaches its final state (post-retry),
      * from the worker thread that ran it, before the sweep moves on.
      * sweep_all journals the run here so a killed sweep can resume.
@@ -253,7 +274,29 @@ struct SweepReport
     std::vector<double> runSeconds;
     unsigned jobs = 0;
     WorkloadCacheStats cache;
+    /** Config-batched replay effectiveness (all 0 when batching was
+     *  off or every group was a singleton). */
+    std::uint64_t batchGroups = 0;   ///< multi-run groups run in lockstep
+    std::uint64_t batchedRuns = 0;   ///< runs resolved inside a batch
+    std::uint64_t batchFallouts = 0; ///< members that fell out to solo
 };
+
+/**
+ * Min/max simulator throughput over the runs that completed (failed
+ * runs are excluded — their kips is a meaningless default 0). `any`
+ * is false when no run completed; callers must not report the
+ * zero-initialized minimum as a measured one. A legitimately-zero
+ * kips value from a completed run (e.g. a degraded retry under
+ * --stable-output) IS a valid minimum and is not skipped.
+ */
+struct KipsSummary
+{
+    double minKips = 0.0;
+    double maxKips = 0.0;
+    bool any = false;
+};
+
+KipsSummary summarizeKips(const std::vector<ExperimentResult> &results);
 
 /** Worker threads to use by default (hardware_concurrency, min 1). */
 unsigned defaultJobs();

@@ -1,0 +1,117 @@
+#include "stream/batch.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+BatchedStreamRun::BatchedStreamRun(
+    std::shared_ptr<const CapturedStream> stream, std::size_t ringSlots)
+    : stream_(stream), cursor_(std::move(stream))
+{
+    RVP_ASSERT(ringSlots > 0);
+    ringSlots_ = std::bit_ceil(ringSlots);
+    ringMask_ = ringSlots_ - 1;
+    ring_ = arena_.makeArray<DynInst>(ringSlots_);
+}
+
+BatchedStreamRun::Consumer::Consumer(BatchedStreamRun &run) : run_(&run)
+{
+    state_ = run.stream_->initialState();
+}
+
+BatchedStreamRun::Consumer *
+BatchedStreamRun::addConsumer()
+{
+    RVP_ASSERT(decoded_ == 0,
+               "batched-replay consumers must all attach before the "
+               "first decode (a late consumer would start behind the "
+               "ring)");
+    // Placement-construct here (not via MonotonicArena::make) so the
+    // private Consumer constructor stays reachable only from its
+    // friend. Arena storage: no destructor runs, which is fine —
+    // Consumer's only non-trivial member is a trivially-destructible
+    // ArchState.
+    void *p = arena_.allocate(sizeof(Consumer), alignof(Consumer));
+    Consumer *c = ::new (p) Consumer(*this);
+    consumers_.push_back(c);
+    return c;
+}
+
+std::uint64_t
+BatchedStreamRun::minAlivePos() const
+{
+    std::uint64_t min = decoded_;
+    for (const Consumer *c : consumers_)
+        if (!c->detached_ && c->pos_ < min)
+            min = c->pos_;
+    return min;
+}
+
+std::size_t
+BatchedStreamRun::refill()
+{
+    ++refillCalls_;
+    if (decodeDone_)
+        return 0;
+    std::uint64_t end = stream_->instCount();
+    std::uint64_t limit =
+        std::min<std::uint64_t>(minAlivePos() + ringSlots_, end);
+    std::size_t n = 0;
+    while (decoded_ < limit) {
+        bool ok = cursor_.step(ring_[decoded_ & ringMask_]);
+        RVP_ASSERT(ok);
+        ++decoded_;
+        ++n;
+    }
+    if (decoded_ == end)
+        decodeDone_ = true;
+    return n;
+}
+
+bool
+BatchedStreamRun::Consumer::step(DynInst &out)
+{
+    BatchedStreamRun &run = *run_;
+    if (pos_ == run.decoded_) {
+        // Slow path: the driver normally refills between bursts, so a
+        // consumer only lands here at end-of-stream or when running
+        // without a driver (single consumer, e.g. the microbench).
+        if (!run.decodeDone_)
+            run.refill();
+        if (pos_ == run.decoded_) {
+            // Mirror StreamCursor's end semantics exactly: a complete
+            // stream ends cleanly; stepping past a truncated capture
+            // is a covers() bookkeeping bug; and a laggard-pinned
+            // frontier means the driver violated its burst contract.
+            RVP_ASSERT(run.decodeDone_,
+                       "batched consumer outran the decode ring at "
+                       "%llu (driver burst contract violated)",
+                       static_cast<unsigned long long>(pos_));
+            RVP_ASSERT(run.stream_->complete(),
+                       "stream consumer ran past a truncated capture "
+                       "(%llu instructions): covers() was not checked",
+                       static_cast<unsigned long long>(
+                           run.stream_->instCount()));
+            return false;
+        }
+    }
+
+    // Apply the previous instruction's register write now, keeping
+    // state_ equal to the *pre*-state of the instruction we return.
+    if (pendingDest_ != regNone) {
+        state_.write(pendingDest_, pendingValue_);
+        pendingDest_ = regNone;
+    }
+
+    out = run.ring_[pos_ & run.ringMask_];
+    pendingDest_ = out.dest;
+    pendingValue_ = out.newValue;
+    ++pos_;
+    return true;
+}
+
+} // namespace rvp

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Config-batched stream replay: one decode pass drives N consumers.
+ *
+ * A sweep times the *same* captured committed stream under many
+ * core/predictor configurations. Solo replay pays the varint/zigzag
+ * decode, the static-decode lookup, and the architectural-state
+ * reconstruction once per run; BatchedStreamRun pays them once per
+ * *stream* by decoding into a fixed-size ring of DynInst that N
+ * Consumer objects (one per config, each a plain InstSource) read in
+ * lockstep. A consumer's step() is then an 88-byte ring copy plus one
+ * lazy register write — no per-consumer lane walk and no per-consumer
+ * ArchState copy.
+ *
+ * Ring safety: refill() never decodes past
+ * minAlivePos() + ringSlots, so a slot is only overwritten once every
+ * live consumer has read it. The external driver (sim/batchrun.cc)
+ * keeps every consumer within fetchWidth of the decode frontier
+ * before each core cycle, which makes the self-refill in step() a
+ * rare slow path rather than the steady state.
+ *
+ * Each Consumer reconstructs its own ArchState exactly like a
+ * StreamCursor does — the last-stepped instruction's single register
+ * write is applied lazily on the next step, so preState() is the
+ * pre-execution state the value predictors expect. Writing
+ * DynInst::dest (normalized) instead of the raw rc register is
+ * equivalent: ArchState::write discards zero registers and regNone
+ * either way. Consumers and the ring live in a MonotonicArena so the
+ * N per-config working sets stay contiguous.
+ */
+
+#ifndef RVP_STREAM_BATCH_HH
+#define RVP_STREAM_BATCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/arena.hh"
+#include "stream/stream.hh"
+
+namespace rvp
+{
+
+class BatchedStreamRun
+{
+  public:
+    /**
+     * One per-config view of the shared decode. Implements the
+     * InstSource seam, so a Core drives it exactly like a
+     * StreamCursor; step() yields the identical DynInst sequence and
+     * preState() the identical pre-execution ArchState.
+     */
+    class Consumer final : public InstSource
+    {
+      public:
+        bool step(DynInst &out) override;
+        const ArchState &preState() const override { return state_; }
+
+        /** Instructions consumed so far (the driver's lockstep gauge). */
+        std::uint64_t position() const { return pos_; }
+
+        /** Drop this consumer from ring-retention accounting (its run
+         *  finished or failed); it must not be stepped afterwards. */
+        void detach() { detached_ = true; }
+        bool detached() const { return detached_; }
+
+      private:
+        friend class BatchedStreamRun;
+        explicit Consumer(BatchedStreamRun &run);
+
+        BatchedStreamRun *run_;
+        std::uint64_t pos_ = 0;
+        bool detached_ = false;
+        /** Register write of the last-stepped instruction, applied on
+         *  the next step (see StreamCursor). */
+        RegIndex pendingDest_ = regNone;
+        std::uint64_t pendingValue_ = 0;
+        ArchState state_;
+    };
+
+    /**
+     * @param stream verified on attach (the internal StreamCursor
+     *        throws StreamIntegrityError exactly like a solo replay)
+     * @param ringSlots decode-ring capacity, rounded up to a power of
+     *        two; also the burst granularity of the lockstep driver
+     */
+    explicit BatchedStreamRun(
+        std::shared_ptr<const CapturedStream> stream,
+        std::size_t ringSlots = defaultRingSlots);
+
+    /** Default ring size: big enough to amortize the consumer switch,
+     *  small enough that ring + consumers stay cache-resident. */
+    static constexpr std::size_t defaultRingSlots = 16384;
+
+    /** Add one consumer (arena-placed; freed with the run). Add all
+     *  consumers before the first step — a late consumer would start
+     *  at position 0 behind an already-advanced ring. */
+    Consumer *addConsumer();
+
+    /** Instructions decoded into the ring so far (frontier). */
+    std::uint64_t decodedCount() const { return decoded_; }
+
+    /** True once the whole capture has been decoded. */
+    bool decodeDone() const { return decodeDone_; }
+
+    std::uint64_t instCount() const { return stream_->instCount(); }
+
+    /**
+     * Decode forward as far as the slowest live consumer allows
+     * (at most minAlivePos() + ringSlots). Returns the number of
+     * instructions newly decoded; 0 once decoding is done or the
+     * laggard pins the frontier.
+     */
+    std::size_t refill();
+
+    /** Diagnostic counters for batch reports. */
+    std::uint64_t refillCalls() const { return refillCalls_; }
+
+  private:
+    friend class Consumer;
+
+    std::uint64_t minAlivePos() const;
+
+    std::shared_ptr<const CapturedStream> stream_;
+    StreamCursor cursor_;   ///< the single shared decoder
+    MonotonicArena arena_;
+    DynInst *ring_;
+    std::size_t ringSlots_;
+    std::size_t ringMask_;
+    std::uint64_t decoded_ = 0;
+    bool decodeDone_ = false;
+    std::uint64_t refillCalls_ = 0;
+    std::vector<Consumer *> consumers_;
+};
+
+} // namespace rvp
+
+#endif // RVP_STREAM_BATCH_HH

@@ -69,7 +69,8 @@ fnv1aLane(const std::vector<std::uint8_t> &lane)
 
 } // namespace
 
-void (*CapturedStream::captureHook)(std::uint64_t) = nullptr;
+std::atomic<CapturedStream::CaptureHook> CapturedStream::captureHook{
+    nullptr};
 
 InstSource::~InstSource() = default;
 
@@ -129,8 +130,9 @@ CapturedStream::capture(const Program &prog, std::uint64_t maxInsts,
     while (stream->count_ < maxInsts) {
         if (deadline && (stream->count_ & 4095u) == 0)
             deadline->check("stream capture");
-        if (captureHook)
-            captureHook(stream->count_);
+        if (CaptureHook hook =
+                captureHook.load(std::memory_order_acquire))
+            hook(stream->count_);
         if (!emu.step(di))
             break;
         std::uint32_t idx = di.staticIndex;

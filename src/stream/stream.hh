@@ -37,6 +37,7 @@
 #ifndef RVP_STREAM_STREAM_HH
 #define RVP_STREAM_STREAM_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -133,9 +134,12 @@ class CapturedStream
      * Test-only capture fault hook: when non-null, invoked once per
      * captured instruction with the count so far. Fault-injection
      * tests (sim/faultinject.hh) use it to simulate allocation failure
-     * mid-capture; production code never sets it.
+     * mid-capture; production code never sets it. Atomic because
+     * sweep workers capture concurrently while a test arms or disarms
+     * the hook — a bare pointer here is a data race (TSan-visible).
      */
-    static void (*captureHook)(std::uint64_t instsSoFar);
+    using CaptureHook = void (*)(std::uint64_t instsSoFar);
+    static std::atomic<CaptureHook> captureHook;
 
     /**
      * Revalidate the sealed header against the lanes: magic, format
@@ -161,6 +165,10 @@ class CapturedStream
 
     /** Total encoded footprint (lanes + decode table + state). */
     std::size_t encodedBytes() const;
+
+    /** Architectural state before the first captured instruction (the
+     *  starting point every replaying consumer reconstructs from). */
+    const ArchState &initialState() const { return initialState_; }
 
   private:
     friend class StreamCursor;

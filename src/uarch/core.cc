@@ -79,6 +79,16 @@ Core::Core(const CoreParams &params, const Program &prog,
         size <<= 1;
     wheel_.assign(size, {});
     wheelMask_ = size - 1;
+
+    // Seq-indexed rings: the window never exceeds robEntries (fetch
+    // stops at a full ROB) and the replay buffer never outgrows it
+    // (entries span [winBase_, winBase_ + robEntries) — see core.hh).
+    std::size_t cap = 1;
+    while (cap < params.robEntries)
+        cap <<= 1;
+    winRing_.resize(cap);
+    bufRing_.resize(cap);
+    ringMask_ = cap - 1;
 }
 
 // ---------------------------------------------------------------------
@@ -88,12 +98,9 @@ Core::Core(const CoreParams &params, const Program &prog,
 const Core::Inflight *
 Core::findSeq(std::uint64_t seq) const
 {
-    if (window_.empty())
+    if (seq < winBase_ || seq >= winEnd())
         return nullptr;
-    std::uint64_t base = window_.front().seq;
-    if (seq < base || seq >= base + window_.size())
-        return nullptr;
-    return &window_[seq - base];
+    return &winSlot(seq);
 }
 
 Core::Inflight *
@@ -116,6 +123,22 @@ Core::allocTag(std::uint64_t producer_seq)
     readyAt_.push_back(farFuture);
     tagProducer_.push_back(producer_seq);
     return nextTag_++;
+}
+
+void
+Core::iqListInsert(std::uint64_t seq)
+{
+    // Dispatch appends in ascending seq order, so the common case is a
+    // push_back; a reissue reset re-inserts an older seq, and a stale
+    // entry for a reused seq may already be present (dedupe: the one
+    // entry then denotes the new instruction).
+    if (iqList_.empty() || iqList_.back() < seq) {
+        iqList_.push_back(seq);
+        return;
+    }
+    auto it = std::lower_bound(iqList_.begin(), iqList_.end(), seq);
+    if (it == iqList_.end() || *it != seq)
+        iqList_.insert(it, seq);
 }
 
 void
@@ -271,6 +294,8 @@ Core::resetIssuedDependent(Inflight &inst, const Inflight &pred)
         // release pass keeps InIQ entries until they issue again.
         inst.state = Inflight::St::InIQ;
         inst.completeCycle = farFuture;
+        // Back in the issue candidate list (it left when it issued).
+        iqListInsert(inst.seq);
         // "A dependent instruction will issue one cycle later after a
         // mispredict than it would if the previous instruction were
         // not predicted" (Section 4.3).
@@ -291,9 +316,9 @@ Core::recoverFromValueMispredict(Inflight &pred)
         std::size_t squashed = 0;
         if (pred.firstUseSeq != noSeq && findSeq(pred.firstUseSeq)) {
             ctr_.valueRefetches.add();
-            std::size_t before = window_.size();
+            std::size_t before = winCount_;
             squashFrom(pred.firstUseSeq);
-            squashed = before - window_.size();
+            squashed = before - winCount_;
             fetchResumeCycle_ = cycle_ + 1;
         } else if (map_[pred.f->di.dest].predSeq == pred.seq) {
             // No consumer yet: future consumers read the real result.
@@ -307,9 +332,8 @@ Core::recoverFromValueMispredict(Inflight &pred)
     // Reissue / selective reissue: every (transitively) dependent
     // instruction re-executes with the correct value.
     std::size_t affected = 0;   // recovery cost = re-executed work
-    std::uint64_t base = window_.front().seq;
-    for (std::size_t i = pred.seq - base + 1; i < window_.size(); ++i) {
-        Inflight &inst = window_[i];
+    for (std::uint64_t s = pred.seq + 1; s < winEnd(); ++s) {
+        Inflight &inst = winSlot(s);
         auto it = std::find(inst.specOn.begin(), inst.specOn.end(),
                             pred.seq);
         if (it == inst.specOn.end())
@@ -333,8 +357,8 @@ void
 Core::commitPhase()
 {
     unsigned done = 0;
-    while (done < params_.commitWidth && !window_.empty()) {
-        Inflight &head = window_.front();
+    while (done < params_.commitWidth && winCount_ > 0) {
+        Inflight &head = winSlot(winBase_);
         if (head.state != Inflight::St::Done)
             break;
         const Fetched &f = *head.f;
@@ -362,9 +386,10 @@ Core::commitPhase()
         dropFromScoreboard(head, f);
         ++committed_;
         ++done;
-        window_.pop_front();
-        buffer_.pop_front();
+        ++winBase_;
+        --winCount_;
         ++bufferBase_;
+        --bufCount_;
     }
     // Idle commit cycles add nothing (and the stat exists from the
     // first cycle that does commit), so skip the no-op accumulate.
@@ -481,14 +506,27 @@ Core::loadLatencyFor(const Inflight &load)
 void
 Core::issuePhase()
 {
+    // Walk the InIQ candidate list (ascending seq = window order, so
+    // selection is identical to the historical full-window scan) with
+    // in-place compaction: an entry is dropped when it issues or when
+    // it went stale (squashed, or its seq was reused after a squash
+    // and the new instruction is not in the queue yet — dispatch
+    // re-adds it).
     unsigned int_used = 0, ldst_used = 0, fp_used = 0;
-    for (Inflight &inst : window_) {
+    std::size_t kept = 0, idx = 0, n = iqList_.size();
+    for (; idx < n; ++idx) {
         if (int_used >= params_.intFus && fp_used >= params_.fpFus)
             break;
-        if (inst.state != Inflight::St::InIQ)
+        std::uint64_t seq = iqList_[idx];
+        Inflight *ip = findSeq(seq);
+        if (!ip || ip->state != Inflight::St::InIQ)
+            continue;   // stale: drop
+        Inflight &inst = *ip;
+        if (cycle_ < inst.earliestIssue) {
+            // one-cycle reissue penalty after a mispredict
+            iqList_[kept++] = seq;
             continue;
-        if (cycle_ < inst.earliestIssue)
-            continue;   // one-cycle reissue penalty after a mispredict
+        }
 
         const Fetched &f = *inst.f;
         FuClass fu = f.info->fuClass;
@@ -498,26 +536,36 @@ Core::issuePhase()
 
         // Functional-unit availability.
         if (is_fp) {
-            if (fp_used >= params_.fpFus)
+            if (fp_used >= params_.fpFus) {
+                iqList_[kept++] = seq;
                 continue;
+            }
         } else {
-            if (int_used >= params_.intFus)
+            if (int_used >= params_.intFus) {
+                iqList_[kept++] = seq;
                 continue;
-            if (is_mem && ldst_used >= params_.ldstPorts)
+            }
+            if (is_mem && ldst_used >= params_.ldstPorts) {
+                iqList_[kept++] = seq;
                 continue;
+            }
         }
 
         // Operand readiness (full bypass: ready for exec at cycle+1).
         bool ready = true;
         for (int s = 0; s < 2 && ready; ++s)
             ready = readyAt_[inst.srcTag[s]] <= cycle_ + 1;
-        if (!ready)
+        if (!ready) {
+            iqList_[kept++] = seq;
             continue;
+        }
 
         unsigned latency = f.info->latency;
         if (f.info->isLoad) {
-            if (loadBlockedByStore(inst))
+            if (loadBlockedByStore(inst)) {
+                iqList_[kept++] = seq;
                 continue;
+            }
             latency = 1 + loadLatencyFor(inst);
         }
 
@@ -541,7 +589,13 @@ Core::issuePhase()
         if (is_mem)
             ++ldst_used;
         ctr_.issued.add();
+        // Issued: leaves the candidate list (a reissue reset
+        // re-inserts it).
     }
+    // FU-saturation early break: the unexamined tail stays queued.
+    for (; idx < n; ++idx)
+        iqList_[kept++] = iqList_[idx];
+    iqList_.resize(kept);
 }
 
 // ---------------------------------------------------------------------
@@ -559,10 +613,15 @@ Core::dispatchPhase()
         histLsqOccupancy_->sample(static_cast<double>(lsqOcc_));
     }
 
+    // States only advance and dispatch is in-order, so the
+    // WaitDispatch instructions are exactly the window suffix from
+    // dispatchSeq_ on; start there instead of rescanning the
+    // dispatched prefix.
     unsigned dispatched = 0;
-    for (Inflight &inst : window_) {
-        if (inst.state != Inflight::St::WaitDispatch)
-            continue;
+    for (std::uint64_t s = dispatchSeq_; s < winEnd(); ++s) {
+        Inflight &inst = winSlot(s);
+        RVP_ASSERT(inst.state == Inflight::St::WaitDispatch &&
+                   inst.seq == dispatchSeq_);
         if (dispatched >= params_.renameWidth)
             break;
         if (inst.fetchCycle + params_.frontDepth > cycle_)
@@ -683,6 +742,7 @@ Core::dispatchPhase()
             inst.usesIq = true;
             inst.usesFpQueue = is_fp_queue;
             ++iqOcc_[is_fp_queue];
+            iqListInsert(inst.seq);
         } else {
             // NOP/HALT: completes immediately, consumes nothing.
             inst.state = Inflight::St::Done;
@@ -692,6 +752,7 @@ Core::dispatchPhase()
         if (is_mem)
             ++lsqOcc_;
         ++dispatched;
+        ++dispatchSeq_;
         if (tracer_ && tracer_->sampled(inst.seq)) {
             tracer_->onRename(inst.seq, cycle_);
             // NOP/HALT complete at rename (they never issue).
@@ -717,13 +778,13 @@ Core::fetchPhase()
     unsigned fetched = 0;
     unsigned taken_branches = 0;
     while (fetched < params_.fetchWidth) {
-        if (window_.size() >= params_.robEntries) {
+        if (winCount_ >= params_.robEntries) {
             ctr_.robFullStalls.add();
             break;
         }
 
         // Materialize the Fetched record (replay or new).
-        if (fetchSeq_ >= bufferBase_ + buffer_.size()) {
+        if (fetchSeq_ >= bufferBase_ + bufCount_) {
             if (streamEnded_) {
                 fetchHalted_ = true;
                 break;
@@ -750,9 +811,10 @@ Core::fetchPhase()
                 bp_.update(f.di.pc, si, f.di.isTaken, f.di.nextPc,
                            dir_wrong);
             }
-            buffer_.push_back(f);
+            bufSlot(fetchSeq_) = f;
+            ++bufCount_;
         }
-        Fetched &f = buffer_[fetchSeq_ - bufferBase_];
+        Fetched &f = bufSlot(fetchSeq_);
 
         // Instruction-cache access, one probe per new line (the line
         // granularity tracks the configured L1I geometry).
@@ -772,7 +834,8 @@ Core::fetchPhase()
         inst.seq = fetchSeq_;
         inst.f = &f;
         inst.fetchCycle = cycle_;
-        window_.push_back(inst);
+        winSlot(fetchSeq_) = inst;   // slot's specOn keeps its capacity
+        ++winCount_;
         if (f.info->isStore)
             storesByAddr_[f.di.effAddr].push_back(inst.seq);
         ++fetchSeq_;
@@ -809,15 +872,18 @@ Core::fetchPhase()
 void
 Core::squashFrom(std::uint64_t first_bad_seq)
 {
-    while (!window_.empty() && window_.back().seq >= first_bad_seq) {
-        const Inflight &inst = window_.back();
+    while (winCount_ > 0 && winSlot(winEnd() - 1).seq >= first_bad_seq) {
+        const Inflight &inst = winSlot(winEnd() - 1);
         dropFromScoreboard(inst, *inst.f);
         ctr_.squashed.add();
         if (tracer_ && tracer_->sampled(inst.seq))
             tracer_->onSquash(inst.seq, TraceExit::ValueSquash);
-        window_.pop_back();
+        --winCount_;
     }
     fetchSeq_ = first_bad_seq;
+    // Refetched seqs dispatch anew (stale iqList_ entries for them are
+    // deduped or dropped lazily).
+    dispatchSeq_ = std::min(dispatchSeq_, first_bad_seq);
     if (pendingRedirectSeq_ != noSeq &&
         pendingRedirectSeq_ >= first_bad_seq) {
         pendingRedirectSeq_ = noSeq;
@@ -837,9 +903,9 @@ Core::squashFrom(std::uint64_t first_bad_seq)
 
     // Replayed branches re-predict with the (now trained) predictor:
     // model that as a correct prediction of the actual outcome.
-    for (std::size_t i = first_bad_seq - bufferBase_; i < buffer_.size();
-         ++i) {
-        Fetched &f = buffer_[i];
+    for (std::uint64_t s = first_bad_seq; s < bufferBase_ + bufCount_;
+         ++s) {
+        Fetched &f = bufSlot(s);
         if (f.isBranch) {
             f.branchMispredict = false;
             f.predictedTaken = f.di.isTaken;
@@ -853,7 +919,8 @@ Core::rebuildRenameMap()
 {
     for (RegIndex r = 0; r < numArchRegs; ++r)
         map_[r] = MapEntry{committedTag_[r], noSeq, 0};
-    for (const Inflight &inst : window_) {
+    for (std::uint64_t s = winBase_; s < winEnd(); ++s) {
+        const Inflight &inst = winSlot(s);
         if (inst.state == Inflight::St::WaitDispatch)
             break;   // not renamed yet (in-order suffix)
         const Fetched &f = *inst.f;
@@ -872,66 +939,78 @@ Core::rebuildRenameMap()
 // Main loop
 // ---------------------------------------------------------------------
 
+bool
+Core::stepCycle()
+{
+    if (committed_ >= params_.maxInsts)
+        return false;
+
+    // Per-run watchdog (common/deadline.hh): a masked compare per
+    // cycle, one clock read per interval. The null fast path is a
+    // single predictable branch, so default sweeps keep the golden
+    // stats and their wall time.
+    if (deadline_ && (cycle_ & deadlineCheckMask) == 0)
+        deadline_->check("core loop");
+    completePhase();
+    commitPhase();
+    iqReleasePhase();
+    issuePhase();
+    dispatchPhase();
+    fetchPhase();
+
+    if (committed_ != lastCommitted_) {
+        lastCommitted_ = committed_;
+        lastCommitCycle_ = cycle_;
+    } else if (cycle_ - lastCommitCycle_ > 100'000) {
+        panic("core deadlock at cycle %llu (%llu committed)",
+              static_cast<unsigned long long>(cycle_),
+              static_cast<unsigned long long>(committed_));
+    }
+
+    ++cycle_;
+    if (winCount_ == 0 && fetchHalted_)
+        return false;   // program ran to completion
+
+    // Debug-only window snapshot (RVP_CORE_SNAPSHOT=<cycle>).
+    static const char *snap_env = std::getenv("RVP_CORE_SNAPSHOT");
+    if (snap_env && cycle_ == std::strtoull(snap_env, nullptr, 10)) {
+        std::fprintf(stderr, "=== window @cycle %llu ===\n",
+                     static_cast<unsigned long long>(cycle_));
+        for (std::uint64_t s = winBase_; s < winEnd(); ++s) {
+            const Inflight &inst = winSlot(s);
+            const Fetched &f = *inst.f;
+            std::fprintf(
+                stderr,
+                "seq=%llu st=%d iq=%d fp=%d op=%s pred=%d res=%d "
+                "spec=%zu src0=%llu@%llu src1=%llu@%llu cmpl=%llu\n",
+                static_cast<unsigned long long>(inst.seq),
+                static_cast<int>(inst.state), inst.inIq,
+                inst.usesFpQueue,
+                std::string(f.info->mnemonic).c_str(),
+                inst.isPredicted, inst.resolved, inst.specOn.size(),
+                static_cast<unsigned long long>(inst.srcTag[0]),
+                static_cast<unsigned long long>(
+                    readyAt_[inst.srcTag[0]]),
+                static_cast<unsigned long long>(inst.srcTag[1]),
+                static_cast<unsigned long long>(
+                    readyAt_[inst.srcTag[1]]),
+                static_cast<unsigned long long>(inst.completeCycle));
+        }
+    }
+    return true;
+}
+
 CoreResult
 Core::run()
 {
-    std::uint64_t last_commit_cycle = 0;
-    std::uint64_t last_committed = 0;
-
-    while (committed_ < params_.maxInsts) {
-        // Per-run watchdog (common/deadline.hh): a masked compare per
-        // cycle, one clock read per interval. The null fast path is a
-        // single predictable branch, so default sweeps keep the golden
-        // stats and their wall time.
-        if (deadline_ && (cycle_ & deadlineCheckMask) == 0)
-            deadline_->check("core loop");
-        completePhase();
-        commitPhase();
-        iqReleasePhase();
-        issuePhase();
-        dispatchPhase();
-        fetchPhase();
-
-        if (committed_ != last_committed) {
-            last_committed = committed_;
-            last_commit_cycle = cycle_;
-        } else if (cycle_ - last_commit_cycle > 100'000) {
-            panic("core deadlock at cycle %llu (%llu committed)",
-                  static_cast<unsigned long long>(cycle_),
-                  static_cast<unsigned long long>(committed_));
-        }
-
-        ++cycle_;
-        if (window_.empty() && fetchHalted_)
-            break;   // program ran to completion
-
-        // Debug-only window snapshot (RVP_CORE_SNAPSHOT=<cycle>).
-        static const char *snap_env = std::getenv("RVP_CORE_SNAPSHOT");
-        if (snap_env && cycle_ == std::strtoull(snap_env, nullptr, 10)) {
-            std::fprintf(stderr, "=== window @cycle %llu ===\n",
-                         static_cast<unsigned long long>(cycle_));
-            for (const Inflight &inst : window_) {
-                const Fetched &f = *inst.f;
-                std::fprintf(
-                    stderr,
-                    "seq=%llu st=%d iq=%d fp=%d op=%s pred=%d res=%d "
-                    "spec=%zu src0=%llu@%llu src1=%llu@%llu cmpl=%llu\n",
-                    static_cast<unsigned long long>(inst.seq),
-                    static_cast<int>(inst.state), inst.inIq,
-                    inst.usesFpQueue,
-                    std::string(f.info->mnemonic).c_str(),
-                    inst.isPredicted, inst.resolved, inst.specOn.size(),
-                    static_cast<unsigned long long>(inst.srcTag[0]),
-                    static_cast<unsigned long long>(
-                        readyAt_[inst.srcTag[0]]),
-                    static_cast<unsigned long long>(inst.srcTag[1]),
-                    static_cast<unsigned long long>(
-                        readyAt_[inst.srcTag[1]]),
-                    static_cast<unsigned long long>(inst.completeCycle));
-            }
-        }
+    while (stepCycle()) {
     }
+    return finalize();
+}
 
+CoreResult
+Core::finalize()
+{
     if (tracer_)
         tracer_->finish();   // records still in flight at the budget
 

@@ -26,7 +26,6 @@
 #ifndef RVP_UARCH_CORE_HH
 #define RVP_UARCH_CORE_HH
 
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -82,6 +81,27 @@ class Core
     /** Run to the committed-instruction budget (or HALT). */
     CoreResult run();
 
+    /**
+     * Advance the pipeline by one cycle; false once the run is over
+     * (committed budget reached, or the window drained after the
+     * stream ended). run() is exactly `while (stepCycle()) {}` +
+     * finalize(); an external driver (sim/batchrun.hh) interleaves
+     * stepCycle() across many cores so they consume one shared decode
+     * of the committed stream in lockstep. At most
+     * params.fetchWidth instructions are pulled from the source per
+     * call, which is the headroom contract batched replay schedules
+     * around.
+     */
+    bool stepCycle();
+
+    /**
+     * Flush the tracer and assemble the CoreResult + exported stats.
+     * Call exactly once, after stepCycle() has returned false (run()
+     * does both). Bit-identical to the tail of the historical
+     * monolithic run().
+     */
+    CoreResult finalize();
+
   private:
     static constexpr std::uint64_t noSeq = ~0ull;
     static constexpr std::uint64_t farFuture = ~0ull / 4;
@@ -105,10 +125,10 @@ class Core
         enum class St : std::uint8_t { WaitDispatch, InIQ, Issued, Done };
 
         std::uint64_t seq = 0;
-        /** This seq's Fetched record. Stable: deque push_back/pop_front
-         *  never move other elements, and buffer_ entries outlive their
-         *  window_ entries (popped together at commit, and squash only
-         *  drops window_ entries). */
+        /** This seq's Fetched record. Stable: ring slot (seq & mask)
+         *  is only reused once this seq has committed (buffer entries
+         *  outlive their window entries — popped together at commit,
+         *  and squash only drops window entries). */
         const Fetched *f = nullptr;
         St state = St::WaitDispatch;
         std::uint64_t fetchCycle = 0;
@@ -163,6 +183,7 @@ class Core
     bool loadBlockedByStore(const Inflight &load) const;
     unsigned loadLatencyFor(const Inflight &load);
     std::uint64_t allocTag(std::uint64_t producer_seq);
+    void iqListInsert(std::uint64_t seq);
     void noteFirstUse(std::uint64_t pred_seq, std::uint64_t user_seq);
     void inheritSpec(Inflight &inst, std::uint64_t tag);
     void scheduleCompletion(std::uint64_t seq, std::uint64_t when);
@@ -179,13 +200,39 @@ class Core
     MemoryHierarchy mem_;
     BranchPredictor bp_;
 
-    // Replay buffer: Fetched records for seqs [bufferBase_, ...).
-    std::deque<Fetched> buffer_;
+    // ---- seq-indexed rings (replacing the historical deques) ----
+    //
+    // The window holds the contiguous seqs [winBase_, winBase_ +
+    // winCount_) and is bounded by robEntries; the replay buffer holds
+    // [bufferBase_, bufferBase_ + bufCount_) with bufferBase_ ==
+    // winBase_ (both pop at commit) and the same bound. With a
+    // power-of-two capacity >= robEntries, the record for seq lives at
+    // slot (seq & mask): findSeq() is one range check plus a masked
+    // index, pushes are slot assignments (the slot's specOn vector
+    // keeps its capacity), and no deque node hops sit on the per-cycle
+    // paths.
+
+    /** Replay buffer: Fetched records for seqs [bufferBase_, ...). */
+    std::vector<Fetched> bufRing_;
     std::uint64_t bufferBase_ = 0;
+    std::size_t bufCount_ = 0;
     std::uint64_t fetchSeq_ = 0;      ///< next seq to put in the window
     bool streamEnded_ = false;
 
-    std::deque<Inflight> window_;     ///< ROB, oldest first
+    /** ROB, oldest first: seqs [winBase_, winBase_ + winCount_). */
+    std::vector<Inflight> winRing_;
+    std::uint64_t winBase_ = 0;
+    std::size_t winCount_ = 0;
+    std::uint64_t ringMask_ = 0;      ///< shared by both rings
+
+    Fetched &bufSlot(std::uint64_t seq) { return bufRing_[seq & ringMask_]; }
+    Inflight &winSlot(std::uint64_t seq) { return winRing_[seq & ringMask_]; }
+    const Inflight &winSlot(std::uint64_t seq) const
+    {
+        return winRing_[seq & ringMask_];
+    }
+    /** One past the youngest in-window seq. */
+    std::uint64_t winEnd() const { return winBase_ + winCount_; }
 
     MapEntry map_[numArchRegs];
     std::uint64_t committedTag_[numArchRegs] = {};
@@ -241,8 +288,32 @@ class Core
     std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
         storesByAddr_;
 
+    /**
+     * Seqs with state == InIQ, ascending — the only instructions
+     * issuePhase can select, so it walks this (bounded by the IQ
+     * sizes) instead of the whole ROB. Entries are added at dispatch
+     * and at a reissue reset, removed when they issue, and dropped
+     * lazily (like releasePending_) when the instruction was squashed
+     * or the seq was reused; iteration order equals window order, so
+     * issue decisions are unchanged.
+     */
+    std::vector<std::uint64_t> iqList_;
+
+    /**
+     * Seq of the oldest instruction that can still be WaitDispatch.
+     * States only advance and dispatch is in-order, so the
+     * undispatched instructions are exactly the window suffix starting
+     * here; dispatchPhase begins at this seq instead of rescanning the
+     * dispatched prefix. Squash rewinds it alongside fetchSeq_.
+     */
+    std::uint64_t dispatchSeq_ = 0;
+
     std::uint64_t cycle_ = 0;
     std::uint64_t committed_ = 0;
+    /** Deadlock-watchdog bookkeeping (was local to run(); promoted so
+     *  stepCycle() keeps it across external-driver calls). */
+    std::uint64_t lastCommitCycle_ = 0;
+    std::uint64_t lastCommitted_ = 0;
     /** Committed-path prediction counts (see commitPhase). */
     std::uint64_t vpEligibleCommitted_ = 0;
     std::uint64_t vpPredictedCommitted_ = 0;

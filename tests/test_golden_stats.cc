@@ -157,5 +157,39 @@ TEST(GoldenStats, FullStatMapsMatchTheCommittedSnapshot)
     }
 }
 
+TEST(GoldenStats, BatchedSweepMatchesTheSoloRunnerOnTheGoldenGrid)
+{
+    // The batched-replay scheduler against the same oracle: every
+    // stat of every golden-grid run must match the standalone runner
+    // bit-for-bit, and the grid (many schemes per binary) must have
+    // actually been batched.
+    std::vector<std::pair<std::string, ExperimentConfig>> grid =
+        goldenGrid();
+    std::vector<ExperimentConfig> configs;
+    for (const auto &[label, config] : grid)
+        configs.push_back(config);
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.progress = false;
+    SweepReport report;
+    std::vector<ExperimentResult> results =
+        runSweep(configs, opts, &report);
+    EXPECT_GT(report.batchedRuns, 0u);
+
+    ASSERT_EQ(results.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_FALSE(results[i].failed)
+            << grid[i].first << ": " << results[i].error;
+        ExperimentResult solo = runExperiment(configs[i]);
+        ASSERT_EQ(results[i].stats.values().size(),
+                  solo.stats.values().size())
+            << grid[i].first;
+        for (const auto &[name, value] : solo.stats.values())
+            EXPECT_EQ(formatValue(results[i].stats.get(name)),
+                      formatValue(value))
+                << grid[i].first << ": " << name;
+    }
+}
+
 } // namespace
 } // namespace rvp

@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/deadline.hh"
@@ -239,7 +241,7 @@ TEST(Retry, PersistentDeadlineOverrunIsRecordedNotWedged)
 
     FaultPlan plan;
     plan.faults[0] = FaultKind::SleepPastDeadline;
-    plan.sleepSeconds = 0.3;
+    plan.sleepSeconds = 0.6;
     plan.persistent = true;
     auto log = std::make_shared<FaultLog>();
 
@@ -247,8 +249,27 @@ TEST(Retry, PersistentDeadlineOverrunIsRecordedNotWedged)
     opts.jobs = 1;
     opts.progress = false;
     opts.retryBackoff = 0.0;
-    opts.runDeadline = 0.1;
-    opts.runFn = makeFaultInjectingRunFn(plan, log);
+    opts.runDeadline = 0.25;
+    // Prewarm compile/profile/stream into the sweep's cache with no
+    // deadline before the first timed attempt: run 0 faults at entry
+    // and never builds anything, so without this the unfaulted run 1
+    // would pay the whole toolchain under the tight watchdog and fail
+    // spuriously on slow or sanitizer-instrumented hosts. The timed
+    // attempts then exercise exactly what the test is about: the
+    // watchdog catching the injected sleep, not build latency.
+    auto inject = makeFaultInjectingRunFn(plan, log);
+    bool prewarmed = false;   // jobs == 1, so a plain bool is safe
+    opts.runFn = [&inject, &prewarmed](const ExperimentConfig &config,
+                                       WorkloadCache &cache,
+                                       const RunContext &context) {
+        if (!prewarmed) {
+            prewarmed = true;
+            RunContext warm;
+            warm.cache = &cache;
+            runExperiment(config, warm);
+        }
+        return inject(config, cache, context);
+    };
     std::vector<ExperimentResult> results = runSweep(configs, opts);
 
     ASSERT_EQ(results.size(), 2u);
@@ -344,6 +365,33 @@ TEST(CaptureOom, InjectedBadAllocInASweepDegradesWithoutFailing)
         expectIdentical(results[i], runExperiment(configs[i]),
                         "bad_alloc sweep run " + std::to_string(i));
     }
+}
+
+TEST(CaptureOom, ConcurrentArmDisarmAndCaptureIsRaceFree)
+{
+    // Regression for the capture hook being a bare static function
+    // pointer: sweep workers capture streams while a test arms or
+    // disarms the hook from another thread, so the hook must be an
+    // atomic (this test races the two on purpose — TSan flags the old
+    // plain load/store in the capture loop). The armed threshold sits
+    // far past the capture length, so a capture that observes the
+    // armed hook still never throws.
+    Program prog = loopProgram(400);
+    std::atomic<bool> stop{false};
+    std::thread toggler([&] {
+        while (!stop.load()) {
+            armCaptureBadAlloc(
+                std::numeric_limits<std::uint64_t>::max());
+            disarmCaptureFaults();
+        }
+    });
+    for (int i = 0; i < 100; ++i) {
+        auto stream = CapturedStream::capture(prog, 2'000);
+        ASSERT_NE(stream, nullptr);
+    }
+    stop.store(true);
+    toggler.join();
+    disarmCaptureFaults();
 }
 
 // ---------------------------------------------------------------------
@@ -495,6 +543,36 @@ TEST(AtomicWrite, WriteFileAtomicCreatesAndReplaces)
 TEST(AtomicWrite, WriteFileAtomicReportsUnwritableTargets)
 {
     EXPECT_FALSE(writeFileAtomic("/nonexistent-dir-zzz/x.json", "data"));
+}
+
+TEST(AtomicWrite, WriteFileAtomicSyncsTheParentDirectoryEntry)
+{
+    // Regression for the missing directory fsync after the rename:
+    // the data fsync alone leaves the *name* undurable, so a crash
+    // right after writeFileAtomic() returned could resurrect the old
+    // contents. Userland can't observe the fsync itself, so this pins
+    // the code paths it added: a nested parent directory, and the "."
+    // parent for a slashless path (both must open-and-sync cleanly
+    // and still replace atomically with no temp litter).
+    TempDir dir;
+    std::string nested = dir.path + "/sub";
+    ASSERT_TRUE(std::filesystem::create_directory(nested));
+    std::string path = nested + "/out.json";
+    EXPECT_TRUE(writeFileAtomic(path, "old\n"));
+    EXPECT_TRUE(writeFileAtomic(path, "new\n"));
+    EXPECT_EQ(readFile(path), "new\n");
+    std::size_t entries = 0;
+    for ([[maybe_unused]] const auto &e :
+         std::filesystem::directory_iterator(nested))
+        ++entries;
+    EXPECT_EQ(entries, 1u);
+
+    // Slashless target: the parent is the working directory.
+    std::filesystem::path old_cwd = std::filesystem::current_path();
+    std::filesystem::current_path(dir.path);
+    EXPECT_TRUE(writeFileAtomic("bare.json", "bare\n"));
+    EXPECT_EQ(readFile("bare.json"), "bare\n");
+    std::filesystem::current_path(old_cwd);
 }
 
 TEST(AtomicWrite, AppendLineAtomicAccumulatesWholeLines)

@@ -12,14 +12,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "stream/batch.hh"
 #include "stream/stream.hh"
 
 namespace rvp
@@ -150,21 +153,18 @@ TEST(Stream, CompleteStreamEndsWhereTheEmulatorHalts)
     EXPECT_FALSE(cursor.step(di));   // stays exhausted, no panic
 }
 
-/**
- * The tentpole property: for a grid covering every binary-shaping
- * path (baseline, LVP, static RVP's marked binary, dynamic RVP with
- * assists, Figure-7 re-allocation), a replayed sweep must emit every
- * stat bit-identical to live emulation — including the --hist
- * histogram distributions and the sampled pipeline trace bytes.
- */
-TEST(Stream, ReplayedSweepIsBitIdenticalToLiveIncludingHistAndTrace)
+struct Variant
 {
-    struct Variant
-    {
-        const char *name;
-        std::function<void(ExperimentConfig &)> apply;
-    };
-    std::vector<Variant> variants = {
+    const char *name;
+    std::function<void(ExperimentConfig &)> apply;
+};
+
+/** Every binary-shaping path: baseline, LVP, static RVP's marked
+ *  binary, dynamic RVP with assists, Figure-7 re-allocation. */
+std::vector<Variant>
+binaryShapingVariants()
+{
+    return {
         {"none", [](ExperimentConfig &) {}},
         {"lvp",
          [](ExperimentConfig &c) { c.scheme = VpScheme::Lvp; }},
@@ -186,6 +186,17 @@ TEST(Stream, ReplayedSweepIsBitIdenticalToLiveIncludingHistAndTrace)
              c.loadsOnly = false;
          }},
     };
+}
+
+/**
+ * The tentpole property: for a grid covering every binary-shaping
+ * path, a replayed sweep must emit every stat bit-identical to live
+ * emulation — including the --hist histogram distributions and the
+ * sampled pipeline trace bytes.
+ */
+TEST(Stream, ReplayedSweepIsBitIdenticalToLiveIncludingHistAndTrace)
+{
+    std::vector<Variant> variants = binaryShapingVariants();
 
     const std::string dir = ::testing::TempDir();
     std::vector<ExperimentConfig> live_cfgs, replay_cfgs;
@@ -241,6 +252,209 @@ TEST(Stream, ReplayedSweepIsBitIdenticalToLiveIncludingHistAndTrace)
         expectIdentical(live[i], replay[i], labels[i]);
         EXPECT_EQ(readFile(live_traces[i]), readFile(replay_traces[i]))
             << labels[i] << ": trace bytes diverged";
+    }
+}
+
+/**
+ * The batched-replay tentpole property: a --batch-replay sweep (one
+ * decode pass driving every config sharing a stream) must be
+ * bit-identical to the solo-replay sweep over the same full grid —
+ * stats, histograms, and trace bytes — while actually batching.
+ */
+TEST(Stream, BatchedSweepIsBitIdenticalToSoloIncludingHistAndTrace)
+{
+    std::vector<Variant> variants = binaryShapingVariants();
+
+    const std::string dir = ::testing::TempDir();
+    std::vector<ExperimentConfig> solo_cfgs, batch_cfgs;
+    std::vector<std::string> solo_traces, batch_traces, labels;
+    for (const char *workload : {"go", "mgrid"}) {
+        for (const Variant &v : variants) {
+            ExperimentConfig config = smallConfig(workload);
+            config.core.collectHist = true;
+            config.traceSample = 32;
+            v.apply(config);
+            std::string label = std::string(workload) + "-" + v.name;
+            labels.push_back(label);
+
+            config.traceOut = dir + "solo-" + label + ".trace.jsonl";
+            solo_traces.push_back(config.traceOut);
+            solo_cfgs.push_back(config);
+
+            config.traceOut = dir + "batch-" + label + ".trace.jsonl";
+            batch_traces.push_back(config.traceOut);
+            batch_cfgs.push_back(config);
+        }
+    }
+
+    SweepOptions solo_opts;
+    solo_opts.jobs = 1;
+    solo_opts.progress = false;
+    solo_opts.batchReplay = false;
+    SweepOptions batch_opts;
+    batch_opts.jobs = 1;
+    batch_opts.progress = false;
+    SweepReport solo_report, batch_report;
+    std::vector<ExperimentResult> solo =
+        runSweep(solo_cfgs, solo_opts, &solo_report);
+    std::vector<ExperimentResult> batched =
+        runSweep(batch_cfgs, batch_opts, &batch_report);
+
+    // The solo sweep must not have batched, and the batched sweep
+    // must really have grouped runs (the grid has several configs per
+    // binary). The cache hit/miss counters must agree between the two
+    // modes: batching makes one lookup per member, like solo runs do.
+    EXPECT_EQ(solo_report.batchGroups, 0u);
+    EXPECT_EQ(solo_report.batchedRuns, 0u);
+    EXPECT_GT(batch_report.batchGroups, 0u);
+    EXPECT_GT(batch_report.batchedRuns, 0u);
+    EXPECT_EQ(batch_report.batchFallouts, 0u);
+    EXPECT_EQ(batch_report.cache.streamHits,
+              solo_report.cache.streamHits);
+    EXPECT_EQ(batch_report.cache.streamMisses,
+              solo_report.cache.streamMisses);
+
+    ASSERT_EQ(solo.size(), batched.size());
+    for (std::size_t i = 0; i < solo.size(); ++i) {
+        ASSERT_FALSE(solo[i].failed) << labels[i] << ": "
+                                     << solo[i].error;
+        ASSERT_FALSE(batched[i].failed) << labels[i] << ": "
+                                        << batched[i].error;
+        expectIdentical(solo[i], batched[i], labels[i]);
+        EXPECT_EQ(readFile(solo_traces[i]), readFile(batch_traces[i]))
+            << labels[i] << ": trace bytes diverged";
+    }
+}
+
+TEST(Stream, BatchedConsumersMatchCursorsAtDifferentRates)
+{
+    // Two consumers of one BatchedStreamRun advancing at different
+    // rates must each see the exact DynInst sequence and pre-state an
+    // independent StreamCursor sees, across many ring wrap-arounds
+    // (small ring, so the laggard pins the decode frontier). The
+    // program halts inside the bound so the capture is complete and
+    // both consumers can run to the clean end-of-stream.
+    Program prog;
+    StaticInst init;
+    init.op = Opcode::LDA;
+    init.rc = 1;
+    init.ra = zeroReg;
+    init.useImm = true;
+    init.imm = 1'500;
+    prog.insts.push_back(init);
+    StaticInst add;
+    add.op = Opcode::ADDQ;
+    add.rc = 2;
+    add.ra = 2;
+    add.rb = zeroReg;
+    prog.insts.push_back(add);
+    StaticInst dec;
+    dec.op = Opcode::SUBQ;
+    dec.rc = 1;
+    dec.ra = 1;
+    dec.useImm = true;
+    dec.imm = 1;
+    prog.insts.push_back(dec);
+    StaticInst br;
+    br.op = Opcode::BNE;
+    br.ra = 1;
+    br.imm = -3;
+    prog.insts.push_back(br);
+    StaticInst halt;
+    halt.op = Opcode::HALT;
+    prog.insts.push_back(halt);
+
+    auto stream = CapturedStream::capture(prog, 6'000);
+    ASSERT_TRUE(stream);
+    ASSERT_TRUE(stream->complete());
+    BatchedStreamRun batch(stream, 64);
+    BatchedStreamRun::Consumer *fast = batch.addConsumer();
+    BatchedStreamRun::Consumer *slow = batch.addConsumer();
+    StreamCursor cf(stream), cs(stream);
+
+    DynInst a, b;
+    bool fast_done = false, slow_done = false;
+    auto stepPair = [&](BatchedStreamRun::Consumer *cons,
+                        StreamCursor &cur, bool &done) {
+        bool ok = cons->step(a);
+        ASSERT_EQ(ok, cur.step(b));
+        if (!ok) {
+            done = true;
+            return;
+        }
+        ASSERT_TRUE(sameInst(a, b))
+            << "inst " << a.seq << " pc " << a.pc << " vs " << b.pc;
+        ASSERT_TRUE(cons->preState().regs == cur.preState().regs)
+            << "pre-state diverged at inst " << a.seq;
+    };
+    while (!fast_done || !slow_done) {
+        batch.refill();
+        for (int k = 0; k < 4 && !fast_done; ++k) {
+            // Honour the driver burst contract: never step into
+            // undecoded territory while decoding is still under way.
+            if (!batch.decodeDone() &&
+                fast->position() >= batch.decodedCount())
+                break;
+            stepPair(fast, cf, fast_done);
+            if (::testing::Test::HasFatalFailure())
+                return;
+        }
+        if (!slow_done) {
+            stepPair(slow, cs, slow_done);
+            if (::testing::Test::HasFatalFailure())
+                return;
+        }
+    }
+    EXPECT_EQ(fast->position(), stream->instCount());
+    EXPECT_EQ(slow->position(), stream->instCount());
+    EXPECT_GT(batch.refillCalls(), 1u);
+}
+
+TEST(Stream, BatchMemberFaultFallsOutAndOthersFinishBitExact)
+{
+    // Three configs share one stream key (timing-only knobs fold onto
+    // one binary), so they form one batch. Member 1 throws at its
+    // attempt-0 preparation: it must fall out, retry solo degraded,
+    // and succeed — while the other members finish batched and every
+    // result stays bit-exact against the standalone runner.
+    std::vector<ExperimentConfig> configs;
+    configs.push_back(smallConfig("go"));
+    configs.push_back(smallConfig("go"));
+    configs[1].scheme = VpScheme::Lvp;
+    configs.push_back(smallConfig("go"));
+    configs[2].scheme = VpScheme::DynamicRvp;
+    configs[2].assist = AssistLevel::DeadLv;
+    configs[2].loadsOnly = false;
+
+    std::atomic<unsigned> fired{0};
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.progress = false;
+    opts.retryBackoff = 0.0;
+    opts.onAttemptStart = [&](const ExperimentConfig &,
+                              const RunContext &context) {
+        if (context.runIndex == 1 && context.attempt == 0) {
+            ++fired;
+            throw std::runtime_error("injected member fault");
+        }
+    };
+    SweepReport report;
+    std::vector<ExperimentResult> results =
+        runSweep(configs, opts, &report);
+
+    EXPECT_EQ(fired.load(), 1u);
+    EXPECT_EQ(report.batchGroups, 1u);
+    EXPECT_EQ(report.batchedRuns, 2u);
+    EXPECT_EQ(report.batchFallouts, 1u);
+    ASSERT_EQ(results.size(), configs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_FALSE(results[i].failed) << i << ": " << results[i].error;
+        EXPECT_EQ(results[i].retries, i == 1 ? 1u : 0u) << i;
+        EXPECT_EQ(results[i].degraded, i == 1) << i;
+        // No tracing/hist in these configs, so the degraded retry's
+        // stats are the full stats: everything must be bit-exact.
+        expectIdentical(results[i], runExperiment(configs[i]),
+                        "batch fault run " + std::to_string(i));
     }
 }
 

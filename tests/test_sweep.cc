@@ -495,5 +495,43 @@ TEST(Sweep, ParallelForCoversEveryIndexOnce)
         EXPECT_EQ(h, 1);
 }
 
+TEST(Sweep, SummarizeKipsTreatsZeroAsAValidMinimum)
+{
+    // Regression for the old min-throughput sentinel: min_kips == 0.0
+    // meant "unset", so a run that legitimately committed nothing
+    // (zero KIPS) could never be the reported minimum. The summary
+    // carries an explicit any-completed flag instead.
+    auto completed = [](double kips) {
+        ExperimentResult r;
+        r.kips = kips;
+        return r;
+    };
+    auto failed = [](double kips) {
+        ExperimentResult r;
+        r.kips = kips;
+        r.failed = true;
+        return r;
+    };
+
+    // A legitimate zero-KIPS run IS the minimum.
+    KipsSummary s = summarizeKips({completed(0.0), completed(120.5)});
+    EXPECT_TRUE(s.any);
+    EXPECT_DOUBLE_EQ(s.minKips, 0.0);
+    EXPECT_DOUBLE_EQ(s.maxKips, 120.5);
+
+    // Failed runs are excluded from both extremes.
+    s = summarizeKips(
+        {failed(1.0), completed(50.0), completed(75.0), failed(900.0)});
+    EXPECT_TRUE(s.any);
+    EXPECT_DOUBLE_EQ(s.minKips, 50.0);
+    EXPECT_DOUBLE_EQ(s.maxKips, 75.0);
+
+    // Nothing completed: flagged, not silently zero-but-meaningless.
+    s = summarizeKips({failed(1.0), failed(2.0)});
+    EXPECT_FALSE(s.any);
+    s = summarizeKips({});
+    EXPECT_FALSE(s.any);
+}
+
 } // namespace
 } // namespace rvp

@@ -54,6 +54,9 @@ struct Options
     /** Committed-stream cache budget; 0 = always live emulation. */
     std::uint64_t streamCacheBytes =
         WorkloadCache::defaultStreamCacheBytes;
+    /** Group runs by stream key and replay each decode once
+     *  (sim/batchrun.hh); results are bit-identical either way. */
+    bool batchReplay = true;
     /** Load <out>.journal and skip runs journaled as successful. */
     bool resume = false;
     /** Per-attempt wall-clock watchdog, seconds; 0 = off. */
@@ -102,6 +105,10 @@ usage()
         "  --stream-cache-bytes N\n"
         "                      committed-stream replay cache budget\n"
         "                      (default 256 MiB; 0 disables replay)\n"
+        "  --batch-replay      group runs sharing a captured stream and\n"
+        "                      decode it once for the whole group\n"
+        "                      (default; bit-identical to solo replay)\n"
+        "  --no-batch-replay   one decode pass per run instead\n"
         "  --resume            skip runs already journaled as\n"
         "                      successful in <out>.journal (a killed\n"
         "                      sweep picks up where it left off)\n"
@@ -147,9 +154,10 @@ gitDescribe()
 /**
  * FNV-1a hash of every option that shapes the measured grid, so two
  * bench rows are throughput-comparable exactly when their hashes
- * match. --jobs and --stream-cache-bytes are deliberately excluded:
- * they change how fast the work is done, not what work the sweep
- * does, and comparing rows across them is the point of the trail.
+ * match. --jobs, --stream-cache-bytes, and --batch-replay are
+ * deliberately excluded: they change how fast the work is done, not
+ * what work the sweep does, and comparing rows across them is the
+ * point of the trail.
  */
 std::string
 configHash(const Options &opts)
@@ -425,6 +433,10 @@ main(int argc, char **argv)
             opts.hist = true;
         else if (arg == "--stream-cache-bytes")
             opts.streamCacheBytes = nextU64();
+        else if (arg == "--batch-replay")
+            opts.batchReplay = true;
+        else if (arg == "--no-batch-replay")
+            opts.batchReplay = false;
         else if (arg == "--resume")
             opts.resume = true;
         else if (arg == "--run-deadline") {
@@ -573,6 +585,7 @@ main(int argc, char **argv)
     sweep_opts.streamCapture = opts.streamCacheBytes > 0;
     sweep_opts.streamCacheBytes = opts.streamCacheBytes;
     sweep_opts.runDeadline = opts.runDeadline;
+    sweep_opts.batchReplay = opts.batchReplay;
     if (journal) {
         sweep_opts.onRunComplete = [&](std::size_t pi,
                                        const ExperimentResult &result,
@@ -632,6 +645,14 @@ main(int argc, char **argv)
            << report.cache.streamInstsBuilt
            << ", \"stream_bytes_resident\": "
            << report.cache.streamBytesResident << "},\n";
+        // Batch counters depend on execution circumstances (a resumed
+        // sweep batches only what was left), so they ride with the
+        // cache block that --stable-output omits.
+        os << "  \"batch\": {\"enabled\": "
+           << (opts.batchReplay ? "true" : "false")
+           << ", \"groups\": " << report.batchGroups
+           << ", \"batched_runs\": " << report.batchedRuns
+           << ", \"fallouts\": " << report.batchFallouts << "},\n";
     }
     os << "  \"runs\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -688,15 +709,14 @@ main(int argc, char **argv)
     if (!opts.benchOut.empty()) {
         double total_committed = 0.0;
         double total_core_seconds = 0.0;
-        double min_kips = 0.0, max_kips = 0.0;
         for (const ExperimentResult &r : results) {
             total_committed += static_cast<double>(r.committed);
             total_core_seconds += r.hostSeconds;
-            if (r.kips > 0.0 &&
-                (min_kips == 0.0 || r.kips < min_kips))
-                min_kips = r.kips;
-            max_kips = std::max(max_kips, r.kips);
         }
+        // Min/max over completed runs only, with an explicit "nothing
+        // completed" flag: a legitimate zero-KIPS run (e.g. a zero-
+        // instruction budget) is a valid minimum, not "unset".
+        KipsSummary kips = summarizeKips(results);
         double agg_kips = total_core_seconds > 0.0
                               ? total_committed / total_core_seconds /
                                     1000.0
@@ -723,8 +743,15 @@ main(int argc, char **argv)
             << ", \"core_seconds\": " << jsonNum(total_core_seconds)
             << ", \"committed_insts\": " << jsonNum(total_committed)
             << ", \"aggregate_kips\": " << jsonNum(agg_kips)
-            << ", \"min_run_kips\": " << jsonNum(min_kips)
-            << ", \"max_run_kips\": " << jsonNum(max_kips)
+            << ", \"min_run_kips\": " << jsonNum(kips.minKips)
+            << ", \"max_run_kips\": " << jsonNum(kips.maxKips)
+            << ", \"any_run_completed\": "
+            << (kips.any ? "true" : "false")
+            << ", \"batch_replay\": "
+            << (opts.batchReplay ? "true" : "false")
+            << ", \"batch_groups\": " << report.batchGroups
+            << ", \"batched_runs\": " << report.batchedRuns
+            << ", \"batch_fallouts\": " << report.batchFallouts
             << ", \"cache_hit_rates\": {\"compile\": "
             << jsonNum(rate(report.cache.compileHits,
                             report.cache.compileMisses))
