@@ -1,0 +1,178 @@
+#include "common/subprocess.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rvp
+{
+
+namespace
+{
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+ChildProcess
+spawnProcess(const std::vector<std::string> &argv)
+{
+    ChildProcess child;
+    if (argv.empty())
+        return child;
+
+    // [0] = read end, [1] = write end. Parent-side ends are
+    // close-on-exec so a later sibling fork never holds them open.
+    int toChild[2] = {-1, -1};
+    int fromChild[2] = {-1, -1};
+    if (::pipe2(toChild, O_CLOEXEC) != 0)
+        return child;
+    if (::pipe2(fromChild, O_CLOEXEC) != 0) {
+        ::close(toChild[0]);
+        ::close(toChild[1]);
+        return child;
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(toChild[0]);
+        ::close(toChild[1]);
+        ::close(fromChild[0]);
+        ::close(fromChild[1]);
+        return child;
+    }
+
+    if (pid == 0) {
+        // Child: own process group, so kill(-pid) reaches any
+        // grandchildren (a /bin/sh wrapper that forked its command
+        // would otherwise leave an orphan holding our pipes open).
+        ::setpgid(0, 0);
+        // stdin <- toChild, stdout -> fromChild. dup2 clears
+        // O_CLOEXEC on the duplicates, so exactly fds 0/1 survive exec.
+        if (::dup2(toChild[0], STDIN_FILENO) < 0 ||
+            ::dup2(fromChild[1], STDOUT_FILENO) < 0)
+            ::_exit(127);
+        std::vector<char *> args;
+        args.reserve(argv.size() + 1);
+        for (const std::string &a : argv)
+            args.push_back(const_cast<char *>(a.c_str()));
+        args.push_back(nullptr);
+        ::execv(args[0], args.data());
+        ::_exit(127);
+    }
+
+    // Mirror the child's setpgid so the group exists before any
+    // kill(-pid) regardless of who wins the post-fork race. EACCES
+    // (child already exec'd, so it set the group itself) is fine.
+    ::setpgid(pid, pid);
+    ::close(toChild[0]);
+    ::close(fromChild[1]);
+    child.pid = pid;
+    child.toChild = toChild[1];
+    child.fromChild = fromChild[0];
+    return child;
+}
+
+void
+closeChildPipes(ChildProcess &child)
+{
+    closeFd(child.toChild);
+    closeFd(child.fromChild);
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    std::string frame = std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+    frame += '\n';
+
+    std::size_t off = 0;
+    while (off < frame.size()) {
+        ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+FrameReader::fill()
+{
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;   // EOF
+        buf_.append(chunk, static_cast<std::size_t>(n));
+        return true;
+    }
+}
+
+std::optional<std::string>
+FrameReader::next()
+{
+    // Frame: "<decimal len>\n<payload>\n". A peer that writes
+    // anything else is broken; callers treat the throw as death.
+    std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+        // The length line is at most a 9-digit count (256 MiB cap
+        // below); anything longer without a newline is garbage.
+        if (buf_.size() > 32)
+            throw std::runtime_error("frame header too long");
+        return std::nullopt;
+    }
+    if (nl == 0 || nl > 12)
+        throw std::runtime_error("bad frame length");
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < nl; ++i) {
+        char c = buf_[i];
+        if (c < '0' || c > '9')
+            throw std::runtime_error("bad frame length");
+        len = len * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (len > (std::size_t{256} << 20))
+        throw std::runtime_error("frame too large");
+    // Need the payload plus its trailing newline.
+    if (buf_.size() < nl + 1 + len + 1)
+        return std::nullopt;
+    if (buf_[nl + 1 + len] != '\n')
+        throw std::runtime_error("missing frame terminator");
+    std::string payload = buf_.substr(nl + 1, len);
+    buf_.erase(0, nl + 1 + len + 1);
+    return payload;
+}
+
+ScopedSigpipeIgnore::ScopedSigpipeIgnore()
+{
+    struct sigaction ign = {};
+    ign.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ign, &old_);
+}
+
+ScopedSigpipeIgnore::~ScopedSigpipeIgnore()
+{
+    ::sigaction(SIGPIPE, &old_, nullptr);
+}
+
+} // namespace rvp

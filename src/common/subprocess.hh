@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Process and pipe helpers for the sharded-sweep coordinator
+ * (sim/shard.hh): fork/exec a child with its stdin/stdout wired to
+ * fresh pipes, and a length-prefixed frame codec so JSONL messages
+ * survive arbitrary pipe fragmentation (a frame is either delivered
+ * whole or detectably torn — never silently spliced).
+ *
+ * Frame wire format: ASCII decimal payload length, '\n', the payload
+ * bytes, '\n'. The trailing newline is verified on read, so a
+ * truncated write from a killed peer fails the frame instead of
+ * bleeding into the next one.
+ */
+
+#ifndef RVP_COMMON_SUBPROCESS_HH
+#define RVP_COMMON_SUBPROCESS_HH
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+
+namespace rvp
+{
+
+/** A spawned child with both pipe ends owned by the parent. */
+struct ChildProcess
+{
+    pid_t pid = -1;
+    int toChild = -1;     ///< write end of the child's stdin
+    int fromChild = -1;   ///< read end of the child's stdout
+
+    bool ok() const { return pid > 0; }
+};
+
+/**
+ * fork/execv argv[0] with argv as its argument vector. The child's
+ * stdin/stdout are fresh pipes (stderr is inherited, so worker
+ * progress lines land on the parent's stderr); the parent-side fds
+ * are close-on-exec, so later children never inherit a sibling's pipe
+ * ends (which would defeat EOF-based death detection). Returns a
+ * ChildProcess with pid -1 on fork/pipe failure; an exec failure
+ * surfaces as the child exiting 127 (and EOF on fromChild).
+ */
+ChildProcess spawnProcess(const std::vector<std::string> &argv);
+
+/** Close both parent-side pipe ends (idempotent). */
+void closeChildPipes(ChildProcess &child);
+
+/**
+ * Write one framed payload, handling short writes and EINTR. Returns
+ * false on any write error — with SIGPIPE ignored (ScopedSigpipeIgnore)
+ * a dead peer reports EPIPE here instead of killing the process.
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Incremental frame reader over one fd. fill() performs a single
+ * read(2) (call it after poll() says readable, or freely on a
+ * blocking fd); next() extracts the next complete payload from the
+ * buffer. next() throws std::runtime_error on malformed framing (a
+ * peer that wrote garbage), which callers treat as peer death.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(int fd) : fd_(fd) {}
+
+    /** One read(2) into the buffer; false on EOF or a fatal error. */
+    bool fill();
+
+    /** Next complete frame payload, if buffered. */
+    std::optional<std::string> next();
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+/**
+ * Ignore SIGPIPE for this object's lifetime (restoring the previous
+ * disposition), so writes to a dead peer fail with EPIPE instead of
+ * terminating the process mid-sweep.
+ */
+class ScopedSigpipeIgnore
+{
+  public:
+    ScopedSigpipeIgnore();
+    ~ScopedSigpipeIgnore();
+
+    ScopedSigpipeIgnore(const ScopedSigpipeIgnore &) = delete;
+    ScopedSigpipeIgnore &operator=(const ScopedSigpipeIgnore &) = delete;
+
+  private:
+    struct sigaction old_ = {};
+};
+
+} // namespace rvp
+
+#endif // RVP_COMMON_SUBPROCESS_HH

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/jsonlite.hh"
 #include "common/logging.hh"
 
 namespace rvp
@@ -223,159 +224,11 @@ RunJournal::append(const JournalRecord &rec)
 }
 
 // ---------------------------------------------------------------------
-// Journal load side: a minimal parser for exactly the JSON subset the
-// append side emits (one flat object per line; string / number / bool
-// values; one level of nesting for "stats"). Any deviation — a torn
-// line from a killed writer, hand-edited garbage — fails the line's
-// parse, and load() skips it rather than aborting the resume.
+// Journal load side: lines are parsed with the shared single-line JSON
+// parser (common/jsonlite.hh), which throws on any deviation — a torn
+// line from a killed writer, hand-edited garbage — and load() skips
+// the line rather than aborting the resume.
 // ---------------------------------------------------------------------
-
-namespace
-{
-
-struct JsonValue
-{
-    enum class Kind { Str, Num, Bool, Obj };
-    Kind kind = Kind::Num;
-    std::string str;   ///< Str: unescaped text; Num: raw token
-    bool boolean = false;
-    std::map<std::string, JsonValue> obj;
-
-    double
-    num() const
-    {
-        return std::strtod(str.c_str(), nullptr);
-    }
-    std::uint64_t
-    u64() const
-    {
-        return std::strtoull(str.c_str(), nullptr, 10);
-    }
-};
-
-struct LineParser
-{
-    const char *p;
-    const char *end;
-
-    explicit LineParser(const std::string &line)
-        : p(line.data()), end(line.data() + line.size())
-    {
-    }
-
-    [[noreturn]] void fail() { throw std::runtime_error("bad journal"); }
-
-    void
-    skipWs()
-    {
-        while (p < end && (*p == ' ' || *p == '\t'))
-            ++p;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (p >= end)
-            fail();
-        return *p;
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail();
-        ++p;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (p < end && *p != '"') {
-            char c = *p++;
-            if (c == '\\') {
-                if (p >= end)
-                    fail();
-                c = *p++;
-            }
-            out += c;
-        }
-        if (p >= end)
-            fail();
-        ++p;   // closing quote
-        return out;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        JsonValue v;
-        char c = peek();
-        if (c == '"') {
-            v.kind = JsonValue::Kind::Str;
-            v.str = parseString();
-        } else if (c == '{') {
-            v.kind = JsonValue::Kind::Obj;
-            v.obj = parseObject();
-        } else if (c == 't' || c == 'f') {
-            v.kind = JsonValue::Kind::Bool;
-            const char *word = c == 't' ? "true" : "false";
-            std::size_t len = std::strlen(word);
-            if (end - p < static_cast<std::ptrdiff_t>(len) ||
-                std::strncmp(p, word, len) != 0)
-                fail();
-            p += len;
-            v.boolean = c == 't';
-        } else if (c == '-' || (c >= '0' && c <= '9')) {
-            v.kind = JsonValue::Kind::Num;
-            const char *start = p;
-            while (p < end &&
-                   (*p == '-' || *p == '+' || *p == '.' || *p == 'e' ||
-                    *p == 'E' || (*p >= '0' && *p <= '9')))
-                ++p;
-            v.str.assign(start, p);
-        } else {
-            fail();
-        }
-        return v;
-    }
-
-    std::map<std::string, JsonValue>
-    parseObject()
-    {
-        std::map<std::string, JsonValue> obj;
-        expect('{');
-        if (peek() == '}') {
-            ++p;
-            return obj;
-        }
-        for (;;) {
-            std::string key = parseString();
-            expect(':');
-            obj.emplace(std::move(key), parseValue());
-            char c = peek();
-            ++p;
-            if (c == '}')
-                return obj;
-            if (c != ',')
-                fail();
-        }
-    }
-};
-
-const JsonValue &
-field(const std::map<std::string, JsonValue> &obj, const char *name)
-{
-    auto it = obj.find(name);
-    if (it == obj.end())
-        throw std::runtime_error("missing field");
-    return it->second;
-}
-
-} // namespace
 
 RunJournal::Loaded
 RunJournal::load(const std::string &path)
@@ -389,40 +242,35 @@ RunJournal::load(const std::string &path)
         if (line.empty())
             continue;
         try {
-            LineParser parser(line);
-            std::map<std::string, JsonValue> obj = parser.parseObject();
-            // Trailing garbage after the closing brace = torn line.
-            parser.skipWs();
-            if (parser.p != parser.end)
-                throw std::runtime_error("trailing bytes");
-            const std::string &type = field(obj, "type").str;
+            std::map<std::string, JsonValue> obj = parseJsonLine(line);
+            const std::string &type = jsonField(obj, "type").str;
             if (type == "sweep") {
-                out.sweepHash = field(obj, "sweep_hash").str;
+                out.sweepHash = jsonField(obj, "sweep_hash").str;
                 continue;
             }
             if (type != "run")
                 throw std::runtime_error("unknown record type");
             JournalRecord rec;
-            rec.key = field(obj, "key").str;
-            rec.figure = field(obj, "figure").str;
-            rec.variant = field(obj, "variant").str;
-            rec.workload = field(obj, "workload").str;
-            rec.runSeconds = field(obj, "run_seconds").num();
+            rec.key = jsonField(obj, "key").str;
+            rec.figure = jsonField(obj, "figure").str;
+            rec.variant = jsonField(obj, "variant").str;
+            rec.workload = jsonField(obj, "workload").str;
+            rec.runSeconds = jsonField(obj, "run_seconds").num();
             ExperimentResult &r = rec.result;
-            r.ipc = field(obj, "ipc").num();
-            r.cycles = field(obj, "cycles").u64();
-            r.committed = field(obj, "committed").u64();
-            r.predictedFrac = field(obj, "predicted_frac").num();
-            r.accuracy = field(obj, "accuracy").num();
-            r.reallocFailed = field(obj, "realloc_failed").boolean;
-            r.hostSeconds = field(obj, "host_seconds").num();
-            r.kips = field(obj, "kips").num();
-            r.failed = field(obj, "failed").boolean;
-            r.error = field(obj, "error").str;
+            r.ipc = jsonField(obj, "ipc").num();
+            r.cycles = jsonField(obj, "cycles").u64();
+            r.committed = jsonField(obj, "committed").u64();
+            r.predictedFrac = jsonField(obj, "predicted_frac").num();
+            r.accuracy = jsonField(obj, "accuracy").num();
+            r.reallocFailed = jsonField(obj, "realloc_failed").boolean;
+            r.hostSeconds = jsonField(obj, "host_seconds").num();
+            r.kips = jsonField(obj, "kips").num();
+            r.failed = jsonField(obj, "failed").boolean;
+            r.error = jsonField(obj, "error").str;
             r.retries =
-                static_cast<unsigned>(field(obj, "retries").u64());
-            r.degraded = field(obj, "degraded").boolean;
-            for (const auto &[name, value] : field(obj, "stats").obj)
+                static_cast<unsigned>(jsonField(obj, "retries").u64());
+            r.degraded = jsonField(obj, "degraded").boolean;
+            for (const auto &[name, value] : jsonField(obj, "stats").obj)
                 r.stats.set(name, value.num());
             out.runs.insert_or_assign(rec.key, std::move(rec));
         } catch (const std::exception &) {

@@ -1,0 +1,591 @@
+#include "sim/shard.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+#include "common/jsonlite.hh"
+#include "common/logging.hh"
+#include "common/subprocess.hh"
+
+namespace rvp
+{
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+std::vector<WorkUnit>
+partitionWork(const std::vector<ExperimentConfig> &gridConfigs,
+              const std::vector<std::size_t> &pending,
+              unsigned maxUnitRuns)
+{
+    // Group by stream key in first-appearance order — the same
+    // grouping batched replay performs inside each worker, so a unit
+    // never mixes runs that would decode different streams.
+    std::map<StreamKey, std::size_t> byKey;
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t idx : pending) {
+        RVP_ASSERT(idx < gridConfigs.size(),
+                   "pending index out of grid range");
+        StreamKey key = streamKeyFor(gridConfigs[idx], false);
+        auto [it, fresh] = byKey.emplace(key, groups.size());
+        if (fresh)
+            groups.emplace_back();
+        groups[it->second].push_back(idx);
+    }
+
+    // Chunk oversized groups. Each chunk keeps input order so the
+    // worker's journal appends land in a deterministic per-unit order.
+    std::vector<WorkUnit> units;
+    for (const std::vector<std::size_t> &group : groups) {
+        std::size_t chunk = maxUnitRuns == 0 ? group.size() : maxUnitRuns;
+        for (std::size_t at = 0; at < group.size(); at += chunk) {
+            WorkUnit unit;
+            std::size_t n = std::min(chunk, group.size() - at);
+            unit.indices.assign(group.begin() + at,
+                                group.begin() + at + n);
+            units.push_back(std::move(unit));
+        }
+    }
+
+    // Largest first (LPT): a big unit handed out last would serialize
+    // the whole tail behind one worker. stable_sort keeps equal-sized
+    // units in grid order, so the partition is deterministic.
+    std::stable_sort(units.begin(), units.end(),
+                     [](const WorkUnit &a, const WorkUnit &b) {
+                         return a.indices.size() > b.indices.size();
+                     });
+    for (std::size_t i = 0; i < units.size(); ++i)
+        units[i].id = i;
+    return units;
+}
+
+// ---------------------------------------------------------------------
+// Protocol codec
+// ---------------------------------------------------------------------
+
+std::string
+encodeHello(const std::string &sweepHash, std::uint64_t gridRuns)
+{
+    std::string s = "{\"type\": \"hello\", \"version\": ";
+    s += std::to_string(shardProtocolVersion);
+    s += ", \"sweep_hash\": \"" + jsonEscape(sweepHash) + "\"";
+    s += ", \"grid_runs\": " + std::to_string(gridRuns) + "}";
+    return s;
+}
+
+std::string
+encodeUnit(const WorkUnit &unit)
+{
+    std::string s = "{\"type\": \"unit\", \"id\": ";
+    s += std::to_string(unit.id);
+    s += ", \"indices\": [";
+    for (std::size_t i = 0; i < unit.indices.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += std::to_string(unit.indices[i]);
+    }
+    s += "]}";
+    return s;
+}
+
+std::string
+encodeDone(std::uint64_t id, std::uint64_t okRuns,
+           std::uint64_t failedRuns, std::uint64_t batchGroups,
+           std::uint64_t batchedRuns, std::uint64_t batchFallouts)
+{
+    std::string s = "{\"type\": \"done\", \"id\": " + std::to_string(id);
+    s += ", \"ok\": " + std::to_string(okRuns);
+    s += ", \"failed\": " + std::to_string(failedRuns);
+    s += ", \"batch_groups\": " + std::to_string(batchGroups);
+    s += ", \"batched_runs\": " + std::to_string(batchedRuns);
+    s += ", \"batch_fallouts\": " + std::to_string(batchFallouts) + "}";
+    return s;
+}
+
+std::string
+encodeShutdown()
+{
+    return "{\"type\": \"shutdown\"}";
+}
+
+std::string
+encodeBye(const WorkloadCacheStats &cache)
+{
+    std::string s = "{\"type\": \"bye\"";
+    auto add = [&s](const char *name, std::uint64_t v) {
+        s += ", \"";
+        s += name;
+        s += "\": " + std::to_string(v);
+    };
+    add("compile_hits", cache.compileHits);
+    add("compile_misses", cache.compileMisses);
+    add("profile_hits", cache.profileHits);
+    add("profile_misses", cache.profileMisses);
+    add("stream_hits", cache.streamHits);
+    add("stream_misses", cache.streamMisses);
+    add("stream_evicted", cache.streamEvicted);
+    add("stream_integrity_failures", cache.streamIntegrityFailures);
+    add("stream_capture_ooms", cache.streamCaptureOoms);
+    add("stream_bytes_built", cache.streamBytesBuilt);
+    add("stream_insts_built", cache.streamInstsBuilt);
+    add("stream_bytes_resident", cache.streamBytesResident);
+    s += "}";
+    return s;
+}
+
+ShardMsg
+decodeShardMsg(const std::string &payload)
+{
+    std::map<std::string, JsonValue> obj = parseJsonLine(payload);
+    ShardMsg msg;
+    msg.type = jsonField(obj, "type").str;
+    if (msg.type == "hello") {
+        msg.version =
+            static_cast<unsigned>(jsonField(obj, "version").u64());
+        msg.sweepHash = jsonField(obj, "sweep_hash").str;
+        msg.gridRuns = jsonField(obj, "grid_runs").u64();
+    } else if (msg.type == "unit") {
+        msg.id = jsonField(obj, "id").u64();
+        for (const JsonValue &v : jsonField(obj, "indices").arr) {
+            if (v.kind != JsonValue::Kind::Num)
+                throw std::runtime_error("non-numeric unit index");
+            msg.indices.push_back(static_cast<std::size_t>(v.u64()));
+        }
+    } else if (msg.type == "done") {
+        msg.id = jsonField(obj, "id").u64();
+        msg.okRuns = jsonField(obj, "ok").u64();
+        msg.failedRuns = jsonField(obj, "failed").u64();
+        msg.batchGroups = jsonField(obj, "batch_groups").u64();
+        msg.batchedRuns = jsonField(obj, "batched_runs").u64();
+        msg.batchFallouts = jsonField(obj, "batch_fallouts").u64();
+    } else if (msg.type == "shutdown") {
+        // no fields
+    } else if (msg.type == "bye") {
+        msg.cache.compileHits = jsonField(obj, "compile_hits").u64();
+        msg.cache.compileMisses = jsonField(obj, "compile_misses").u64();
+        msg.cache.profileHits = jsonField(obj, "profile_hits").u64();
+        msg.cache.profileMisses = jsonField(obj, "profile_misses").u64();
+        msg.cache.streamHits = jsonField(obj, "stream_hits").u64();
+        msg.cache.streamMisses = jsonField(obj, "stream_misses").u64();
+        msg.cache.streamEvicted = jsonField(obj, "stream_evicted").u64();
+        msg.cache.streamIntegrityFailures =
+            jsonField(obj, "stream_integrity_failures").u64();
+        msg.cache.streamCaptureOoms =
+            jsonField(obj, "stream_capture_ooms").u64();
+        msg.cache.streamBytesBuilt =
+            jsonField(obj, "stream_bytes_built").u64();
+        msg.cache.streamInstsBuilt =
+            jsonField(obj, "stream_insts_built").u64();
+        msg.cache.streamBytesResident =
+            jsonField(obj, "stream_bytes_resident").u64();
+    } else {
+        throw std::runtime_error("unknown shard message type '" +
+                                 msg.type + "'");
+    }
+    return msg;
+}
+
+// ---------------------------------------------------------------------
+// Journal discovery and merge
+// ---------------------------------------------------------------------
+
+std::vector<std::string>
+findShardJournals(const std::string &mainJournalPath)
+{
+    std::vector<std::string> paths;
+    struct stat st;
+    if (::stat(mainJournalPath.c_str(), &st) == 0)
+        paths.push_back(mainJournalPath);
+
+    namespace fs = std::filesystem;
+    fs::path main(mainJournalPath);
+    fs::path dir = main.parent_path();
+    if (dir.empty())
+        dir = ".";
+    std::string stem = main.filename().string() + ".w";
+
+    std::vector<std::pair<unsigned long, std::string>> shards;
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.size() <= stem.size() ||
+            name.compare(0, stem.size(), stem) != 0)
+            continue;
+        std::string suffix = name.substr(stem.size());
+        // Only all-digit slot suffixes: ".w3" yes, ".w3.tmp" no.
+        if (suffix.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        shards.emplace_back(std::strtoul(suffix.c_str(), nullptr, 10),
+                            (dir / name).string());
+    }
+    std::sort(shards.begin(), shards.end());
+    for (auto &[slot, path] : shards)
+        paths.push_back(std::move(path));
+    return paths;
+}
+
+MergedJournal
+mergeShardJournals(const std::vector<std::string> &paths,
+                   const std::string &expectSweepHash)
+{
+    MergedJournal merged;
+    for (const std::string &path : paths) {
+        RunJournal::Loaded loaded = RunJournal::load(path);
+        if (!loaded.sweepHash.empty() &&
+            loaded.sweepHash != expectSweepHash)
+            throw std::runtime_error(
+                "journal '" + path +
+                "' belongs to a different sweep configuration (hash " +
+                loaded.sweepHash + " != " + expectSweepHash + ")");
+        merged.skippedLines += loaded.skippedLines;
+        for (auto &[key, rec] : loaded.runs) {
+            auto it = merged.runs.find(key);
+            // A successful record never loses to a failed one (a
+            // reassigned unit may be journaled failed by the worker
+            // that died mid-run and ok by the one that redid it, in
+            // either file order); otherwise the later file wins.
+            if (it != merged.runs.end() && !it->second.result.failed &&
+                rec.result.failed)
+                continue;
+            merged.runs.insert_or_assign(key, std::move(rec));
+        }
+    }
+    return merged;
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** One worker process slot as the coordinator sees it. */
+struct WorkerSlot
+{
+    unsigned slot = 0;
+    ChildProcess proc;
+    std::unique_ptr<FrameReader> reader;
+    bool helloed = false;
+    bool hasUnit = false;
+    bool shutdownSent = false;
+    WorkUnit unit;
+    /** Start of the current obligation (spawn -> hello, or unit ->
+     *  done); the unit deadline measures from here. */
+    Clock::time_point busySince;
+};
+
+void
+reapWorker(WorkerSlot &w)
+{
+    if (!w.proc.ok())
+        return;
+    // The worker runs in its own process group (spawnProcess), so a
+    // negative-pid kill also takes out any grandchildren that would
+    // otherwise keep our pipe ends open as orphans.
+    ::kill(-w.proc.pid, SIGKILL);
+    ::kill(w.proc.pid, SIGKILL);
+    closeChildPipes(w.proc);
+    int status = 0;
+    while (::waitpid(w.proc.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    w.proc.pid = -1;
+}
+
+} // namespace
+
+bool
+runShardedSweep(const std::vector<WorkUnit> &units,
+                const ShardOptions &options, ShardReport &report)
+{
+    report = ShardReport();
+    if (units.empty())
+        return true;
+    RVP_ASSERT(options.workers >= 1, "sharded sweep needs >= 1 worker");
+    RVP_ASSERT(options.workerCommand, "sharded sweep needs a command");
+
+    // A dead worker's pipe write must EPIPE, not kill the coordinator.
+    ScopedSigpipeIgnore sigpipe;
+
+    std::deque<WorkUnit> queue(units.begin(), units.end());
+    std::size_t totalUnits = units.size();
+    std::size_t unitsDone = 0;
+    std::vector<WorkerSlot> workers;
+    unsigned nextSlot = 0;
+    unsigned initialTarget = static_cast<unsigned>(
+        std::min<std::size_t>(options.workers, queue.size()));
+    unsigned respawnBudget =
+        options.maxRespawns ? options.maxRespawns : options.workers;
+    unsigned spawnAllowance = initialTarget + respawnBudget;
+
+    auto abortAll = [&](const std::string &why) {
+        for (WorkerSlot &w : workers)
+            reapWorker(w);
+        report.error = why;
+        return false;
+    };
+
+    // Kill the process, reclaim its unit, count the death.
+    auto failWorker = [&](WorkerSlot &w, const char *why) {
+        if (options.progress)
+            std::fprintf(stderr, "[shard] worker %u lost (%s)\n", w.slot,
+                         why);
+        reapWorker(w);
+        ++report.workerDeaths;
+        if (w.hasUnit) {
+            queue.push_front(std::move(w.unit));
+            ++report.unitsReassigned;
+            w.hasUnit = false;
+        }
+    };
+
+    auto spawnOne = [&]() -> bool {
+        if (report.workersSpawned >= spawnAllowance)
+            return false;
+        WorkerSlot w;
+        w.slot = nextSlot++;
+        std::string journal =
+            options.journalPrefix + std::to_string(w.slot);
+        w.proc = options.workerCommand
+                     ? spawnProcess(options.workerCommand(w.slot, journal))
+                     : ChildProcess();
+        if (!w.proc.ok())
+            return false;
+        w.reader = std::make_unique<FrameReader>(w.proc.fromChild);
+        w.busySince = Clock::now();
+        report.journalPaths.push_back(journal);
+        ++report.workersSpawned;
+        workers.push_back(std::move(w));
+        return true;
+    };
+
+    // Returns false only on a sweep-fatal condition (report.error set).
+    auto handleMsg = [&](WorkerSlot &w, const ShardMsg &msg) -> bool {
+        if (msg.type == "hello") {
+            if (msg.version != shardProtocolVersion)
+                return abortAll("worker speaks protocol version " +
+                                std::to_string(msg.version) +
+                                ", coordinator speaks " +
+                                std::to_string(shardProtocolVersion));
+            if (msg.sweepHash != options.sweepHash)
+                return abortAll(
+                    "worker reported a different sweep configuration "
+                    "(hash " + msg.sweepHash + " != " +
+                    options.sweepHash + ")");
+            w.helloed = true;
+            return true;
+        }
+        if (msg.type == "done") {
+            if (!w.hasUnit || msg.id != w.unit.id)
+                throw std::runtime_error("done for a unit not held");
+            w.hasUnit = false;
+            w.busySince = Clock::now();
+            ++unitsDone;
+            report.batchGroups += msg.batchGroups;
+            report.batchedRuns += msg.batchedRuns;
+            report.batchFallouts += msg.batchFallouts;
+            if (options.progress)
+                std::fprintf(stderr,
+                             "[shard] unit %llu done on worker %u "
+                             "(%llu ok, %llu failed) [%zu/%zu]\n",
+                             static_cast<unsigned long long>(msg.id),
+                             w.slot,
+                             static_cast<unsigned long long>(msg.okRuns),
+                             static_cast<unsigned long long>(
+                                 msg.failedRuns),
+                             unitsDone, totalUnits);
+            return true;
+        }
+        if (msg.type == "bye") {
+            auto add = [](std::uint64_t &into, std::uint64_t v) {
+                into += v;
+            };
+            add(report.cache.compileHits, msg.cache.compileHits);
+            add(report.cache.compileMisses, msg.cache.compileMisses);
+            add(report.cache.profileHits, msg.cache.profileHits);
+            add(report.cache.profileMisses, msg.cache.profileMisses);
+            add(report.cache.streamHits, msg.cache.streamHits);
+            add(report.cache.streamMisses, msg.cache.streamMisses);
+            add(report.cache.streamEvicted, msg.cache.streamEvicted);
+            add(report.cache.streamIntegrityFailures,
+                msg.cache.streamIntegrityFailures);
+            add(report.cache.streamCaptureOoms,
+                msg.cache.streamCaptureOoms);
+            add(report.cache.streamBytesBuilt,
+                msg.cache.streamBytesBuilt);
+            add(report.cache.streamInstsBuilt,
+                msg.cache.streamInstsBuilt);
+            add(report.cache.streamBytesResident,
+                msg.cache.streamBytesResident);
+            return true;
+        }
+        throw std::runtime_error("unexpected message type '" + msg.type +
+                                 "'");
+    };
+
+    bool shuttingDown = false;
+    Clock::time_point shutdownStart;
+    constexpr double shutdownGraceSeconds = 10.0;
+
+    for (;;) {
+        // Retire reaped slots.
+        workers.erase(std::remove_if(workers.begin(), workers.end(),
+                                     [](const WorkerSlot &w) {
+                                         return !w.proc.ok();
+                                     }),
+                      workers.end());
+
+        bool anyBusy = std::any_of(workers.begin(), workers.end(),
+                                   [](const WorkerSlot &w) {
+                                       return w.hasUnit;
+                                   });
+        if (!shuttingDown && queue.empty() && !anyBusy) {
+            // All units accounted for: ask everyone to report cache
+            // stats and exit.
+            shuttingDown = true;
+            shutdownStart = Clock::now();
+            for (WorkerSlot &w : workers) {
+                w.shutdownSent = true;
+                if (!writeFrame(w.proc.toChild, encodeShutdown()))
+                    reapWorker(w);   // already done its work; no death
+            }
+        }
+        if (shuttingDown) {
+            if (workers.empty())
+                break;
+            if (secondsSince(shutdownStart) > shutdownGraceSeconds) {
+                for (WorkerSlot &w : workers)
+                    reapWorker(w);
+                continue;
+            }
+        } else {
+            // Keep the pool at strength while work remains (never more
+            // processes than outstanding units). Exhausting the spawn
+            // allowance with units still queued means the grid cannot
+            // finish — fail loudly rather than hang.
+            std::size_t busyCount = static_cast<std::size_t>(
+                std::count_if(workers.begin(), workers.end(),
+                              [](const WorkerSlot &w) {
+                                  return w.hasUnit;
+                              }));
+            std::size_t wanted = std::min<std::size_t>(
+                options.workers, queue.size() + busyCount);
+            while (workers.size() < wanted) {
+                if (spawnOne())
+                    continue;
+                // Out of respawn budget (or fork failed): any still-
+                // alive workers can drain the queue alone; with none
+                // left the grid cannot finish — fail loudly.
+                if (workers.empty())
+                    return abortAll(
+                        "worker pool exhausted with " +
+                        std::to_string(queue.size()) +
+                        " unit(s) still queued (respawn budget " +
+                        std::to_string(respawnBudget) + " used up)");
+                break;
+            }
+
+            // Hand units to idle workers (work stealing: first idle
+            // worker takes the head of the queue).
+            for (WorkerSlot &w : workers) {
+                if (queue.empty())
+                    break;
+                if (!w.helloed || w.hasUnit)
+                    continue;
+                WorkUnit unit = std::move(queue.front());
+                queue.pop_front();
+                if (!writeFrame(w.proc.toChild, encodeUnit(unit))) {
+                    queue.push_front(std::move(unit));
+                    failWorker(w, "pipe write failed");
+                    continue;
+                }
+                w.unit = std::move(unit);
+                w.hasUnit = true;
+                w.busySince = Clock::now();
+                if (options.progress)
+                    std::fprintf(
+                        stderr,
+                        "[shard] unit %llu (%zu runs) -> worker %u\n",
+                        static_cast<unsigned long long>(w.unit.id),
+                        w.unit.indices.size(), w.slot);
+            }
+        }
+
+        // Wait for frames.
+        std::vector<struct pollfd> fds;
+        fds.reserve(workers.size());
+        for (WorkerSlot &w : workers)
+            fds.push_back({w.proc.fromChild, POLLIN, 0});
+        int timeoutMs = options.unitDeadline > 0.0 ? 50 : 200;
+        int rc = ::poll(fds.data(), fds.size(), timeoutMs);
+        if (rc < 0 && errno != EINTR)
+            return abortAll(std::string("poll failed: ") +
+                            std::strerror(errno));
+
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            WorkerSlot &w = workers[i];
+            if (!w.proc.ok() || !(fds[i].revents & (POLLIN | POLLHUP |
+                                                    POLLERR)))
+                continue;
+            bool alive = w.reader->fill();
+            try {
+                while (w.proc.ok()) {
+                    std::optional<std::string> payload = w.reader->next();
+                    if (!payload)
+                        break;
+                    if (!handleMsg(w, decodeShardMsg(*payload)))
+                        return false;   // abortAll already ran
+                }
+            } catch (const std::exception &e) {
+                failWorker(w, e.what());
+                continue;
+            }
+            if (!alive) {
+                if (w.shutdownSent)
+                    reapWorker(w);   // clean exit after bye
+                else
+                    failWorker(w, "pipe closed");
+            }
+        }
+
+        // Watchdog: a worker that sits on one obligation (hello or
+        // unit) past the deadline is hung — kill and reassign.
+        if (!shuttingDown && options.unitDeadline > 0.0) {
+            for (WorkerSlot &w : workers) {
+                if (!w.proc.ok())
+                    continue;
+                bool obligated = !w.helloed || w.hasUnit;
+                if (obligated &&
+                    secondsSince(w.busySince) > options.unitDeadline)
+                    failWorker(w, "unit deadline exceeded");
+            }
+        }
+    }
+
+    return true;
+}
+
+} // namespace rvp

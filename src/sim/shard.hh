@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Multi-process sharded sweeps with a work-stealing coordinator.
+ *
+ * One thread pool tops out at one machine's cores AND one address
+ * space; ROADMAP item 3 (100k+ config grids) wants neither limit. The
+ * coordinator here partitions a sweep grid into work units — chunks of
+ * a stream-key group, so batched replay's decode amortization
+ * (sim/batchrun.hh) survives sharding — and drives N `sweep_all
+ * --worker` child processes over pipes with length-prefixed JSONL
+ * frames (common/subprocess.hh, common/jsonlite.hh).
+ *
+ * Work stealing: units live in one central queue and a worker is
+ * handed the next unit the moment it finishes its previous one, so a
+ * worker stuck with a slow unit never strands the rest of the queue.
+ * A worker that dies (EOF/waitpid) or hangs (per-unit deadline →
+ * SIGKILL) has its in-flight unit pushed back on the queue for the
+ * next idle worker, and a replacement process is spawned while
+ * respawn budget remains.
+ *
+ * Results deliberately do NOT travel over the pipe: each worker
+ * appends finished runs to its own fsync'd journal (`<out>.journal.w<k>`,
+ * PR 5 format), and the coordinator merges all shard journals by run
+ * key — success never loses to a failure, otherwise later wins —
+ * into the final report. The pipe is a control plane only, so a torn
+ * pipe loses nothing a journal didn't already capture, and `--resume`
+ * works across the whole sharded sweep by merging whatever journals
+ * survive.
+ */
+
+#ifndef RVP_SIM_SHARD_HH
+#define RVP_SIM_SHARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/journal.hh"
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+
+namespace rvp
+{
+
+/** One schedulable chunk of the sweep grid: indices into the caller's
+ *  full grid, all sharing one committed-stream key so the worker's
+ *  batched replay decodes their stream once. */
+struct WorkUnit
+{
+    std::uint64_t id = 0;            ///< queue position, stable for logs
+    std::vector<std::size_t> indices; ///< grid indices, input order
+};
+
+/**
+ * Partition the pending runs of a grid into work units: group by the
+ * stream key of each run's timed binary (first-appearance order, the
+ * same grouping batched replay uses), chunk any group larger than
+ * maxUnitRuns (0 = unchunked), then order units largest-first so the
+ * biggest chunks start earliest (classic LPT — a 40-run unit handed
+ * out last would dominate the tail). Unit ids number the final order.
+ */
+std::vector<WorkUnit>
+partitionWork(const std::vector<ExperimentConfig> &gridConfigs,
+              const std::vector<std::size_t> &pending,
+              unsigned maxUnitRuns);
+
+/** Coordinator knobs. */
+struct ShardOptions
+{
+    /** Worker process target (>= 1). Fewer run when units < workers. */
+    unsigned workers = 1;
+    /**
+     * Builds the argv for worker slot `slot` writing its runs to
+     * journal `journalPath`. argv[0] must be an executable path
+     * (execv, no PATH search).
+     */
+    std::function<std::vector<std::string>(unsigned slot,
+                                           const std::string &journalPath)>
+        workerCommand;
+    /** Per-worker journals are `<journalPrefix><slot>`. */
+    std::string journalPrefix;
+    /** Sweep-identity hash every worker's hello must echo; a worker
+     *  built from different options would journal alien runs. */
+    std::string sweepHash;
+    /**
+     * Wall-clock seconds a worker may hold one unit (also bounds
+     * spawn-to-hello). 0 = no watchdog. On expiry the worker is
+     * SIGKILLed and its unit reassigned.
+     */
+    double unitDeadline = 0.0;
+    /** Replacement processes allowed after deaths; 0 = same as
+     *  workers. Exhausting the budget with units left fails the sweep. */
+    unsigned maxRespawns = 0;
+    /** Per-unit progress lines on stderr. */
+    bool progress = true;
+};
+
+/** What the coordinator observed; merged journals carry the results. */
+struct ShardReport
+{
+    unsigned workersSpawned = 0;    ///< incl. replacements
+    unsigned workerDeaths = 0;      ///< EOF, waitpid, bad frame, deadline
+    std::uint64_t unitsReassigned = 0;
+    /** Batched-replay effectiveness summed over worker `done` frames. */
+    std::uint64_t batchGroups = 0;
+    std::uint64_t batchedRuns = 0;
+    std::uint64_t batchFallouts = 0;
+    /** Cache counters summed over worker `bye` frames (workers that
+     *  died without a bye contribute nothing). */
+    WorkloadCacheStats cache;
+    /** Shard journal paths actually written, slot order. */
+    std::vector<std::string> journalPaths;
+    /** Why runShardedSweep returned false (empty on success). */
+    std::string error;
+};
+
+/**
+ * Drive `units` to completion across worker processes. Returns false
+ * when the sweep could not be completed — respawn budget exhausted
+ * with units still queued, a worker built from mismatched sweep
+ * options, or spawn failure — with report.error set. Individual RUN
+ * failures do not fail the sweep; they are journaled as failed records
+ * and surface through the merge.
+ */
+bool runShardedSweep(const std::vector<WorkUnit> &units,
+                     const ShardOptions &options, ShardReport &report);
+
+/**
+ * All journal paths a sharded sweep at mainJournalPath may have left
+ * behind: the main journal first (if present; single-process sweeps
+ * and workers resumed in-process write there), then every existing
+ * `<mainJournalPath>.w<k>` in slot order.
+ */
+std::vector<std::string>
+findShardJournals(const std::string &mainJournalPath);
+
+/** Union of several shard journals. */
+struct MergedJournal
+{
+    std::map<std::string, JournalRecord> runs;  ///< by run key
+    std::size_t skippedLines = 0;  ///< torn/corrupt lines across files
+};
+
+/**
+ * Merge journals in path order under PR 5 semantics extended across
+ * files: for a duplicate run key, a successful record never loses to
+ * a failed one; otherwise the later record (later file, or later line
+ * within a file) wins. Throws std::runtime_error if any journal's
+ * sweep-hash header is non-empty and differs from expectSweepHash —
+ * merging runs from a different sweep would corrupt the report.
+ */
+MergedJournal
+mergeShardJournals(const std::vector<std::string> &paths,
+                   const std::string &expectSweepHash);
+
+// ---------------------------------------------------------------------
+// Wire protocol (framed JSONL; framing in common/subprocess.hh).
+//
+//   worker -> coord   hello {version, sweep_hash, grid_runs}
+//   coord  -> worker  unit  {id, indices}
+//   worker -> coord   done  {id, ok, failed, batch_* counters}
+//   coord  -> worker  shutdown {}
+//   worker -> coord   bye   {cache counters}, then exit 0
+//
+// Results never ride the pipe — they are in the worker's journal
+// before its `done` frame is sent, so a `done` is a promise that the
+// unit's records are fsync'd on disk.
+// ---------------------------------------------------------------------
+
+/** Any decoded protocol message (fields valid per `type`). */
+struct ShardMsg
+{
+    std::string type;          ///< hello | unit | done | shutdown | bye
+    // hello
+    unsigned version = 0;
+    std::string sweepHash;
+    std::uint64_t gridRuns = 0;
+    // unit / done
+    std::uint64_t id = 0;
+    std::vector<std::size_t> indices;
+    std::uint64_t okRuns = 0;
+    std::uint64_t failedRuns = 0;
+    std::uint64_t batchGroups = 0;
+    std::uint64_t batchedRuns = 0;
+    std::uint64_t batchFallouts = 0;
+    // bye
+    WorkloadCacheStats cache;
+};
+
+constexpr unsigned shardProtocolVersion = 1;
+
+std::string encodeHello(const std::string &sweepHash,
+                        std::uint64_t gridRuns);
+std::string encodeUnit(const WorkUnit &unit);
+std::string encodeDone(std::uint64_t id, std::uint64_t okRuns,
+                       std::uint64_t failedRuns, std::uint64_t batchGroups,
+                       std::uint64_t batchedRuns,
+                       std::uint64_t batchFallouts);
+std::string encodeShutdown();
+std::string encodeBye(const WorkloadCacheStats &cache);
+
+/** Parse one protocol payload; throws std::runtime_error on garbage
+ *  (unknown type, missing fields, malformed JSON). */
+ShardMsg decodeShardMsg(const std::string &payload);
+
+} // namespace rvp
+
+#endif // RVP_SIM_SHARD_HH

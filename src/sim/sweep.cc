@@ -376,8 +376,11 @@ runSweep(const std::vector<ExperimentConfig> &configs,
 
     std::vector<ExperimentResult> results(configs.size());
     std::vector<double> run_seconds(configs.size(), 0.0);
-    WorkloadCache cache(options.streamCapture ? options.streamCacheBytes
-                                              : 0);
+    WorkloadCache local_cache(options.streamCapture
+                                  ? options.streamCacheBytes
+                                  : 0);
+    WorkloadCache &cache =
+        options.sharedCache ? *options.sharedCache : local_cache;
     std::atomic<std::size_t> completed{0};
     std::atomic<std::uint64_t> batch_groups{0};
     std::atomic<std::uint64_t> batched_runs{0};
@@ -508,13 +511,28 @@ runSweep(const std::vector<ExperimentConfig> &configs,
     std::vector<std::vector<std::size_t>> groups;
     if (batching) {
         std::map<StreamKey, std::size_t> by_key;
+        std::vector<std::vector<std::size_t>> whole;
         for (std::size_t i = 0; i < configs.size(); ++i) {
             auto [it, inserted] =
                 by_key.try_emplace(streamKeyFor(configs[i], false),
-                                   groups.size());
+                                   whole.size());
             if (inserted)
-                groups.emplace_back();
-            groups[it->second].push_back(i);
+                whole.emplace_back();
+            whole[it->second].push_back(i);
+        }
+        // Chunk oversized groups so one giant group cannot serialize
+        // the tail of the sweep across jobs. Bit-identical: members
+        // of a batch never interact, and each chunk replays the same
+        // cached stream the whole group would have.
+        for (std::vector<std::size_t> &group : whole) {
+            std::size_t chunk = options.maxBatchGroupRuns == 0
+                                    ? group.size()
+                                    : options.maxBatchGroupRuns;
+            for (std::size_t at = 0; at < group.size(); at += chunk) {
+                std::size_t n = std::min(chunk, group.size() - at);
+                groups.emplace_back(group.begin() + at,
+                                    group.begin() + at + n);
+            }
         }
     } else {
         groups.resize(configs.size());

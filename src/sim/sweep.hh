@@ -247,6 +247,25 @@ struct SweepOptions
      */
     bool batchReplay = true;
     /**
+     * Upper bound on runs driven in one batched-replay group. The
+     * paper grid concentrates 268 of 308 runs in 18 stream-key
+     * groups; unchunked, each group is one indivisible scheduling
+     * unit and the tail of a parallel sweep serializes behind the
+     * biggest ones. Chunks are bit-identical to the whole group (each
+     * chunk decodes the same captured stream; members never interact).
+     * 0 = unchunked. Single-run chunks take the solo path unchanged.
+     */
+    unsigned maxBatchGroupRuns = 16;
+    /**
+     * Use this cache instead of a sweep-local one (stream budget and
+     * hit counters then span sweeps). A sharded-sweep worker keeps
+     * one cache across all the work units it is handed, so its
+     * compile/profile/stream work is shared exactly like a
+     * single-process sweep's. Null = per-sweep cache, constructed
+     * from streamCapture/streamCacheBytes.
+     */
+    WorkloadCache *sharedCache = nullptr;
+    /**
      * Test seam: invoked at the start of every solo attempt and of
      * every batch-member preparation, with that attempt's RunContext.
      * A throw is contained exactly like a run-body throw (the attempt

@@ -103,6 +103,58 @@ TEST(Sweep, ParallelIsBitIdenticalToSerial)
         expectIdentical(a[i], b[i], describeConfig(configs[i]));
 }
 
+TEST(Sweep, ChunkedBatchGroupsStayBitIdentical)
+{
+    // Chunking a batch group (sharded work units bound group size via
+    // maxBatchGroupRuns) must not perturb a single result bit: each
+    // chunk replays the same committed stream from the same cache.
+    std::vector<ExperimentConfig> configs = mixedGrid();
+    SweepOptions plain;
+    plain.jobs = 1;
+    plain.progress = false;
+    plain.maxBatchGroupRuns = 0;   // whole groups
+    SweepOptions chunked = plain;
+    // mixedGrid's Base-binary group has 3 members per workload
+    // (Base/Lvp/DynamicRvp share one committed stream), so a cap of 2
+    // forces a mid-group split.
+    chunked.maxBatchGroupRuns = 2;
+    std::vector<ExperimentResult> a = runSweep(configs, plain);
+    std::vector<ExperimentResult> b = runSweep(configs, chunked);
+    ASSERT_EQ(a.size(), configs.size());
+    ASSERT_EQ(b.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        expectIdentical(a[i], b[i], describeConfig(configs[i]));
+}
+
+TEST(Sweep, MaxBatchGroupZeroKeepsWholeGroup)
+{
+    // maxBatchGroupRuns = 0 disables chunking entirely — the batch
+    // counters must match a cap no group reaches — while a cap of 1
+    // degenerates every group to solo runs (batching needs >= 2).
+    std::vector<ExperimentConfig> configs = mixedGrid();
+    SweepOptions whole;
+    whole.jobs = 1;
+    whole.progress = false;
+    whole.maxBatchGroupRuns = 0;
+    SweepReport whole_report;
+    runSweep(configs, whole, &whole_report);
+    EXPECT_GT(whole_report.batchGroups, 0u);
+
+    SweepOptions huge = whole;
+    huge.maxBatchGroupRuns = 100'000;
+    SweepReport huge_report;
+    runSweep(configs, huge, &huge_report);
+    EXPECT_EQ(whole_report.batchGroups, huge_report.batchGroups);
+    EXPECT_EQ(whole_report.batchedRuns, huge_report.batchedRuns);
+
+    SweepOptions singles = whole;
+    singles.maxBatchGroupRuns = 1;
+    SweepReport singles_report;
+    runSweep(configs, singles, &singles_report);
+    EXPECT_EQ(singles_report.batchGroups, 0u);
+    EXPECT_EQ(singles_report.batchedRuns, 0u);
+}
+
 TEST(Sweep, CachedRunsMatchTheUncachedRunner)
 {
     std::vector<ExperimentConfig> configs = mixedGrid();
