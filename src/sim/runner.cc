@@ -12,6 +12,7 @@
 #include "profile/critical_path.hh"
 #include "sim/sweep.hh"
 #include "trace/tracer.hh"
+#include "vp/registry.hh"
 
 namespace rvp
 {
@@ -147,6 +148,12 @@ validateExperimentConfig(const ExperimentConfig &config)
     RVP_ASSERT(config.traceOut.empty() || config.traceSample > 0,
                "traceSample must be > 0 when tracing (it is the "
                "sample divisor seq %% N == 0)");
+    // Scheme-specific params: parse the bag and check every key
+    // against the registry's declaration for this scheme. Throws
+    // VpConfigError (not an assert) so CLIs and tests can catch it.
+    PredictorRegistry::instance().checkParams(
+        registryNameOf(config.scheme),
+        VpParams::parse(config.vpParams));
     validateCacheConfig(config.core.mem.l1i);
     validateCacheConfig(config.core.mem.l1d);
     validateCacheConfig(config.core.mem.l2);
@@ -236,6 +243,7 @@ prepareExperiment(const ExperimentConfig &config, const RunContext &context)
     prep.vp.tableEntries = config.tableEntries;
     prep.vp.taggedRvp = config.taggedRvp;
     prep.vp.threshold = config.counterThreshold;
+    prep.vp.params = config.vpParams;
 
     // Schemes that rewrite the binary work on a private copy; the
     // cached instance stays pristine for concurrent runs.

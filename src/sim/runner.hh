@@ -64,6 +64,14 @@ struct ExperimentConfig
     /** Confidence threshold (paper: 7 on 3-bit resetting counters). */
     unsigned counterThreshold = 7;
     /**
+     * Scheme-specific predictor overrides in the registry param-bag
+     * grammar "key=value,key=value" (vp/registry.hh; empty = factory
+     * defaults). Validated against the scheme's declared params by
+     * validateExperimentConfig, which throws VpConfigError on
+     * malformed text or unaccepted keys.
+     */
+    std::string vpParams;
+    /**
      * Write a sampled pipeline-lifecycle trace of the timed run to
      * this path (empty = tracing off; the core then pays a single
      * predictable null-pointer branch per hook). A ".jsonl" suffix

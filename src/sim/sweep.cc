@@ -89,6 +89,14 @@ schemeName(VpScheme scheme)
         return "drvp";
       case VpScheme::GabbayRp:
         return "grp";
+      case VpScheme::Stride:
+        return "stride";
+      case VpScheme::Balcvp:
+        return "balcvp";
+      case VpScheme::Fcm:
+        return "fcm";
+      case VpScheme::Oracle:
+        return "oracle";
     }
     return "?";
 }

@@ -1,0 +1,100 @@
+#include "vp/balcvp.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+BalcvpPredictor::BalcvpPredictor(const BalcvpConfig &config)
+    : config_(config), table_(config.entries)
+{
+    RVP_ASSERT(config.entries > 0,
+               "balcvp table needs at least one entry");
+    RVP_ASSERT(config.countMax >= 2,
+               "balcvp count cap %u too small to halve", config.countMax);
+    RVP_ASSERT(config.mediumThreshold <= config.highThreshold,
+               "balcvp medium band above the high band");
+}
+
+double
+BalcvpPredictor::posterior(const Entry &entry)
+{
+    // Laplace-smoothed posterior mean of a Bernoulli "value repeats"
+    // process: uniform prior, so an empty entry starts at 0.5.
+    return (entry.hits + 1.0) / (entry.hits + entry.misses + 2.0);
+}
+
+void
+BalcvpPredictor::applyUpdate(const PendingUpdate &update)
+{
+    Entry &entry = table_[pcIndex(update.pc, config_.entries)];
+
+    if (!entry.valid || entry.tag != update.pc) {
+        // Replace-then-return; a fresh claim of an invalid slot is
+        // not interference, so only valid takeovers are counted.
+        replacements_ += entry.valid;
+        entry.tag = update.pc;
+        entry.value = update.value;
+        entry.hits = 0;
+        entry.misses = 0;
+        entry.valid = true;
+        return;
+    }
+    if (entry.value == update.value)
+        ++entry.hits;
+    else
+        ++entry.misses;
+    entry.value = update.value;
+    if (entry.hits + entry.misses >= config_.countMax) {
+        entry.hits /= 2;
+        entry.misses /= 2;
+    }
+}
+
+VpDecision
+BalcvpPredictor::onInst(const DynInst &inst, const ArchState &)
+{
+    while (!pending_.empty() &&
+           pending_.front().seq + config_.updateDelayInsts <= inst.seq) {
+        applyUpdate(pending_.front());
+        pending_.pop_front();
+    }
+
+    if (inst.dest == regNone)
+        return {};
+    if (config_.loadsOnly && !inst.isLoad())
+        return {};
+
+    const Entry &entry = table_[pcIndex(inst.pc, config_.entries)];
+    bool tag_hit = entry.valid && entry.tag == inst.pc;
+
+    bool predicted = false;
+    bool value_hit = false;
+    if (tag_hit) {
+        double p = posterior(entry);
+        bool high = p >= config_.highThreshold;
+        bool medium = !high && p >= config_.mediumThreshold;
+        bandHigh_ += high;
+        bandMedium_ += medium;
+        bandLow_ += !high && !medium;
+        predicted = high || (medium && config_.predictOnMedium);
+        value_hit = entry.value == inst.newValue;
+    }
+
+    pending_.push_back({inst.seq, inst.pc, inst.newValue});
+    return record(predicted, value_hit);
+}
+
+void
+BalcvpPredictor::exportStats(StatSet &stats) const
+{
+    ValuePredictor::exportStats(stats);
+    stats.set("vp.tag_replacements",
+              static_cast<double>(replacements_));
+    stats.set("vp.balcvp_band_low", static_cast<double>(bandLow_));
+    stats.set("vp.balcvp_band_medium",
+              static_cast<double>(bandMedium_));
+    stats.set("vp.balcvp_band_high", static_cast<double>(bandHigh_));
+}
+
+} // namespace rvp

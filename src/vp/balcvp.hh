@@ -1,0 +1,91 @@
+/**
+ * @file
+ * BALCVP: Bayesian dual-counter last-committed-value predictor
+ * (after runezor/BALCVP). Instead of a resetting confidence counter,
+ * each tagged entry keeps two event counts — predictions that would
+ * have been correct (hits) and incorrect (misses) — and estimates the
+ * probability that the stored value repeats with the Laplace-smoothed
+ * posterior mean p = (hits + 1) / (hits + misses + 2). The estimate
+ * is bucketed into low / medium / high confidence bands; only the
+ * high band (optionally medium too) authorizes a prediction. Counts
+ * are halved once their sum reaches a cap, so the estimator tracks
+ * phase changes instead of averaging over the whole run.
+ *
+ * Value storage updates are commit-delayed like LVP's, and tag
+ * replacement is replace-then-return, matching the rest of the zoo.
+ */
+
+#ifndef RVP_VP_BALCVP_HH
+#define RVP_VP_BALCVP_HH
+
+#include <deque>
+#include <vector>
+
+#include "vp/predictor.hh"
+
+namespace rvp
+{
+
+/** Configuration for the BALCVP predictor. */
+struct BalcvpConfig
+{
+    unsigned entries = 1024;
+    /** Halve both counts when hits + misses reaches this. */
+    unsigned countMax = 64;
+    /** Posterior bounds of the confidence bands. */
+    double highThreshold = 0.95;
+    double mediumThreshold = 0.75;
+    /** Predict on the medium band too (default: high only). */
+    bool predictOnMedium = false;
+    bool loadsOnly = true;
+    /** Commit-delay model shared with LvpConfig::updateDelayInsts. */
+    unsigned updateDelayInsts = 96;
+};
+
+/** Bayesian dual-counter last-committed-value predictor. */
+class BalcvpPredictor : public ValuePredictor
+{
+  public:
+    explicit BalcvpPredictor(const BalcvpConfig &config = {});
+
+    VpDecision onInst(const DynInst &inst,
+                      const ArchState &pre_state) override;
+
+    /** Predicted values are read from the table: no register wait. */
+    bool valueFromBuffer() const override { return true; }
+
+    void exportStats(StatSet &stats) const override;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t value = 0;
+        unsigned hits = 0;
+        unsigned misses = 0;
+        bool valid = false;
+    };
+
+    /** A committed result waiting to enter the value table. */
+    struct PendingUpdate
+    {
+        std::uint64_t seq;
+        std::uint64_t pc;
+        std::uint64_t value;
+    };
+
+    static double posterior(const Entry &entry);
+    void applyUpdate(const PendingUpdate &update);
+
+    BalcvpConfig config_;
+    std::vector<Entry> table_;
+    std::deque<PendingUpdate> pending_;
+    std::uint64_t replacements_ = 0;
+    std::uint64_t bandLow_ = 0;
+    std::uint64_t bandMedium_ = 0;
+    std::uint64_t bandHigh_ = 0;
+};
+
+} // namespace rvp
+
+#endif // RVP_VP_BALCVP_HH

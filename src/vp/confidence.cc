@@ -1,10 +1,25 @@
 #include "vp/confidence.hh"
 
+#include "common/logging.hh"
+#include "vp/predictor.hh"
+
 namespace rvp
 {
 
+void
+validateConfidenceConfig(const ConfidenceConfig &config)
+{
+    RVP_ASSERT(config.entries > 0,
+               "confidence table needs at least one entry");
+    // counterMax() validates the width bound itself.
+    RVP_ASSERT(config.threshold <= counterMax(config.counterBits),
+               "confidence threshold %u exceeds the %u-bit maximum %u",
+               config.threshold, config.counterBits,
+               counterMax(config.counterBits));
+}
+
 ConfidenceTable::ConfidenceTable(const ConfidenceConfig &config)
-    : config_(config),
+    : config_((validateConfidenceConfig(config), config)),
       counters_(config.entries,
                 ResettingCounter(config.counterBits, config.threshold)),
       tags_(config.tagged ? config.entries : 0, ~0ull)
@@ -14,7 +29,7 @@ ConfidenceTable::ConfidenceTable(const ConfidenceConfig &config)
 unsigned
 ConfidenceTable::indexOf(std::uint64_t pc) const
 {
-    return static_cast<unsigned>((pc >> 2) % config_.entries);
+    return pcIndex(pc, config_.entries);
 }
 
 bool
@@ -31,8 +46,12 @@ ConfidenceTable::update(std::uint64_t pc, bool correct)
 {
     unsigned idx = indexOf(pc);
     if (config_.tagged && tags_[idx] != pc) {
+        // Claiming a never-used slot (sentinel tag) is an install,
+        // not a takeover; only evictions of a live owner count.
+        replacements_ += tags_[idx] != ~0ull;
         tags_[idx] = pc;
         counters_[idx].reset();
+        return;
     }
     if (correct)
         counters_[idx].recordCorrect();

@@ -31,6 +31,15 @@ struct ConfidenceConfig
     bool tagged = false;
 };
 
+/**
+ * Abort on a non-simulable geometry: a zero-entry table would make
+ * every PC index compute `% 0`, and counter widths/thresholds outside
+ * the ResettingCounter range would misconfigure every slot. Called by
+ * the constructor; exposed so config validation can reject bad
+ * experiment configs before any table is built.
+ */
+void validateConfidenceConfig(const ConfidenceConfig &config);
+
 /** Direct-mapped table of resetting confidence counters. */
 class ConfidenceTable
 {
@@ -44,13 +53,19 @@ class ConfidenceTable
     bool confident(std::uint64_t pc) const;
 
     /**
-     * Record the outcome for pc. Tagged tables replace a mismatched
-     * entry (reset the counter to zero) before recording.
+     * Record the outcome for pc. A tagged table that misses on the
+     * tag replaces the entry (new tag, counter reset to zero) and
+     * returns without recording the outcome — the outcome belongs to
+     * a prediction the new owner never made (replace-then-return,
+     * matching LastValuePredictor::applyUpdate).
      */
     void update(std::uint64_t pc, bool correct);
 
     void reset();
     unsigned entryCount() const { return config_.entries; }
+    bool tagged() const { return config_.tagged; }
+    /** Tagged-entry takeovers performed by update(). */
+    std::uint64_t replacements() const { return replacements_; }
 
   private:
     unsigned indexOf(std::uint64_t pc) const;
@@ -58,6 +73,7 @@ class ConfidenceTable
     ConfidenceConfig config_;
     std::vector<ResettingCounter> counters_;
     std::vector<std::uint64_t> tags_;
+    std::uint64_t replacements_ = 0;
 };
 
 } // namespace rvp

@@ -1,0 +1,104 @@
+#include "vp/fcm.hh"
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+FcmPredictor::FcmPredictor(const FcmConfig &config)
+    : config_(config),
+      historyTable_(config.historyEntries),
+      valueTable_(config.valueEntries,
+                  ValueEntry(config.counterBits, config.threshold))
+{
+    RVP_ASSERT(config.historyEntries > 0,
+               "fcm history table needs at least one entry");
+    RVP_ASSERT(config.valueEntries > 0,
+               "fcm value table needs at least one entry");
+    RVP_ASSERT(config.order >= 1 && config.order <= 8,
+               "fcm order %u outside [1, 8]", config.order);
+    for (auto &hist : historyTable_)
+        hist.values.assign(config.order, 0);
+}
+
+unsigned
+FcmPredictor::contextIndex(const History &hist) const
+{
+    // FNV-1a over the context values, order-sensitive so the
+    // sequences (a, b) and (b, a) map to different entries.
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint64_t v : hist.values) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return static_cast<unsigned>(h % config_.valueEntries);
+}
+
+void
+FcmPredictor::applyUpdate(const PendingUpdate &update)
+{
+    History &hist =
+        historyTable_[pcIndex(update.pc, config_.historyEntries)];
+
+    // Train the value table at the *old* context first: "after this
+    // sequence, that value followed".
+    if (hist.filled >= config_.order) {
+        ValueEntry &entry = valueTable_[contextIndex(hist)];
+        if (entry.value == update.value) {
+            entry.counter.recordCorrect();
+        } else {
+            entry.counter.recordIncorrect();
+            entry.value = update.value;
+        }
+    }
+
+    // Then shift the committed value into the history.
+    for (unsigned i = 0; i + 1 < config_.order; ++i)
+        hist.values[i] = hist.values[i + 1];
+    hist.values[config_.order - 1] = update.value;
+    if (hist.filled < config_.order)
+        ++hist.filled;
+}
+
+VpDecision
+FcmPredictor::onInst(const DynInst &inst, const ArchState &)
+{
+    while (!pending_.empty() &&
+           pending_.front().seq + config_.updateDelayInsts <= inst.seq) {
+        applyUpdate(pending_.front());
+        pending_.pop_front();
+    }
+
+    if (inst.dest == regNone)
+        return {};
+    if (config_.loadsOnly && !inst.isLoad())
+        return {};
+
+    const History &hist =
+        historyTable_[pcIndex(inst.pc, config_.historyEntries)];
+
+    bool predicted = false;
+    bool value_hit = false;
+    if (hist.filled >= config_.order) {
+        const ValueEntry &entry = valueTable_[contextIndex(hist)];
+        predicted = entry.counter.confident();
+        value_hit = entry.value == inst.newValue;
+    } else {
+        ++coldLookups_;
+    }
+
+    pending_.push_back({inst.seq, inst.pc, inst.newValue});
+    return record(predicted, value_hit);
+}
+
+void
+FcmPredictor::exportStats(StatSet &stats) const
+{
+    ValuePredictor::exportStats(stats);
+    stats.set("vp.fcm_cold_lookups",
+              static_cast<double>(coldLookups_));
+}
+
+} // namespace rvp

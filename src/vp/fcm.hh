@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Finite-context-method (FCM) value predictor, order 2 (Sazeides &
+ * Smith). Two levels: a PC-indexed value-history table records each
+ * static instruction's last `order` committed values; the hashed
+ * history (the *context*) indexes a shared value table whose entries
+ * store the value that followed that context last time, filtered by a
+ * resetting confidence counter. FCM captures arbitrary repeating
+ * value sequences (periodic patterns, pointer chains re-walked per
+ * outer iteration) that both last-value and stride prediction miss —
+ * at the cost of two serial table lookups and by far the most storage
+ * in the zoo, which is exactly the trade-off the paper's storageless
+ * argument is about.
+ *
+ * History and value-table updates are commit-delayed like LVP's
+ * value file: in-flight instances see the context as of the last
+ * commit.
+ */
+
+#ifndef RVP_VP_FCM_HH
+#define RVP_VP_FCM_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/counters.hh"
+#include "vp/predictor.hh"
+
+namespace rvp
+{
+
+/** Configuration for the FCM predictor. */
+struct FcmConfig
+{
+    /** Level-1 (per-PC value history) entries. */
+    unsigned historyEntries = 1024;
+    /** Level-2 (hashed context -> value) entries. */
+    unsigned valueEntries = 4096;
+    /** Context length in values. */
+    unsigned order = 2;
+    unsigned counterBits = 3;
+    unsigned threshold = 7;
+    bool loadsOnly = true;
+    /** Commit-delay model shared with LvpConfig::updateDelayInsts. */
+    unsigned updateDelayInsts = 96;
+};
+
+/** Order-N finite-context-method predictor. */
+class FcmPredictor : public ValuePredictor
+{
+  public:
+    explicit FcmPredictor(const FcmConfig &config = {});
+
+    VpDecision onInst(const DynInst &inst,
+                      const ArchState &pre_state) override;
+
+    /** Predicted values are read from the table: no register wait. */
+    bool valueFromBuffer() const override { return true; }
+
+    void exportStats(StatSet &stats) const override;
+
+  private:
+    struct History
+    {
+        /** Most recent last, config order values once filled. */
+        std::vector<std::uint64_t> values;
+        unsigned filled = 0;
+    };
+
+    struct ValueEntry
+    {
+        std::uint64_t value = 0;
+        ResettingCounter counter;
+
+        explicit ValueEntry(unsigned bits = 3, unsigned threshold = 7)
+            : counter(bits, threshold)
+        {
+        }
+    };
+
+    /** A committed result waiting to update both levels. */
+    struct PendingUpdate
+    {
+        std::uint64_t seq;
+        std::uint64_t pc;
+        std::uint64_t value;
+    };
+
+    unsigned contextIndex(const History &hist) const;
+    void applyUpdate(const PendingUpdate &update);
+
+    FcmConfig config_;
+    std::vector<History> historyTable_;
+    std::vector<ValueEntry> valueTable_;
+    std::deque<PendingUpdate> pending_;
+    std::uint64_t coldLookups_ = 0;
+};
+
+} // namespace rvp
+
+#endif // RVP_VP_FCM_HH

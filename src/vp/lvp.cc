@@ -1,5 +1,7 @@
 #include "vp/lvp.hh"
 
+#include "common/logging.hh"
+
 namespace rvp
 {
 
@@ -7,19 +9,24 @@ LastValuePredictor::LastValuePredictor(const LvpConfig &config)
     : config_(config),
       table_(config.entries, Entry(config.counterBits, config.threshold))
 {
+    RVP_ASSERT(config.entries > 0,
+               "last-value table needs at least one entry");
 }
 
 void
 LastValuePredictor::applyUpdate(const PendingUpdate &update)
 {
-    unsigned idx =
-        static_cast<unsigned>((update.pc >> 2) % config_.entries);
+    unsigned idx = pcIndex(update.pc, config_.entries);
     Entry &entry = table_[idx];
 
     bool tag_hit = !config_.tagged || entry.tag == update.pc;
     if (!tag_hit) {
         // Interference: take the entry over and restart confidence.
+        // tagMisses_ keeps its historical meaning (every miss, first
+        // installs included); replacements_ counts only evictions of
+        // a live owner, matching the rest of the zoo.
         ++tagMisses_;
+        replacements_ += entry.tag != ~0ull;
         entry.tag = update.pc;
         entry.counter.reset();
         entry.value = update.value;
@@ -49,7 +56,7 @@ LastValuePredictor::onInst(const DynInst &inst, const ArchState &)
     if (config_.loadsOnly && !inst.isLoad())
         return {};
 
-    unsigned idx = static_cast<unsigned>((inst.pc >> 2) % config_.entries);
+    unsigned idx = pcIndex(inst.pc, config_.entries);
     const Entry &entry = table_[idx];
 
     bool tag_hit = !config_.tagged || entry.tag == inst.pc;
@@ -65,6 +72,9 @@ LastValuePredictor::exportStats(StatSet &stats) const
 {
     ValuePredictor::exportStats(stats);
     stats.set("vp.lvp_tag_misses", static_cast<double>(tagMisses_));
+    // Zoo-wide name: every tagged predictor reports live-entry
+    // takeovers as vp.tag_replacements (first installs excluded).
+    stats.set("vp.tag_replacements", static_cast<double>(replacements_));
 }
 
 } // namespace rvp

@@ -81,6 +81,7 @@ class LastValuePredictor : public ValuePredictor
     std::vector<Entry> table_;
     std::deque<PendingUpdate> pending_;
     std::uint64_t tagMisses_ = 0;
+    std::uint64_t replacements_ = 0;
 };
 
 } // namespace rvp

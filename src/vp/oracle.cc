@@ -1,6 +1,7 @@
 #include "vp/oracle.hh"
 
 #include "common/logging.hh"
+#include "vp/registry.hh"
 
 namespace rvp
 {
@@ -15,37 +16,25 @@ ValuePredictor::exportStats(StatSet &stats) const
               static_cast<double>(predictions_ - correct_));
 }
 
+VpDecision
+OraclePredictor::onInst(const DynInst &inst, const ArchState &)
+{
+    if (inst.dest == regNone)
+        return {};
+    if (loadsOnly_ && !inst.isLoad())
+        return {};
+    return record(true, true);
+}
+
 std::unique_ptr<ValuePredictor>
 makePredictor(const VpConfig &config, const Program &prog)
 {
-    switch (config.scheme) {
-      case VpScheme::None:
-        return std::make_unique<NullPredictor>();
-      case VpScheme::Lvp: {
-        LvpConfig lvp;
-        lvp.entries = config.tableEntries;
-        lvp.counterBits = config.counterBits;
-        lvp.threshold = config.threshold;
-        lvp.tagged = config.taggedLvp;
-        lvp.loadsOnly = config.loadsOnly;
-        return std::make_unique<LastValuePredictor>(lvp);
-      }
-      case VpScheme::StaticRvp:
-        return std::make_unique<StaticRvpPredictor>(prog, config.specs);
-      case VpScheme::DynamicRvp: {
-        ConfidenceConfig conf;
-        conf.entries = config.tableEntries;
-        conf.counterBits = config.counterBits;
-        conf.threshold = config.threshold;
-        conf.tagged = config.taggedRvp;
-        return std::make_unique<DynamicRvpPredictor>(
-            config.specs, config.loadsOnly, conf);
-      }
-      case VpScheme::GabbayRp:
-        return std::make_unique<GabbayRegisterPredictor>(
-            config.counterBits, config.threshold, config.loadsOnly);
-    }
-    panic("unknown vp scheme");
+    VpFactoryInput input;
+    input.prog = &prog;
+    input.base = &config;
+    return PredictorRegistry::instance().make(
+        registryNameOf(config.scheme), VpParams::parse(config.params),
+        input);
 }
 
 } // namespace rvp

@@ -21,6 +21,21 @@
 namespace rvp
 {
 
+/**
+ * Canonical PC-to-slot mapping shared by every direct-mapped predictor
+ * table (confidence tables, LVP, the stride/BALCVP/FCM zoo). All
+ * instructions are 4-byte aligned, so the low two PC bits carry no
+ * information and are shifted out before the modulo. Keeping one
+ * definition guarantees a predictor's predict path and update path
+ * index the same entry. `entries` must be non-zero — table
+ * constructors validate their geometry before any lookup.
+ */
+inline unsigned
+pcIndex(std::uint64_t pc, unsigned entries)
+{
+    return static_cast<unsigned>((pc >> 2) % entries);
+}
+
 /** Outcome of consulting a predictor for one dynamic instruction. */
 struct VpDecision
 {

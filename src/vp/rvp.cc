@@ -89,6 +89,19 @@ DynamicRvpPredictor::onInst(const DynInst &inst, const ArchState &pre_state)
     return record(predicted, correct);
 }
 
+void
+DynamicRvpPredictor::exportStats(StatSet &stats) const
+{
+    ValuePredictor::exportStats(stats);
+    // Only a tagged table performs replacements; keep the stat key
+    // out of the untagged (default) configuration so existing stat
+    // snapshots keep their exact key set.
+    if (table_.tagged()) {
+        stats.set("vp.tag_replacements",
+                  static_cast<double>(table_.replacements()));
+    }
+}
+
 GabbayRegisterPredictor::GabbayRegisterPredictor(unsigned counter_bits,
                                                  unsigned threshold,
                                                  bool loads_only)

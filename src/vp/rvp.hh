@@ -109,6 +109,8 @@ class DynamicRvpPredictor : public ValuePredictor
         return eval_.specOf(static_index);
     }
 
+    void exportStats(StatSet &stats) const override;
+
   private:
     SpecEvaluator eval_;
     ConfidenceTable table_;

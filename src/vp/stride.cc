@@ -1,0 +1,141 @@
+#include "vp/stride.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rvp
+{
+
+StridePredictor::StridePredictor(const StrideConfig &config)
+    : config_(config), table_(config.entries)
+{
+    RVP_ASSERT(config.entries > 0,
+               "stride table needs at least one entry");
+    RVP_ASSERT(config.predictThreshold <= config.confMax,
+               "stride predict threshold %u exceeds confidence max %u",
+               config.predictThreshold, config.confMax);
+}
+
+void
+StridePredictor::train(const PendingTrain &t)
+{
+    Entry &entry = table_[pcIndex(t.pc, config_.entries)];
+
+    if (!entry.valid || entry.tag == t.pc) {
+        if (!entry.valid) {
+            // First claim of an empty slot: same bookkeeping as a
+            // replacement takeover, minus the interference counter.
+            claim(entry, t);
+            return;
+        }
+        std::int64_t new_stride = static_cast<std::int64_t>(
+            t.value - entry.lastValue);
+        if (entry.stride == new_stride) {
+            entry.confidence = std::min(
+                entry.confidence + config_.confInc, config_.confMax);
+        } else {
+            // Stride break: overwrite the stride only while the entry
+            // has not proven itself, and lose confidence either way.
+            if (entry.confidence <= config_.strideUpdateThreshold)
+                entry.stride = new_stride;
+            entry.confidence =
+                config_.confDec == 0
+                    ? 0
+                    : (entry.confidence > config_.confDec
+                           ? entry.confidence - config_.confDec
+                           : 0);
+        }
+        entry.lastValue = t.value;
+        if (entry.inflight > 0)
+            --entry.inflight;
+        return;
+    }
+
+    // Tag miss at train time: confidence-gated replacement,
+    // replace-then-return (the outcome belongs to the old owner's
+    // stream, so nothing is recorded for the new one).
+    if (entry.confidence > config_.replaceThreshold) {
+        ++replaceRefused_;
+        return;
+    }
+    ++replacements_;
+    claim(entry, t);
+}
+
+void
+StridePredictor::claim(Entry &entry, const PendingTrain &t)
+{
+    entry.tag = t.pc;
+    entry.lastValue = t.value;
+    entry.stride = 0;
+    entry.confidence = 0;
+    entry.valid = true;
+    // The new owner may already have instances in flight that never
+    // bumped the (previously foreign or invalid) entry's counter;
+    // recount them from the VPQ so its next predictions extrapolate
+    // the right number of strides. The front element is the instance
+    // being trained right now (popped after train() returns), so it
+    // no longer counts as in flight.
+    entry.inflight = static_cast<unsigned>(std::count_if(
+        std::next(vpq_.begin()), vpq_.end(),
+        [&](const PendingTrain &p) { return p.pc == t.pc; }));
+}
+
+VpDecision
+StridePredictor::onInst(const DynInst &inst, const ArchState &)
+{
+    // Retire VPQ entries whose instructions have committed.
+    while (!vpq_.empty() &&
+           vpq_.front().seq + config_.updateDelayInsts <= inst.seq) {
+        train(vpq_.front());
+        vpq_.pop_front();
+    }
+
+    if (inst.dest == regNone)
+        return {};
+    if (config_.loadsOnly && !inst.isLoad())
+        return {};
+
+    Entry &entry = table_[pcIndex(inst.pc, config_.entries)];
+    bool tag_hit = entry.valid && entry.tag == inst.pc;
+
+    bool predicted = false;
+    bool value_hit = false;
+    unsigned inflight = 0;
+    if (tag_hit) {
+        // The (inflight+1)-th outstanding instance since the last
+        // committed one: extrapolate that many strides ahead.
+        inflight = entry.inflight;
+        std::uint64_t predicted_value =
+            entry.lastValue +
+            static_cast<std::uint64_t>(entry.stride) * (inflight + 1);
+        predicted = entry.confidence >= config_.predictThreshold;
+        value_hit = predicted_value == inst.newValue;
+        ++entry.inflight;
+    }
+
+    vpq_.push_back({inst.seq, inst.pc, inst.newValue});
+
+    if (predicted && inflight > 0) {
+        ++inflightPredictions_;
+        inflightHits_ += value_hit;
+    }
+    return record(predicted, value_hit);
+}
+
+void
+StridePredictor::exportStats(StatSet &stats) const
+{
+    ValuePredictor::exportStats(stats);
+    stats.set("vp.tag_replacements",
+              static_cast<double>(replacements_));
+    stats.set("vp.stride_replace_refused",
+              static_cast<double>(replaceRefused_));
+    stats.set("vp.stride_inflight_predictions",
+              static_cast<double>(inflightPredictions_));
+    stats.set("vp.stride_inflight_hits",
+              static_cast<double>(inflightHits_));
+}
+
+} // namespace rvp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tagged stride value predictor with a value-prediction queue (VPQ)
+ * and per-entry in-flight instance counting, after the 721sim design
+ * (Ashwin-Sarathi/Value-Prediction; SNIPPETS.md 1–3). Each table
+ * entry tracks the last *committed* value, the stride between the
+ * last two committed values, a saturating confidence counter, and how
+ * many same-PC instances are currently in flight. A fetch-time
+ * prediction for the (k+1)-th outstanding instance is
+ * `last + (k+1)·stride`, so back-to-back instances of a tight loop
+ * each get their own extrapolated value even though none of them has
+ * committed yet — the property plain last-value prediction loses.
+ *
+ * Training happens at commit (modelled, as for LVP, by a fixed
+ * dynamic-instruction delay): stride-consistent outcomes raise
+ * confidence, stride breaks overwrite the stride only while
+ * confidence is low, and a tag miss replaces the entry only while
+ * confidence is at or below the replacement threshold
+ * (confidence-gated replacement, replace-then-return).
+ */
+
+#ifndef RVP_VP_STRIDE_HH
+#define RVP_VP_STRIDE_HH
+
+#include <deque>
+#include <vector>
+
+#include "vp/predictor.hh"
+
+namespace rvp
+{
+
+/** Configuration for the stride predictor. */
+struct StrideConfig
+{
+    unsigned entries = 1024;
+    /** Confidence saturates here; predictions need predictThreshold. */
+    unsigned confMax = 7;
+    unsigned confInc = 1;
+    /** Confidence loss on a stride break; 0 = full reset. */
+    unsigned confDec = 0;
+    unsigned predictThreshold = 7;
+    /** Tag replacement allowed only while confidence <= this. */
+    unsigned replaceThreshold = 1;
+    /** Stride overwrite allowed only while confidence <= this. */
+    unsigned strideUpdateThreshold = 1;
+    bool loadsOnly = true;
+    /** Commit-delay model shared with LvpConfig::updateDelayInsts. */
+    unsigned updateDelayInsts = 96;
+};
+
+/** Tagged stride predictor with VPQ-style in-flight accounting. */
+class StridePredictor : public ValuePredictor
+{
+  public:
+    explicit StridePredictor(const StrideConfig &config = {});
+
+    VpDecision onInst(const DynInst &inst,
+                      const ArchState &pre_state) override;
+
+    /** Predicted values are read from the table: no register wait. */
+    bool valueFromBuffer() const override { return true; }
+
+    void exportStats(StatSet &stats) const override;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t lastValue = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        unsigned inflight = 0;
+        bool valid = false;
+    };
+
+    /** A committed result queued for training (the VPQ). */
+    struct PendingTrain
+    {
+        std::uint64_t seq;
+        std::uint64_t pc;
+        std::uint64_t value;
+    };
+
+    void train(const PendingTrain &t);
+    void claim(Entry &entry, const PendingTrain &t);
+
+    StrideConfig config_;
+    std::vector<Entry> table_;
+    std::deque<PendingTrain> vpq_;
+    std::uint64_t replacements_ = 0;
+    std::uint64_t replaceRefused_ = 0;
+    std::uint64_t inflightPredictions_ = 0;
+    std::uint64_t inflightHits_ = 0;
+};
+
+} // namespace rvp
+
+#endif // RVP_VP_STRIDE_HH

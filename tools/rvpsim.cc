@@ -21,6 +21,7 @@
 #include "isa/disasm.hh"
 #include "sim/runner.hh"
 #include "sim/tables.hh"
+#include "vp/registry.hh"
 
 using namespace rvp;
 
@@ -36,6 +37,10 @@ usage()
         "  --workload NAME     go|ijpeg|li|m88ksim|perl|hydro2d|mgrid|\n"
         "                      su2cor|turb3d           (default: go)\n"
         "  --scheme NAME       none|lvp|srvp|drvp|grp  (default: none)\n"
+        "  --vp NAME[:K=V,..]  pick any registered predictor by name,\n"
+        "                      with scheme params (see --list-vp), e.g.\n"
+        "                      --vp stride:entries=256,predict_threshold=4\n"
+        "  --list-vp           list registered predictor schemes + params\n"
         "  --assist NAME       same|dead|live|dead_lv|live_lv|\n"
         "                      dead_lv_stride          (default: same)\n"
         "  --all               predict all register-writing instructions\n"
@@ -96,6 +101,22 @@ main(int argc, char **argv)
                                                    : " (int)\n");
             }
             return 0;
+        } else if (arg == "--list-vp") {
+            listSchemes(std::cout);
+            return 0;
+        } else if (arg == "--vp") {
+            // NAME or NAME:key=value,key=value — the registry grammar.
+            std::string s = next();
+            std::string name = s;
+            std::size_t colon = s.find(':');
+            if (colon != std::string::npos) {
+                name = s.substr(0, colon);
+                config.vpParams = s.substr(colon + 1);
+            }
+            auto scheme = schemeForName(name);
+            if (!scheme)
+                die("unknown vp scheme '" + name + "' (see --list-vp)");
+            config.scheme = *scheme;
         } else if (arg == "--workload") {
             config.workload = next();
         } else if (arg == "--scheme") {
@@ -205,7 +226,12 @@ main(int argc, char **argv)
         return 0;
     }
 
-    ExperimentResult result = runExperiment(config);
+    ExperimentResult result;
+    try {
+        result = runExperiment(config);
+    } catch (const VpConfigError &e) {
+        die(e.what());
+    }
 
     TextTable table;
     table.setHeader({"metric", "value"});

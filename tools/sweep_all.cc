@@ -39,6 +39,7 @@
 #include "sim/runner.hh"
 #include "sim/shard.hh"
 #include "sim/sweep.hh"
+#include "vp/registry.hh"
 #include "workloads/workloads.hh"
 
 using namespace rvp;
@@ -115,7 +116,11 @@ usage()
         "  --profile-insts N   profiling budget per workload (300000)\n"
         "  --workloads CSV     workload filter (default: all nine)\n"
         "  --figures CSV       figure filter: fig03,fig04,fig05,fig06,\n"
-        "                      fig07,fig08,table2,stride (default: all)\n"
+        "                      fig07,fig08,table2,stride (default: all);\n"
+        "                      opt-in extras (never in the default set):\n"
+        "                      headtohead — predictor-zoo grid (LVP vs\n"
+        "                      RVP vs stride/balcvp/fcm/oracle)\n"
+        "  --list-vp           list registered predictor schemes + params\n"
         "  --full-stats        embed the complete per-run stat dumps\n"
         "  --trace-out PREFIX  write one Chrome trace JSON per run to\n"
         "                      PREFIX<figure>-<variant>-<workload>"
@@ -248,6 +253,13 @@ struct FigureSpec
     std::vector<std::pair<std::string,
                           std::function<void(ExperimentConfig &)>>>
         variants;
+    /**
+     * Opt-in figures run only when named in --figures, never as part
+     * of the default "all" set — the default 308-run paper grid (and
+     * its journal/report identity) must not change when extras are
+     * added.
+     */
+    bool optIn = false;
 };
 
 std::vector<FigureSpec>
@@ -394,6 +406,34 @@ paperGrid()
            compose(
                {selective, all_insts,
                 drvp(AssistLevel::DeadLvStride)})}}});
+
+    // Predictor-zoo head-to-head (opt-in: --figures headtohead). The
+    // paper's storageless RVP against the storage-backed competition
+    // from the registry — LVP, the 721sim-style stride predictor,
+    // BALCVP, order-2 FCM — bracketed by the no-prediction baseline
+    // and the oracle upper bound. All register-writing instructions,
+    // selective reissue, default table geometries.
+    auto zoo = [](VpScheme s) {
+        return [s](C &c) { c.scheme = s; };
+    };
+    grid.push_back(
+        {"headtohead",
+         {},
+         {{"no_predict", compose({selective, all_insts})},
+          {"lvp_all", compose({selective, all_insts, lvp})},
+          {"drvp_all",
+           compose({selective, all_insts, drvp(AssistLevel::Same)})},
+          {"drvp_all_dead_lv",
+           compose({selective, all_insts, drvp(AssistLevel::DeadLv)})},
+          {"stride_all",
+           compose({selective, all_insts, zoo(VpScheme::Stride)})},
+          {"balcvp_all",
+           compose({selective, all_insts, zoo(VpScheme::Balcvp)})},
+          {"fcm_all",
+           compose({selective, all_insts, zoo(VpScheme::Fcm)})},
+          {"oracle_all",
+           compose({selective, all_insts, zoo(VpScheme::Oracle)})}},
+         /*optIn=*/true});
 
     return grid;
 }
@@ -677,7 +717,10 @@ main(int argc, char **argv)
             opts.maxBatchGroup = static_cast<unsigned>(nextU64());
         else if (arg == "--dry-run")
             opts.dryRun = true;
-        else if (arg == "--worker")
+        else if (arg == "--list-vp") {
+            listSchemes(std::cout);
+            return 0;
+        } else if (arg == "--worker")
             opts.workerMode = true;
         else if (arg == "--worker-journal")
             opts.workerJournal = next();
@@ -717,7 +760,12 @@ main(int argc, char **argv)
     // Build the flat grid.
     std::vector<GridEntry> entries;
     for (const FigureSpec &fig : paperGrid()) {
-        if (!wants(opts, fig.figure))
+        // Opt-in figures need an explicit --figures mention; wants()
+        // alone would sweep them into the default "all" set.
+        bool selected = opts.figures.empty()
+                            ? !fig.optIn
+                            : wants(opts, fig.figure);
+        if (!selected)
             continue;
         const std::vector<std::string> &fig_workloads =
             fig.workloads.empty() ? opts.workloads : fig.workloads;
@@ -1103,11 +1151,26 @@ main(int argc, char **argv)
                 ? static_cast<double>(report.cache.streamBytesBuilt) /
                       static_cast<double>(report.cache.streamInstsBuilt)
                 : 0.0;
+        // Which predictor schemes the measured grid exercised, by
+        // canonical registry name (sorted, deduplicated) — so a bench
+        // row is attributable to its predictor mix at a glance.
+        std::vector<std::string> schemes;
+        for (const GridEntry &entry : entries)
+            schemes.push_back(registryNameOf(entry.config.scheme));
+        std::sort(schemes.begin(), schemes.end());
+        schemes.erase(std::unique(schemes.begin(), schemes.end()),
+                      schemes.end());
         std::ostringstream bos;
         bos << "{\"tool\": \"sweep_all\""
             << ", \"git\": \"" << jsonEscape(gitDescribe()) << "\""
             << ", \"config_hash\": \"" << configHash(opts) << "\""
             << ", \"runs\": " << entries.size()
+            << ", \"schemes\": [";
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            bos << (si ? ", " : "") << "\"" << jsonEscape(schemes[si])
+                << "\"";
+        }
+        bos << "]"
             << ", \"jobs\": " << report.jobs
             << ", \"workers\": " << opts.workers
             << ", \"insts\": " << opts.insts
