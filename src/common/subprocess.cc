@@ -3,9 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdlib>
-#include <stdexcept>
 
 namespace rvp
 {
@@ -88,79 +86,6 @@ closeChildPipes(ChildProcess &child)
 {
     closeFd(child.toChild);
     closeFd(child.fromChild);
-}
-
-bool
-writeFrame(int fd, const std::string &payload)
-{
-    std::string frame = std::to_string(payload.size());
-    frame += '\n';
-    frame += payload;
-    frame += '\n';
-
-    std::size_t off = 0;
-    while (off < frame.size()) {
-        ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-bool
-FrameReader::fill()
-{
-    char chunk[4096];
-    for (;;) {
-        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (n == 0)
-            return false;   // EOF
-        buf_.append(chunk, static_cast<std::size_t>(n));
-        return true;
-    }
-}
-
-std::optional<std::string>
-FrameReader::next()
-{
-    // Frame: "<decimal len>\n<payload>\n". A peer that writes
-    // anything else is broken; callers treat the throw as death.
-    std::size_t nl = buf_.find('\n');
-    if (nl == std::string::npos) {
-        // The length line is at most a 9-digit count (256 MiB cap
-        // below); anything longer without a newline is garbage.
-        if (buf_.size() > 32)
-            throw std::runtime_error("frame header too long");
-        return std::nullopt;
-    }
-    if (nl == 0 || nl > 12)
-        throw std::runtime_error("bad frame length");
-    std::size_t len = 0;
-    for (std::size_t i = 0; i < nl; ++i) {
-        char c = buf_[i];
-        if (c < '0' || c > '9')
-            throw std::runtime_error("bad frame length");
-        len = len * 10 + static_cast<std::size_t>(c - '0');
-    }
-    if (len > (std::size_t{256} << 20))
-        throw std::runtime_error("frame too large");
-    // Need the payload plus its trailing newline.
-    if (buf_.size() < nl + 1 + len + 1)
-        return std::nullopt;
-    if (buf_[nl + 1 + len] != '\n')
-        throw std::runtime_error("missing frame terminator");
-    std::string payload = buf_.substr(nl + 1, len);
-    buf_.erase(0, nl + 1 + len + 1);
-    return payload;
 }
 
 ScopedSigpipeIgnore::ScopedSigpipeIgnore()

@@ -1,15 +1,11 @@
 /**
  * @file
- * Process and pipe helpers for the sharded-sweep coordinator
- * (sim/shard.hh): fork/exec a child with its stdin/stdout wired to
- * fresh pipes, and a length-prefixed frame codec so JSONL messages
- * survive arbitrary pipe fragmentation (a frame is either delivered
- * whole or detectably torn — never silently spliced).
- *
- * Frame wire format: ASCII decimal payload length, '\n', the payload
- * bytes, '\n'. The trailing newline is verified on read, so a
- * truncated write from a killed peer fails the frame instead of
- * bleeding into the next one.
+ * Process helpers for the sharded-sweep coordinator (sim/shard.hh):
+ * fork/exec a child with its stdin/stdout wired to fresh pipes, plus
+ * scoped SIGPIPE suppression for the writers. The length-prefixed
+ * frame codec the pipes speak lives in common/framing.hh (shared with
+ * the sweep-service socket); it is included here so historical users
+ * of writeFrame/FrameReader via this header keep compiling.
  */
 
 #ifndef RVP_COMMON_SUBPROCESS_HH
@@ -17,11 +13,12 @@
 
 #include <sys/types.h>
 
-#include <optional>
 #include <string>
 #include <vector>
 
 #include <signal.h>
+
+#include "common/framing.hh"
 
 namespace rvp
 {
@@ -49,36 +46,6 @@ ChildProcess spawnProcess(const std::vector<std::string> &argv);
 
 /** Close both parent-side pipe ends (idempotent). */
 void closeChildPipes(ChildProcess &child);
-
-/**
- * Write one framed payload, handling short writes and EINTR. Returns
- * false on any write error — with SIGPIPE ignored (ScopedSigpipeIgnore)
- * a dead peer reports EPIPE here instead of killing the process.
- */
-bool writeFrame(int fd, const std::string &payload);
-
-/**
- * Incremental frame reader over one fd. fill() performs a single
- * read(2) (call it after poll() says readable, or freely on a
- * blocking fd); next() extracts the next complete payload from the
- * buffer. next() throws std::runtime_error on malformed framing (a
- * peer that wrote garbage), which callers treat as peer death.
- */
-class FrameReader
-{
-  public:
-    explicit FrameReader(int fd) : fd_(fd) {}
-
-    /** One read(2) into the buffer; false on EOF or a fatal error. */
-    bool fill();
-
-    /** Next complete frame payload, if buffered. */
-    std::optional<std::string> next();
-
-  private:
-    int fd_;
-    std::string buf_;
-};
 
 /**
  * Ignore SIGPIPE for this object's lifetime (restoring the previous

@@ -1,0 +1,115 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rvp
+{
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_.reset();
+}
+
+bool
+ServiceClient::connect(const std::string &socketPath)
+{
+    close();
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        lastError_ = "socket path too long";
+        return false;
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        lastError_ = std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        lastError_ = std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    reader_ = std::make_unique<FrameReader>(fd_);
+
+    std::optional<ServerMsg> hello;
+    try {
+        hello = recv();
+    } catch (const ServiceError &e) {
+        lastError_ = e.what();
+        close();
+        return false;
+    }
+    if (!hello || hello->kind != ServerMsg::Kind::Hello) {
+        if (lastError_.empty())
+            lastError_ = "server did not say hello";
+        close();
+        return false;
+    }
+    if (hello->version != serviceProtocolVersion) {
+        lastError_ = "protocol version mismatch (server " +
+                     std::to_string(hello->version) + ", client " +
+                     std::to_string(serviceProtocolVersion) + ")";
+        close();
+        return false;
+    }
+    storeEntries_ = hello->storeEntries;
+    return true;
+}
+
+bool
+ServiceClient::send(const std::string &payload)
+{
+    if (fd_ < 0) {
+        lastError_ = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, payload)) {
+        lastError_ = std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+std::optional<ServerMsg>
+ServiceClient::recv()
+{
+    if (fd_ < 0) {
+        lastError_ = "not connected";
+        return std::nullopt;
+    }
+    try {
+        for (;;) {
+            if (std::optional<std::string> frame = reader_->next())
+                return decodeServerMsg(*frame);
+            if (!reader_->fill()) {
+                lastError_ = "connection closed by server";
+                return std::nullopt;
+            }
+        }
+    } catch (const FrameError &e) {
+        lastError_ = e.what();
+        return std::nullopt;
+    }
+}
+
+} // namespace rvp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Blocking client connection to a running rvpsweepd: connect to its
+ * Unix-domain socket, verify the server hello, and exchange framed
+ * protocol messages (service/protocol.hh). Retry and backoff policy
+ * live in the callers (tools/sweepctl.cc) — this class is one
+ * connection attempt and one connection's lifetime.
+ */
+
+#ifndef RVP_SERVICE_CLIENT_HH
+#define RVP_SERVICE_CLIENT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/framing.hh"
+#include "service/protocol.hh"
+
+namespace rvp
+{
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /**
+     * Connect and consume the server hello (verifying the protocol
+     * version). Returns false — with the connection torn down and the
+     * reason in lastError() — on connect failure, a bad hello, or a
+     * version mismatch.
+     */
+    bool connect(const std::string &socketPath);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Store size the server advertised in its hello. */
+    std::uint64_t storeEntries() const { return storeEntries_; }
+
+    /** Send one request frame; false on a dead connection. */
+    bool send(const std::string &payload);
+
+    /**
+     * Block for the next server frame, decoded. nullopt on EOF or a
+     * read error (reason in lastError()); a frame that is valid
+     * framing but undecodable protocol throws ServiceError out of
+     * decodeServerMsg — callers treat it like a dead server.
+     */
+    std::optional<ServerMsg> recv();
+
+    const std::string &lastError() const { return lastError_; }
+
+    /** Raw socket fd (tests inject torn/partial bytes through it). */
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::unique_ptr<FrameReader> reader_;
+    std::uint64_t storeEntries_ = 0;
+    std::string lastError_;
+};
+
+} // namespace rvp
+
+#endif // RVP_SERVICE_CLIENT_HH

@@ -1,0 +1,435 @@
+#include "service/protocol.hh"
+
+#include <sstream>
+
+#include "common/jsonlite.hh"
+#include "sim/journal.hh"
+#include "sim/sweep.hh"
+#include "vp/registry.hh"
+#include "workloads/workloads.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+const struct { const char *name; AssistLevel level; } assistTable[] = {
+    {"same", AssistLevel::Same},
+    {"dead", AssistLevel::Dead},
+    {"live", AssistLevel::Live},
+    {"dead_lv", AssistLevel::DeadLv},
+    {"live_lv", AssistLevel::LiveLv},
+    {"dead_lv_stride", AssistLevel::DeadLvStride},
+};
+
+const struct { const char *name; RecoveryPolicy policy; } recoveryTable[] = {
+    {"refetch", RecoveryPolicy::Refetch},
+    {"reissue", RecoveryPolicy::Reissue},
+    {"selective", RecoveryPolicy::Selective},
+};
+
+std::optional<AssistLevel>
+assistForName(const std::string &name)
+{
+    for (const auto &e : assistTable)
+        if (name == e.name)
+            return e.level;
+    return std::nullopt;
+}
+
+std::optional<RecoveryPolicy>
+recoveryForName(const std::string &name)
+{
+    for (const auto &e : recoveryTable)
+        if (name == e.name)
+            return e.policy;
+    return std::nullopt;
+}
+
+bool
+knownServiceWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &w : allWorkloads())
+        if (w.name == name)
+            return true;
+    return false;
+}
+
+/** Scheme in canonical registry spelling; the raw text when it does
+ *  not resolve (validation reports that separately). */
+std::string
+canonicalScheme(const std::string &scheme)
+{
+    if (std::optional<VpScheme> s = schemeForName(scheme))
+        return registryNameOf(*s);
+    return scheme;
+}
+
+void
+fail(ServiceError::Code code, const std::string &what)
+{
+    throw ServiceError(code, what);
+}
+
+// --- spec <-> JSON ---------------------------------------------------
+
+std::string
+specToJson(const RunSpec &s)
+{
+    std::ostringstream os;
+    os << "{\"workload\": \"" << jsonEscape(s.workload)
+       << "\", \"scheme\": \"" << jsonEscape(s.scheme)
+       << "\", \"assist\": \"" << jsonEscape(s.assist)
+       << "\", \"recovery\": \"" << jsonEscape(s.recovery)
+       << "\", \"loads_only\": " << (s.loadsOnly ? "true" : "false")
+       << ", \"insts\": " << s.insts
+       << ", \"profile_insts\": " << s.profileInsts
+       << ", \"profile_threshold\": " << jsonNum(s.profileThreshold)
+       << ", \"table_entries\": " << s.tableEntries
+       << ", \"counter_threshold\": " << s.counterThreshold
+       << ", \"vp_params\": \"" << jsonEscape(s.vpParams) << "\"}";
+    return os.str();
+}
+
+const JsonValue *
+optField(const std::map<std::string, JsonValue> &obj, const char *name)
+{
+    auto it = obj.find(name);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+RunSpec
+specFromJson(const std::map<std::string, JsonValue> &obj)
+{
+    RunSpec s;
+    s.workload = jsonField(obj, "workload").str;
+    s.scheme = jsonField(obj, "scheme").str;
+    if (const JsonValue *v = optField(obj, "assist"))
+        s.assist = v->str;
+    if (const JsonValue *v = optField(obj, "recovery"))
+        s.recovery = v->str;
+    if (const JsonValue *v = optField(obj, "loads_only"))
+        s.loadsOnly = v->boolean;
+    if (const JsonValue *v = optField(obj, "insts"))
+        s.insts = v->u64();
+    if (const JsonValue *v = optField(obj, "profile_insts"))
+        s.profileInsts = v->u64();
+    if (const JsonValue *v = optField(obj, "profile_threshold"))
+        s.profileThreshold = v->num();
+    if (const JsonValue *v = optField(obj, "table_entries"))
+        s.tableEntries = static_cast<unsigned>(v->u64());
+    if (const JsonValue *v = optField(obj, "counter_threshold"))
+        s.counterThreshold = static_cast<unsigned>(v->u64());
+    if (const JsonValue *v = optField(obj, "vp_params"))
+        s.vpParams = v->str;
+    return s;
+}
+
+} // namespace
+
+const char *
+serviceCodeName(ServiceError::Code code)
+{
+    switch (code) {
+      case ServiceError::Code::Protocol:
+        return "protocol";
+      case ServiceError::Code::Oversized:
+        return "oversized";
+      case ServiceError::Code::Validation:
+        return "validation";
+      case ServiceError::Code::Backpressure:
+        return "backpressure";
+      case ServiceError::Code::Deadline:
+        return "deadline";
+      case ServiceError::Code::Draining:
+        return "draining";
+    }
+    return "protocol";
+}
+
+ServiceError::Code
+serviceCodeFromName(const std::string &name)
+{
+    for (ServiceError::Code c :
+         {ServiceError::Code::Protocol, ServiceError::Code::Oversized,
+          ServiceError::Code::Validation,
+          ServiceError::Code::Backpressure, ServiceError::Code::Deadline,
+          ServiceError::Code::Draining})
+        if (name == serviceCodeName(c))
+            return c;
+    throw ServiceError(ServiceError::Code::Protocol,
+                       "unknown error code '" + name + "'");
+}
+
+std::string
+canonicalSpecText(const RunSpec &spec)
+{
+    // Frozen v1 grammar: bump the tag if a field is ever added, so old
+    // store entries can never alias new specs.
+    std::ostringstream os;
+    os << "rvp-spec-v1|" << spec.workload << '|'
+       << canonicalScheme(spec.scheme) << '|' << spec.assist << '|'
+       << spec.recovery << '|' << (spec.loadsOnly ? "loads" : "all")
+       << '|' << spec.insts << '|' << spec.profileInsts << '|'
+       << jsonNum(spec.profileThreshold) << '|' << spec.tableEntries
+       << '|' << spec.counterThreshold << '|' << spec.vpParams;
+    return os.str();
+}
+
+std::string
+runSpecKey(const RunSpec &spec)
+{
+    return hashHex(fnv1a(canonicalSpecText(spec)));
+}
+
+void
+validateRunSpec(const RunSpec &spec)
+{
+    // Mirrors validateExperimentConfig (sim/runner.cc), which uses
+    // RVP_ASSERT and would abort the daemon; every constraint a
+    // request could trip must be re-checked here with a typed throw
+    // before any config reaches that code.
+    const auto v = ServiceError::Code::Validation;
+    if (!knownServiceWorkload(spec.workload))
+        fail(v, "unknown workload '" + spec.workload + "'");
+    std::optional<VpScheme> scheme = schemeForName(spec.scheme);
+    if (!scheme)
+        fail(v, "unknown scheme '" + spec.scheme + "'");
+    if (!assistForName(spec.assist))
+        fail(v, "unknown assist level '" + spec.assist + "'");
+    if (!recoveryForName(spec.recovery))
+        fail(v, "unknown recovery policy '" + spec.recovery + "'");
+    if (*scheme == VpScheme::StaticRvp && !spec.loadsOnly)
+        fail(v, "static RVP predicts opcode-marked loads only; "
+                "loads_only=false is contradictory");
+    if (spec.insts == 0)
+        fail(v, "insts must be > 0");
+    if (spec.profileInsts == 0)
+        fail(v, "profile_insts must be > 0");
+    if (!(spec.profileThreshold >= 0.0 && spec.profileThreshold <= 1.0))
+        fail(v, "profile_threshold must be in [0, 1]");
+    if (spec.tableEntries == 0)
+        fail(v, "table_entries must be > 0");
+    if (spec.counterThreshold > 7)
+        fail(v, "counter_threshold does not fit the 3-bit resetting "
+                "counters (max 7)");
+    try {
+        PredictorRegistry::instance().checkParams(
+            canonicalScheme(spec.scheme), VpParams::parse(spec.vpParams));
+    } catch (const VpConfigError &e) {
+        fail(v, e.what());
+    }
+}
+
+ExperimentConfig
+configForSpec(const RunSpec &spec)
+{
+    ExperimentConfig config;
+    config.workload = spec.workload;
+    config.scheme = *schemeForName(spec.scheme);
+    config.assist = *assistForName(spec.assist);
+    config.core.recovery = *recoveryForName(spec.recovery);
+    config.core.maxInsts = spec.insts;
+    config.loadsOnly = spec.loadsOnly;
+    config.profileInsts = spec.profileInsts;
+    config.profileThreshold = spec.profileThreshold;
+    config.tableEntries = spec.tableEntries;
+    config.counterThreshold = spec.counterThreshold;
+    config.vpParams = spec.vpParams;
+    return config;
+}
+
+// --- encoders --------------------------------------------------------
+
+std::string
+encodeHelloRequest()
+{
+    return "{\"type\": \"hello\", \"version\": " +
+           std::to_string(serviceProtocolVersion) + "}";
+}
+
+std::string
+encodeSubmitRequest(const std::string &id,
+                    const std::vector<RunSpec> &runs)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"submit\", \"id\": \"" << jsonEscape(id)
+       << "\", \"runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << specToJson(runs[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+encodeStatusRequest()
+{
+    return "{\"type\": \"status\"}";
+}
+
+std::string
+encodeShutdownRequest()
+{
+    return "{\"type\": \"shutdown\"}";
+}
+
+std::string
+encodeHelloReply(std::uint64_t storeEntries)
+{
+    return "{\"type\": \"hello\", \"version\": " +
+           std::to_string(serviceProtocolVersion) +
+           ", \"store_entries\": " + std::to_string(storeEntries) + "}";
+}
+
+std::string
+encodeResultReply(const std::string &id, std::uint64_t index,
+                  const std::string &key, bool cached,
+                  const std::string &record)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"result\", \"id\": \"" << jsonEscape(id)
+       << "\", \"index\": " << index << ", \"key\": \""
+       << jsonEscape(key) << "\", \"cached\": "
+       << (cached ? "true" : "false")
+       // The record travels as an escaped STRING of the exact stored
+       // journal line (jsonlite unescapes only what jsonEscape adds),
+       // so the client recovers the store's bytes verbatim — the
+       // byte-identity-across-restart guarantee needs no
+       // re-serialization anywhere.
+       << ", \"record\": \"" << jsonEscape(record) << "\"}";
+    return os.str();
+}
+
+std::string
+encodeErrorReply(ServiceError::Code code, const std::string &message,
+                 const std::string &id)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"error\", \"code\": \"" << serviceCodeName(code)
+       << "\", \"message\": \"" << jsonEscape(message) << "\"";
+    if (!id.empty())
+        os << ", \"id\": \"" << jsonEscape(id) << "\"";
+    os << "}";
+    return os.str();
+}
+
+std::string
+encodeStatusReply(const ServiceStatus &s)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"status\", \"store_entries\": " << s.storeEntries
+       << ", \"queued\": " << s.queued
+       << ", \"inflight\": " << s.inflight
+       << ", \"clients\": " << s.clients
+       << ", \"executed\": " << s.executed
+       << ", \"served_cached\": " << s.servedCached
+       << ", \"dedup_subscribed\": " << s.dedupSubscribed
+       << ", \"draining\": " << (s.draining ? "true" : "false") << "}";
+    return os.str();
+}
+
+std::string
+encodeByeReply()
+{
+    return "{\"type\": \"bye\"}";
+}
+
+// --- decoders --------------------------------------------------------
+
+ClientRequest
+decodeClientRequest(const std::string &payload)
+{
+    try {
+        std::map<std::string, JsonValue> obj = parseJsonLine(payload);
+        const std::string &type = jsonField(obj, "type").str;
+        ClientRequest req;
+        if (type == "hello") {
+            req.kind = ClientRequest::Kind::Hello;
+            req.version =
+                static_cast<int>(jsonField(obj, "version").u64());
+        } else if (type == "submit") {
+            req.kind = ClientRequest::Kind::Submit;
+            req.id = jsonField(obj, "id").str;
+            const JsonValue &runs = jsonField(obj, "runs");
+            if (runs.kind != JsonValue::Kind::Arr)
+                throw std::runtime_error("runs is not an array");
+            for (const JsonValue &r : runs.arr) {
+                if (r.kind != JsonValue::Kind::Obj)
+                    throw std::runtime_error("run spec is not an object");
+                req.runs.push_back(specFromJson(r.obj));
+            }
+        } else if (type == "status") {
+            req.kind = ClientRequest::Kind::Status;
+        } else if (type == "shutdown") {
+            req.kind = ClientRequest::Kind::Shutdown;
+        } else {
+            throw std::runtime_error("unknown request type '" + type +
+                                     "'");
+        }
+        return req;
+    } catch (const ServiceError &) {
+        throw;
+    } catch (const std::exception &e) {
+        throw ServiceError(ServiceError::Code::Protocol,
+                           std::string("bad request: ") + e.what());
+    }
+}
+
+ServerMsg
+decodeServerMsg(const std::string &payload)
+{
+    try {
+        std::map<std::string, JsonValue> obj = parseJsonLine(payload);
+        const std::string &type = jsonField(obj, "type").str;
+        ServerMsg msg;
+        if (type == "hello") {
+            msg.kind = ServerMsg::Kind::Hello;
+            msg.version =
+                static_cast<int>(jsonField(obj, "version").u64());
+            msg.storeEntries = jsonField(obj, "store_entries").u64();
+        } else if (type == "result") {
+            msg.kind = ServerMsg::Kind::Result;
+            msg.id = jsonField(obj, "id").str;
+            msg.index = jsonField(obj, "index").u64();
+            msg.key = jsonField(obj, "key").str;
+            msg.cached = jsonField(obj, "cached").boolean;
+            msg.record = jsonField(obj, "record").str;
+        } else if (type == "error") {
+            msg.kind = ServerMsg::Kind::Error;
+            msg.code = serviceCodeFromName(jsonField(obj, "code").str);
+            msg.message = jsonField(obj, "message").str;
+            if (const JsonValue *v = optField(obj, "id"))
+                msg.id = v->str;
+        } else if (type == "status") {
+            msg.kind = ServerMsg::Kind::Status;
+            msg.status.storeEntries =
+                jsonField(obj, "store_entries").u64();
+            msg.status.queued = jsonField(obj, "queued").u64();
+            msg.status.inflight = jsonField(obj, "inflight").u64();
+            msg.status.clients = jsonField(obj, "clients").u64();
+            msg.status.executed = jsonField(obj, "executed").u64();
+            msg.status.servedCached =
+                jsonField(obj, "served_cached").u64();
+            msg.status.dedupSubscribed =
+                jsonField(obj, "dedup_subscribed").u64();
+            msg.status.draining = jsonField(obj, "draining").boolean;
+        } else if (type == "bye") {
+            msg.kind = ServerMsg::Kind::Bye;
+        } else {
+            throw std::runtime_error("unknown reply type '" + type +
+                                     "'");
+        }
+        return msg;
+    } catch (const ServiceError &) {
+        throw;
+    } catch (const std::exception &e) {
+        throw ServiceError(ServiceError::Code::Protocol,
+                           std::string("bad reply: ") + e.what());
+    }
+}
+
+} // namespace rvp

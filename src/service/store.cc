@@ -1,0 +1,175 @@
+#include "service/store.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/framing.hh"
+#include "common/jsonlite.hh"
+#include "common/logging.hh"
+#include "sim/journal.hh"
+
+namespace rvp
+{
+
+namespace
+{
+
+std::string
+putLine(const std::string &key, const std::string &recordLine)
+{
+    return "{\"type\": \"put\", \"key\": \"" + jsonEscape(key) +
+           "\", \"record\": \"" + jsonEscape(recordLine) + "\"}";
+}
+
+std::string
+headerLine()
+{
+    return "{\"type\": \"store\", \"version\": 1}";
+}
+
+} // namespace
+
+ResultStore::ResultStore(const std::string &path) : path_(path)
+{
+    // Replay whatever survives on disk first: later duplicates win
+    // (a compacted file has none), torn or corrupt lines — the
+    // possible last line of a SIGKILLed daemon — are counted and
+    // skipped, exactly like RunJournal::load.
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::string line;
+        while (is && std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            try {
+                std::map<std::string, JsonValue> obj =
+                    parseJsonLine(line);
+                const std::string &type = jsonField(obj, "type").str;
+                if (type == "store")
+                    continue;
+                if (type != "put")
+                    throw std::runtime_error("unknown store line");
+                entries_.insert_or_assign(jsonField(obj, "key").str,
+                                          jsonField(obj, "record").str);
+            } catch (const std::exception &) {
+                ++skipped_;
+            }
+        }
+    }
+    recovered_ = entries_.size();
+
+    struct stat st;
+    bool existed = stat(path.c_str(), &st) == 0;
+    fd_ = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+    if (fd_ < 0) {
+        warn("cannot open result store '%s': %s", path.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    if (!existed) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!appendLineLocked(headerLine()) || !fsyncParentDir(path))
+            warn("cannot initialize result store '%s': %s",
+                 path.c_str(), std::strerror(errno));
+        return;
+    }
+    // Heal a torn tail: a SIGKILL mid-append can leave the file
+    // without a trailing newline. Appending onto that tail would
+    // splice the next put into the torn line and lose BOTH on the
+    // next replay, so terminate the tear before the first append.
+    if (st.st_size > 0) {
+        char last = '\n';
+        int rfd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (rfd >= 0) {
+            if (pread(rfd, &last, 1, st.st_size - 1) != 1)
+                last = '\n';
+            close(rfd);
+        }
+        if (last != '\n') {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!writeAll(fd_, "\n", 1) || fsync(fd_) != 0)
+                warn("cannot heal torn store tail '%s': %s",
+                     path.c_str(), std::strerror(errno));
+        }
+    }
+}
+
+ResultStore::~ResultStore()
+{
+    if (fd_ >= 0)
+        close(fd_);
+}
+
+bool
+ResultStore::appendLineLocked(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string buf = line;
+    buf += '\n';
+    if (!writeAll(fd_, buf.data(), buf.size()))
+        return false;
+    return fsync(fd_) == 0;
+}
+
+std::optional<std::string>
+ResultStore::get(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+ResultStore::put(const std::string &key, const std::string &recordLine)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!appendLineLocked(putLine(key, recordLine))) {
+        warn("result store append failed for key %s: %s", key.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    entries_.insert_or_assign(key, recordLine);
+    return true;
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+bool
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << headerLine() << '\n';
+    for (const auto &[key, record] : entries_)
+        os << putLine(key, record) << '\n';
+    if (!writeFileAtomic(path_, os.str()))
+        return false;
+    // Re-point the append fd at the new file; appends to the old
+    // inode would be silently lost.
+    if (fd_ >= 0)
+        close(fd_);
+    fd_ = open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd_ < 0) {
+        warn("cannot reopen result store '%s' after compaction: %s",
+             path_.c_str(), std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+} // namespace rvp

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/framing.hh"
 #include "common/jsonlite.hh"
 #include "common/logging.hh"
 
@@ -68,6 +69,20 @@ jsonNum(double value)
 // ---------------------------------------------------------------------
 
 bool
+fsyncParentDir(const std::string &path)
+{
+    std::string dir = ".";
+    if (std::size_t slash = path.rfind('/'); slash != std::string::npos)
+        dir = slash == 0 ? "/" : path.substr(0, slash);
+    int dirfd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd < 0)
+        return false;
+    bool ok = fsync(dirfd) == 0;
+    close(dirfd);
+    return ok;
+}
+
+bool
 writeFileAtomic(const std::string &path, const std::string &contents)
 {
     std::string tmp = path + ".tmp.XXXXXX";
@@ -78,19 +93,10 @@ writeFileAtomic(const std::string &path, const std::string &contents)
         return false;
     tmp.assign(tmpl.data());
 
-    const char *data = contents.data();
-    std::size_t left = contents.size();
-    while (left > 0) {
-        ssize_t n = write(fd, data, left);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            close(fd);
-            unlink(tmp.c_str());
-            return false;
-        }
-        data += n;
-        left -= static_cast<std::size_t>(n);
+    if (!writeAll(fd, contents.data(), contents.size())) {
+        close(fd);
+        unlink(tmp.c_str());
+        return false;
     }
     if (fsync(fd) != 0 || close(fd) != 0) {
         unlink(tmp.c_str());
@@ -103,20 +109,8 @@ writeFileAtomic(const std::string &path, const std::string &contents)
     // The rename is only durable once the parent directory's entry is
     // on disk: without this fsync a crash right after return could
     // roll the path back to the OLD file even though the caller was
-    // promised the new contents (the data fsync above only covers the
-    // inode, not the directory that names it).
-    std::string dir = ".";
-    if (std::size_t slash = path.rfind('/'); slash != std::string::npos)
-        dir = slash == 0 ? "/" : path.substr(0, slash);
-    int dirfd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (dirfd < 0)
-        return false;
-    if (fsync(dirfd) != 0) {
-        close(dirfd);
-        return false;
-    }
-    close(dirfd);
-    return true;
+    // promised the new contents.
+    return fsyncParentDir(path);
 }
 
 bool
@@ -143,9 +137,19 @@ appendLineAtomic(const std::string &path, const std::string &line)
 
 RunJournal::RunJournal(const std::string &path) : path_(path)
 {
+    struct stat st;
+    bool existed = stat(path.c_str(), &st) == 0;
     fd_ = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd_ < 0)
+    if (fd_ < 0) {
         warn("cannot open run journal '%s': %s", path.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    // A freshly created journal needs its directory entry on disk
+    // before the first fsync'd append can be called durable — the
+    // same guarantee writeFileAtomic makes for renames.
+    if (!existed && !fsyncParentDir(path))
+        warn("cannot fsync journal directory for '%s': %s", path.c_str(),
              std::strerror(errno));
 }
 
@@ -163,18 +167,9 @@ RunJournal::writeLine(const std::string &line)
     std::lock_guard<std::mutex> lock(mutex_);
     std::string buf = line;
     buf += '\n';
-    const char *data = buf.data();
-    std::size_t left = buf.size();
-    while (left > 0) {
-        ssize_t n = write(fd_, data, left);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            warn("run journal write failed: %s", std::strerror(errno));
-            return;
-        }
-        data += n;
-        left -= static_cast<std::size_t>(n);
+    if (!writeAll(fd_, buf.data(), buf.size())) {
+        warn("run journal write failed: %s", std::strerror(errno));
+        return;
     }
     // The fsync is the crash-safety contract: once append() returns,
     // the record survives a SIGKILL of this process.
@@ -189,8 +184,8 @@ RunJournal::appendSweepHeader(const std::string &sweepHash)
               jsonEscape(sweepHash) + "\"}");
 }
 
-void
-RunJournal::append(const JournalRecord &rec)
+std::string
+encodeJournalRecord(const JournalRecord &rec)
 {
     const ExperimentResult &r = rec.result;
     std::ostringstream os;
@@ -220,7 +215,61 @@ RunJournal::append(const JournalRecord &rec)
         os << "\"" << jsonEscape(name) << "\": " << jsonNum(value);
     }
     os << "}}";
-    writeLine(os.str());
+    return os.str();
+}
+
+namespace
+{
+
+/** Field extraction shared by load() and parseJournalRunLine(); the
+ *  caller has already checked type == "run". Throws on any missing or
+ *  mistyped field (jsonField's contract). */
+JournalRecord
+recordFromJson(const std::map<std::string, JsonValue> &obj)
+{
+    JournalRecord rec;
+    rec.key = jsonField(obj, "key").str;
+    rec.figure = jsonField(obj, "figure").str;
+    rec.variant = jsonField(obj, "variant").str;
+    rec.workload = jsonField(obj, "workload").str;
+    rec.runSeconds = jsonField(obj, "run_seconds").num();
+    ExperimentResult &r = rec.result;
+    r.ipc = jsonField(obj, "ipc").num();
+    r.cycles = jsonField(obj, "cycles").u64();
+    r.committed = jsonField(obj, "committed").u64();
+    r.predictedFrac = jsonField(obj, "predicted_frac").num();
+    r.accuracy = jsonField(obj, "accuracy").num();
+    r.reallocFailed = jsonField(obj, "realloc_failed").boolean;
+    r.hostSeconds = jsonField(obj, "host_seconds").num();
+    r.kips = jsonField(obj, "kips").num();
+    r.failed = jsonField(obj, "failed").boolean;
+    r.error = jsonField(obj, "error").str;
+    r.retries = static_cast<unsigned>(jsonField(obj, "retries").u64());
+    r.degraded = jsonField(obj, "degraded").boolean;
+    for (const auto &[name, value] : jsonField(obj, "stats").obj)
+        r.stats.set(name, value.num());
+    return rec;
+}
+
+} // namespace
+
+std::optional<JournalRecord>
+parseJournalRunLine(const std::string &line)
+{
+    try {
+        std::map<std::string, JsonValue> obj = parseJsonLine(line);
+        if (jsonField(obj, "type").str != "run")
+            return std::nullopt;
+        return recordFromJson(obj);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+void
+RunJournal::append(const JournalRecord &rec)
+{
+    writeLine(encodeJournalRecord(rec));
 }
 
 // ---------------------------------------------------------------------
@@ -250,28 +299,7 @@ RunJournal::load(const std::string &path)
             }
             if (type != "run")
                 throw std::runtime_error("unknown record type");
-            JournalRecord rec;
-            rec.key = jsonField(obj, "key").str;
-            rec.figure = jsonField(obj, "figure").str;
-            rec.variant = jsonField(obj, "variant").str;
-            rec.workload = jsonField(obj, "workload").str;
-            rec.runSeconds = jsonField(obj, "run_seconds").num();
-            ExperimentResult &r = rec.result;
-            r.ipc = jsonField(obj, "ipc").num();
-            r.cycles = jsonField(obj, "cycles").u64();
-            r.committed = jsonField(obj, "committed").u64();
-            r.predictedFrac = jsonField(obj, "predicted_frac").num();
-            r.accuracy = jsonField(obj, "accuracy").num();
-            r.reallocFailed = jsonField(obj, "realloc_failed").boolean;
-            r.hostSeconds = jsonField(obj, "host_seconds").num();
-            r.kips = jsonField(obj, "kips").num();
-            r.failed = jsonField(obj, "failed").boolean;
-            r.error = jsonField(obj, "error").str;
-            r.retries =
-                static_cast<unsigned>(jsonField(obj, "retries").u64());
-            r.degraded = jsonField(obj, "degraded").boolean;
-            for (const auto &[name, value] : jsonField(obj, "stats").obj)
-                r.stats.set(name, value.num());
+            JournalRecord rec = recordFromJson(obj);
             out.runs.insert_or_assign(rec.key, std::move(rec));
         } catch (const std::exception &) {
             ++out.skippedLines;

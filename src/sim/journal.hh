@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -46,6 +47,15 @@ std::string jsonEscape(const std::string &s);
 /** Shortest round-trip double formatting (%.17g): parsing the result
  *  with strtod yields the identical bit pattern. */
 std::string jsonNum(double value);
+
+/**
+ * fsync the directory containing path (the path's parent, or "." when
+ * path has no slash). Needed after creating or renaming a directory
+ * entry: fsync of the file itself covers only the inode, not the
+ * directory that names it, so without this a crash can forget the
+ * file ever existed. Returns false on any error.
+ */
+bool fsyncParentDir(const std::string &path);
 
 /**
  * Write contents to path atomically: a temp file beside the target is
@@ -73,6 +83,23 @@ struct JournalRecord
     double runSeconds = 0.0;
     ExperimentResult result;   ///< stats map included, bit-exact
 };
+
+/**
+ * Serialize one record to its canonical journal line (no trailing
+ * newline). This is THE byte format: RunJournal::append writes it,
+ * the sweep-service result store persists it verbatim, and service
+ * clients receive the stored bytes unchanged — so "byte-identical
+ * across a daemon restart" is a property of the store, not of
+ * re-serialization.
+ */
+std::string encodeJournalRecord(const JournalRecord &rec);
+
+/**
+ * Parse one line as a `type:"run"` journal record. Returns nullopt on
+ * anything else — torn trailing lines, corruption, header lines —
+ * mirroring RunJournal::load's skip-don't-abort contract.
+ */
+std::optional<JournalRecord> parseJournalRunLine(const std::string &line);
 
 /**
  * Append-side journal handle. Thread safe: append() serializes under

@@ -399,6 +399,8 @@ runSweep(const std::vector<ExperimentConfig> &configs,
     // ---- per-run bookkeeping shared by the solo and batched paths --
 
     auto finishRun = [&](std::size_t i) {
+        if (options.onRunRecord)
+            options.onRunRecord(configs[i], i, results[i], run_seconds[i]);
         if (options.onRunComplete)
             options.onRunComplete(i, results[i], run_seconds[i]);
         std::size_t done = completed.fetch_add(1) + 1;

@@ -282,6 +282,17 @@ struct SweepOptions
     std::function<void(std::size_t index, const ExperimentResult &result,
                        double runSeconds)>
         onRunComplete;
+    /**
+     * Like onRunComplete but handed the run's config too, so a
+     * consumer that needs the run's identity (the sweep service
+     * publishing records to its content-addressed store under the
+     * config's run key) does not have to carry an index-to-config
+     * side table. Invoked just before onRunComplete, from the same
+     * worker thread, under the same serialization caveat.
+     */
+    std::function<void(const ExperimentConfig &config, std::size_t index,
+                       const ExperimentResult &result, double runSeconds)>
+        onRunRecord;
 };
 
 /** Per-sweep observability (timings and cache effectiveness). */
